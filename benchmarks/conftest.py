@@ -1,0 +1,47 @@
+"""Benchmark fixtures.
+
+Each benchmark regenerates one of the paper's tables/figures at a
+reduced trace scale (``OPS_SCALE``) so the whole harness runs in
+minutes; run ``python -m repro.experiments <id>`` for full-scale
+reproductions (EXPERIMENTS.md records those numbers).
+
+pytest-benchmark conventions: experiments are deterministic whole-program
+runs, so every benchmark uses ``pedantic(rounds=1, iterations=1)`` —
+the interesting output is the experiment's data, attached to
+``benchmark.extra_info``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.experiments.runner import ExperimentContext
+
+#: Trace-length multiplier for benchmark runs.
+OPS_SCALE = 0.15
+
+#: Subset used by the expensive sensitivity sweeps.
+SWEEP_WORKLOADS = ["CoMD", "namd2.10", "snap", "RNN_FW", "mst",
+                   "GoogLeNet"]
+
+
+@pytest.fixture(scope="session")
+def full_ctx():
+    """All 20 workloads at benchmark scale."""
+    return ExperimentContext(SystemConfig.paper_scaled(), seed=1,
+                             ops_scale=OPS_SCALE)
+
+
+@pytest.fixture(scope="session")
+def sweep_ctx():
+    """Pattern-family-representative subset for parameter sweeps."""
+    return ExperimentContext(SystemConfig.paper_scaled(), seed=1,
+                             ops_scale=OPS_SCALE,
+                             workloads=SWEEP_WORKLOADS)
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment driver once under the benchmark clock."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)

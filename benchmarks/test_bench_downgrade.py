@@ -1,0 +1,18 @@
+"""Ablation: sharer downgrade messages on clean eviction."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import figures
+
+
+def test_bench_downgrade(benchmark, sweep_ctx):
+    result = run_once(benchmark, figures.downgrade, sweep_ctx)
+    series = result.data["series"]
+    benchmark.extra_info["series"] = {
+        k: {p: round(v, 2) for p, v in row.items()}
+        for k, row in series.items()
+    }
+    # The optional optimization is roughly performance-neutral here
+    # (the paper leaves it unimplemented in its evaluation).
+    silent = series["silent eviction"]["hmg"]
+    down = series["downgrade"]["hmg"]
+    assert abs(silent - down) / silent < 0.25

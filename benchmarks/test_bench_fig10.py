@@ -1,0 +1,13 @@
+"""Fig 10: cache lines invalidated per directory eviction (HMG)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import figures
+
+
+def test_bench_fig10(benchmark, full_ctx):
+    result = run_once(benchmark, figures.fig10, full_ctx)
+    values = result.data["lines_per_eviction"]
+    benchmark.extra_info["lines_per_eviction"] = {
+        k: round(v, 2) for k, v in values.items()
+    }
+    assert all(v >= 0 for v in values.values())

@@ -1,0 +1,13 @@
+"""Fig 11: bandwidth cost of invalidation messages (GB/s)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import figures
+
+
+def test_bench_fig11(benchmark, full_ctx):
+    result = run_once(benchmark, figures.fig11, full_ctx)
+    values = result.data["inv_gbps"]
+    benchmark.extra_info["inv_gbps"] = {k: round(v, 3)
+                                        for k, v in values.items()}
+    # Invalidation traffic is small next to the 200 GB/s links.
+    assert values["Avg"] < 100.0

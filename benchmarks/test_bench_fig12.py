@@ -1,0 +1,18 @@
+"""Fig 12: sensitivity to inter-GPU link bandwidth."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import figures
+
+
+def test_bench_fig12(benchmark, sweep_ctx):
+    result = run_once(benchmark, figures.fig12, sweep_ctx,
+                      bandwidths=(100, 200, 400))
+    series = result.data["series"]
+    benchmark.extra_info["hmg"] = {k: round(v, 2)
+                                   for k, v in series["hmg"].items()}
+    # HMG stays the best coherence option at every bandwidth.
+    for point in series["hmg"]:
+        assert series["hmg"][point] >= series["sw"][point]
+        assert series["hmg"][point] >= series["nhcc"][point]
+    # Normalized speedups shrink as the baseline's links get faster.
+    assert series["hmg"]["100GB/s"] >= series["hmg"]["400GB/s"]

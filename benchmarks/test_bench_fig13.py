@@ -1,0 +1,17 @@
+"""Fig 13: sensitivity to L2 cache size."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import figures
+
+
+def test_bench_fig13(benchmark, sweep_ctx):
+    result = run_once(benchmark, figures.fig13, sweep_ctx,
+                      multipliers=(0.5, 1.0, 2.0))
+    series = result.data["series"]
+    benchmark.extra_info["hmg"] = {k: round(v, 2)
+                                   for k, v in series["hmg"].items()}
+    # HMG benefits from capacity at least as much as SW coherence does
+    # (software bulk invalidation caps the value of bigger caches).
+    gain_hmg = series["hmg"]["24MB/GPU"] / series["hmg"]["6MB/GPU"]
+    gain_sw = series["sw"]["24MB/GPU"] / series["sw"]["6MB/GPU"]
+    assert gain_hmg >= gain_sw * 0.95

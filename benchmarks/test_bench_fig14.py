@@ -1,0 +1,18 @@
+"""Fig 14: sensitivity to coherence directory size."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import figures
+
+
+def test_bench_fig14(benchmark, sweep_ctx):
+    result = run_once(benchmark, figures.fig14, sweep_ctx,
+                      multipliers=(0.25, 0.5, 1.0))
+    series = result.data["series"]
+    benchmark.extra_info["hmg"] = {k: round(v, 2)
+                                   for k, v in series["hmg"].items()}
+    # Bigger directories never hurt HMG, and even the halved directory
+    # retains most of the benefit (Section VII-B).
+    full = series["hmg"]["12K entries/GPM"]
+    half = series["hmg"]["6K entries/GPM"]
+    assert full >= half * 0.98
+    assert half >= 0.85 * full

@@ -1,0 +1,14 @@
+"""Fig 3: intra-GPU locality of inter-GPU loads."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import figures
+
+
+def test_bench_fig3(benchmark, full_ctx):
+    result = run_once(benchmark, figures.fig3, full_ctx)
+    percent = result.data["percent"]
+    benchmark.extra_info["percent"] = {k: round(v, 1)
+                                       for k, v in percent.items()}
+    # snap shows the peak locality; the average is substantial.
+    assert percent["snap"] >= 80.0
+    assert percent["Avg"] >= 30.0

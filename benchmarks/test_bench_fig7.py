@@ -1,0 +1,15 @@
+"""Fig 7 (substituted): timing-backend correlation study."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import figures
+
+
+def test_bench_fig7(benchmark, full_ctx):
+    result = run_once(benchmark, figures.fig7, full_ctx)
+    benchmark.extra_info["correlation"] = round(
+        result.data["correlation"], 3
+    )
+    benchmark.extra_info["mean_abs_error"] = round(
+        result.data["mean_abs_error"], 3
+    )
+    assert result.data["correlation"] >= 0.7

@@ -1,0 +1,14 @@
+"""Fig 9: cache lines invalidated per store on shared data (HMG)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import figures
+
+
+def test_bench_fig9(benchmark, full_ctx):
+    result = run_once(benchmark, figures.fig9, full_ctx)
+    values = result.data["lines_per_store"]
+    benchmark.extra_info["lines_per_store"] = {
+        k: round(v, 2) for k, v in values.items()
+    }
+    # Small per-store costs (paper: ~1.5-4 lines, few sharers).
+    assert 0 <= values["Avg"] < 8

@@ -1,0 +1,16 @@
+"""Section VII-B: directory entry granularity at constant coverage."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import figures
+
+
+def test_bench_granularity(benchmark, sweep_ctx):
+    result = run_once(benchmark, figures.granularity, sweep_ctx,
+                      lines_per_entry=(1, 2, 4, 8))
+    series = result.data["series"]["hmg"]
+    benchmark.extra_info["hmg"] = {k: round(v, 2)
+                                   for k, v in series.items()}
+    # "Minimal sensitivity": coarse tracking costs little at constant
+    # coverage (the paper concludes it is a useful optimization).
+    values = list(series.values())
+    assert max(values) / min(values) < 1.4

@@ -1,0 +1,19 @@
+"""Section III-B: the cost of multi-copy-atomicity vs. hierarchy depth."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import figures
+
+
+def test_bench_mca(benchmark, sweep_ctx):
+    result = run_once(benchmark, figures.mca, sweep_ctx,
+                      gpu_counts=(1, 4))
+    series = result.data["series"]
+    benchmark.extra_info["series"] = {
+        p: {k: round(v, 2) for k, v in row.items()}
+        for p, row in series.items()
+    }
+    penalty_1 = 1 - series["gpuvi"]["1 GPU"] / series["nhcc"]["1 GPU"]
+    penalty_4 = 1 - series["gpuvi"]["4 GPU"] / series["nhcc"]["4 GPU"]
+    # The MCA penalty grows with hierarchy depth (Section III-B).
+    assert penalty_4 >= penalty_1 - 0.02
+    assert penalty_4 > 0

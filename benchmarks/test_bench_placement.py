@@ -1,0 +1,15 @@
+"""Ablation: first-touch vs. interleaved page placement."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import figures
+
+
+def test_bench_placement(benchmark, sweep_ctx):
+    result = run_once(benchmark, figures.placement, sweep_ctx)
+    series = result.data["series"]
+    benchmark.extra_info["series"] = {
+        k: {p: round(v, 2) for p, v in row.items()}
+        for k, row in series.items()
+    }
+    assert series["first_touch"]["hmg"] > 0
+    assert series["interleave"]["hmg"] > 0

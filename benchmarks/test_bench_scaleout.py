@@ -1,0 +1,17 @@
+"""Section VII-D extension: protocol gaps vs. GPU count."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import figures
+
+
+def test_bench_scaleout(benchmark, sweep_ctx):
+    result = run_once(benchmark, figures.scaleout, sweep_ctx,
+                      gpu_counts=(1, 2, 4))
+    series = result.data["series"]
+    benchmark.extra_info["hmg"] = {k: round(v, 2)
+                                   for k, v in series["hmg"].items()}
+    # The hierarchy advantage is a multi-GPU phenomenon: HMG's edge
+    # over flat SW coherence grows when GPUs are added.
+    edge_1 = series["hmg"]["1 GPU"] / series["sw"]["1 GPU"]
+    edge_4 = series["hmg"]["4 GPU"] / series["sw"]["4 GPU"]
+    assert edge_4 >= edge_1

@@ -1,0 +1,21 @@
+"""Section VII-A: single-GPU system — protocols converge."""
+
+from benchmarks.conftest import OPS_SCALE, run_once
+from repro.config import SystemConfig
+from repro.experiments import figures
+from repro.experiments.runner import ExperimentContext
+
+
+def test_bench_singlegpu(benchmark):
+    ctx = ExperimentContext(SystemConfig.paper_scaled(), seed=1,
+                            ops_scale=OPS_SCALE)
+    result = run_once(benchmark, figures.singlegpu, ctx)
+    gm = result.data["geomeans"]
+    benchmark.extra_info["geomeans"] = {k: round(v, 3)
+                                        for k, v in gm.items()}
+    # The paper's single-GPU observation we reproduce crisply is that
+    # SW and HW coherence perform alike (high inter-GPM bandwidth);
+    # our idealized bound keeps a larger lead at benchmark trace scale
+    # (see EXPERIMENTS.md, deviations).
+    assert abs(gm["sw"] - gm["nhcc"]) / gm["nhcc"] < 0.2
+    assert gm["sw"] >= 0.9 and gm["nhcc"] >= 0.9

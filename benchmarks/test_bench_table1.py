@@ -1,0 +1,12 @@
+"""Table I: execute-and-verify the transition table."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import tables
+
+
+def test_bench_table1(benchmark):
+    result = run_once(benchmark, tables.table1)
+    assert result.data["all_passed"]
+    benchmark.extra_info["transitions_verified"] = len(
+        result.data["checks"]
+    )

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Interconnect provisioning study against coherence choice.
+
+A system architect's question the paper's Fig 12 answers: if the next
+platform gets faster (or cheaper, slower) inter-GPU links, does the
+coherence protocol still matter?  This example sweeps the link rate
+across a 4x range for two contrasting workloads and reports where each
+protocol's benefit saturates — using nothing but the public API.
+
+Run:  python examples/bandwidth_study.py
+"""
+
+from repro import SystemConfig, WORKLOADS, compare, speedups
+from repro.analysis.report import format_table
+
+PROTOCOLS = ("sw", "hmg", "ideal")
+BANDWIDTHS = (100, 200, 400)
+
+
+def sweep(workload: str, ops_scale: float = 0.4) -> list:
+    base = SystemConfig.paper_scaled()
+    trace = list(WORKLOADS[workload].generate(base, seed=1,
+                                              ops_scale=ops_scale))
+    rows = []
+    for bw in BANDWIDTHS:
+        cfg = base.replace(inter_gpu_bw_gbps=float(bw))
+        sp = speedups(compare(trace, cfg, ["noremote", *PROTOCOLS],
+                              workload_name=workload))
+        rows.append([f"{bw} GB/s"] + [sp[p] for p in PROTOCOLS])
+    return rows
+
+
+def main():
+    for workload, story in (
+        ("snap", "hierarchy-hungry (all four GPMs of a GPU consume the "
+                 "upstream GPU's block)"),
+        ("CoMD", "halo-exchange HPC with thin inter-GPU traffic"),
+    ):
+        print(f"\n{workload} — {story}")
+        rows = sweep(workload)
+        print(format_table(["link rate", "NH-SW", "HMG", "Ideal"], rows))
+        slow, fast = rows[0], rows[-1]
+        hmg_edge_slow = slow[2] / slow[1]
+        hmg_edge_fast = fast[2] / fast[1]
+        print(
+            f"HMG's edge over flat SW coherence: "
+            f"{100 * (hmg_edge_slow - 1):.0f}% at 100 GB/s -> "
+            f"{100 * (hmg_edge_fast - 1):.0f}% at 400 GB/s."
+        )
+    print(
+        "\nAs in Fig 12: richer links shrink every normalized speedup"
+        "\n(the baseline recovers), but never change the ranking — HMG"
+        "\nremains the best-performing real coherence option at every"
+        "\nprovisioning point, so hardware coherence is not a bet"
+        "\nagainst faster interconnects."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Scaling study: how protocol gaps grow with system hierarchy.
+
+The paper's motivation (Section III) is that coherence protocols which
+look interchangeable inside one GPU diverge sharply on hierarchical
+multi-GPU machines.  This example measures exactly that: the snap
+workload (the paper's strongest hierarchical-locality case) on 1-, 2-
+and 4-GPU platforms, under flat and hierarchical protocols.
+
+Run:  python examples/multi_gpu_scaling.py
+"""
+
+from repro import SystemConfig, WORKLOADS, compare, speedups
+from repro.analysis.report import format_table
+
+PROTOCOLS = ("sw", "nhcc", "hsw", "hmg", "ideal")
+
+
+def run_platform(num_gpus: int, ops_scale: float = 0.4) -> dict:
+    cfg = SystemConfig.paper_scaled(num_gpus=num_gpus)
+    trace = WORKLOADS["snap"].generate(cfg, seed=1, ops_scale=ops_scale)
+    results = compare(list(trace), cfg, ["noremote", *PROTOCOLS],
+                      workload_name="snap")
+    return speedups(results)
+
+
+def main():
+    rows = []
+    for num_gpus in (1, 2, 4):
+        sp = run_platform(num_gpus)
+        rows.append([f"{num_gpus} GPU(s)"] + [sp[p] for p in PROTOCOLS])
+
+    print("snap: speedup over no-remote-caching, by platform size")
+    print(format_table(["platform", "NH-SW", "NHCC", "H-SW", "HMG",
+                        "Ideal"], rows))
+
+    one, four = rows[0], rows[-1]
+    flat_gap_1 = one[4] / one[1]    # HMG / NH-SW on one GPU
+    flat_gap_4 = four[4] / four[1]  # ... on four GPUs
+    print(
+        f"\nHMG's advantage over flat software coherence grows from "
+        f"{100 * (flat_gap_1 - 1):.0f}% on one GPU to "
+        f"{100 * (flat_gap_4 - 1):.0f}% on four GPUs:\n"
+        "within a single GPU the 2 TB/s crossbar hides the protocol "
+        "differences;\nacross 200 GB/s inter-GPU links, hierarchical "
+        "sharer tracking is what keeps\ntraffic local (Sections III and "
+        "VII-A)."
+    )
+
+
+if __name__ == "__main__":
+    main()

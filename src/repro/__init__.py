@@ -1,0 +1,29 @@
+"""repro — a full reproduction of HMG (HPCA 2020).
+
+HMG: Extending Cache Coherence Protocols Across Modern Hierarchical
+Multi-GPU Systems.  See README.md for a tour and DESIGN.md for the
+system inventory and experiment index.
+"""
+
+from repro.config import SystemConfig
+from repro.core.registry import (
+    FIGURE2_PROTOCOLS,
+    FIGURE8_PROTOCOLS,
+    PROTOCOLS,
+    make_protocol,
+    protocol_names,
+)
+from repro.core.types import MemOp, NodeId, OpType, Scope
+from repro.engine.simulator import compare, simulate, speedups
+from repro.engine.stats import SimResult
+from repro.trace.stream import Trace
+from repro.trace.workloads import FIGURE_ORDER, WORKLOADS, get_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FIGURE2_PROTOCOLS", "FIGURE8_PROTOCOLS", "FIGURE_ORDER", "MemOp",
+    "NodeId", "OpType", "PROTOCOLS", "Scope", "SimResult", "SystemConfig",
+    "Trace", "WORKLOADS", "compare", "get_workload", "make_protocol",
+    "protocol_names", "simulate", "speedups", "__version__",
+]

@@ -1,0 +1,35 @@
+"""Analysis: metrics, locality, correlation, hardware cost, reports."""
+
+from repro.analysis.cost import (
+    DirectoryCost,
+    flat_directory_cost,
+    hmg_directory_cost,
+)
+from repro.analysis.correlation import (
+    CorrelationReport,
+    microbenchmark_suite,
+    run_correlation,
+)
+from repro.analysis.locality import LocalityReport, analyze_locality
+from repro.analysis.metrics import (
+    SpeedupTable,
+    geomean,
+    mean_abs_relative_error,
+    normalized_speedups,
+    pearson,
+)
+from repro.analysis.report import (
+    format_bars,
+    format_speedup_table,
+    format_sweep,
+    format_table,
+)
+
+__all__ = [
+    "CorrelationReport", "DirectoryCost", "LocalityReport", "SpeedupTable",
+    "analyze_locality", "flat_directory_cost", "format_bars",
+    "format_speedup_table", "format_sweep", "format_table", "geomean",
+    "hmg_directory_cost", "mean_abs_relative_error",
+    "microbenchmark_suite", "normalized_speedups", "pearson",
+    "run_correlation",
+]

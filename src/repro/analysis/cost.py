@@ -1,0 +1,79 @@
+"""Section VII-C: hardware cost of the HMG coherence directory.
+
+The paper's arithmetic: each entry tracks as many as
+``(gpms_per_gpu - 1) + (num_gpus - 1)`` sharers (six for the 4x4
+system), one Valid bit, and a 48-bit tag, giving 55 bits per entry;
+12 K entries/GPM is 84 KB (decimal KB, as the paper rounds), 2.7% of a
+GPM's 3 MB L2 data capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import SystemConfig
+
+
+@dataclass(frozen=True)
+class DirectoryCost:
+    """Storage-cost breakdown for one GPM's coherence directory."""
+
+    sharer_bits: int
+    state_bits: int
+    tag_bits: int
+    entries: int
+
+    @property
+    def bits_per_entry(self) -> int:
+        return self.sharer_bits + self.state_bits + self.tag_bits
+
+    @property
+    def total_bits(self) -> int:
+        return self.bits_per_entry * self.entries
+
+    @property
+    def total_bytes(self) -> int:
+        return self.total_bits // 8
+
+    def fraction_of(self, l2_bytes: int) -> float:
+        """Directory storage as a fraction of a given L2 capacity."""
+        return self.total_bytes / l2_bytes
+
+    def describe(self, l2_bytes: int) -> str:
+        """Render the Section VII-C cost arithmetic as one line."""
+        return (
+            f"{self.sharer_bits}-bit sharer vector + {self.state_bits} "
+            f"state bit + {self.tag_bits}-bit tag = "
+            f"{self.bits_per_entry} bits/entry; {self.entries} entries "
+            f"= {self.total_bytes / 1000:.0f}KB "
+            f"({100 * self.fraction_of(l2_bytes):.1f}% of the "
+            f"{l2_bytes // (1 << 20)}MB L2 per GPM)"
+        )
+
+
+def hmg_directory_cost(cfg: SystemConfig, tag_bits: int = 48,
+                       state_bits: int = 1) -> DirectoryCost:
+    """Directory cost under HMG's hierarchical sharer tracking.
+
+    An entry at a home node tracks the other GPMs of its GPU plus the
+    peer GPUs — never peer-GPU-internal GPMs (Section V-A).
+    """
+    sharers = (cfg.gpms_per_gpu - 1) + (cfg.num_gpus - 1)
+    return DirectoryCost(
+        sharer_bits=sharers,
+        state_bits=state_bits,
+        tag_bits=tag_bits,
+        entries=cfg.dir_entries_per_gpm,
+    )
+
+
+def flat_directory_cost(cfg: SystemConfig, tag_bits: int = 48,
+                        state_bits: int = 1) -> DirectoryCost:
+    """Cost if sharers were tracked flat (every GPM in the system) —
+    the comparison that motivates hierarchical tracking's scalability."""
+    return DirectoryCost(
+        sharer_bits=cfg.total_gpms - 1,
+        state_bits=state_bits,
+        tag_bits=tag_bits,
+        entries=cfg.dir_entries_per_gpm,
+    )

@@ -1,0 +1,99 @@
+"""Metrics over simulation results: speedups, means, figure series."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Mapping, Sequence
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean (the paper's cross-workload aggregate)."""
+    values = list(values)
+    if not values:
+        raise ValueError("geomean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def arithmetic_mean(values: Iterable[float]) -> float:
+    """Plain mean (used where the paper averages, e.g. Fig 3's Avg)."""
+    values = list(values)
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def normalized_speedups(results: Mapping[str, "SimResult"],
+                        baseline: str = "noremote") -> Dict[str, float]:
+    """Speedup of every protocol over the baseline result."""
+    base = results[baseline]
+    return {
+        name: base.cycles / r.cycles
+        for name, r in results.items()
+        if name != baseline
+    }
+
+
+class SpeedupTable:
+    """Per-workload, per-protocol speedups with geomean aggregation.
+
+    This is the data structure behind Figs 2, 8, 12, 13 and 14.
+    """
+
+    def __init__(self, protocols: Sequence[str]):
+        self.protocols = list(protocols)
+        self.rows: dict = {}  # workload -> {protocol: speedup}
+
+    def add(self, workload: str, speedups: Mapping[str, float]) -> None:
+        """Append one workload's speedups (all protocols required)."""
+        missing = [p for p in self.protocols if p not in speedups]
+        if missing:
+            raise ValueError(f"missing protocols {missing} for {workload}")
+        self.rows[workload] = {p: speedups[p] for p in self.protocols}
+
+    def workloads(self) -> list:
+        """Workloads in insertion (x-axis) order."""
+        return list(self.rows)
+
+    def series(self, protocol: str) -> list:
+        """One protocol's bar heights in insertion (x-axis) order."""
+        return [row[protocol] for row in self.rows.values()]
+
+    def geomeans(self) -> Dict[str, float]:
+        """Per-protocol geometric mean over all workloads."""
+        return {
+            p: geomean(self.series(p)) for p in self.protocols
+        }
+
+    def row(self, workload: str) -> Dict[str, float]:
+        """One workload's speedups as a fresh dict."""
+        return dict(self.rows[workload])
+
+    def relative(self, protocol: str, reference: str) -> float:
+        """Geomean ratio protocol/reference — e.g. the paper's
+        "HMG improves over NHCC by 18%" is ``relative('hmg','nhcc')``."""
+        gm = self.geomeans()
+        return gm[protocol] / gm[reference]
+
+
+def pearson(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Pearson correlation coefficient."""
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise ValueError("need two equal-length samples of size >= 2")
+    mx = arithmetic_mean(xs)
+    my = arithmetic_mean(ys)
+    cov = sum((x - mx) * (y - my) for x, y in zip(xs, ys))
+    vx = sum((x - mx) ** 2 for x in xs)
+    vy = sum((y - my) ** 2 for y in ys)
+    if vx == 0 or vy == 0:
+        raise ValueError("zero variance sample")
+    return cov / math.sqrt(vx * vy)
+
+
+def mean_abs_relative_error(xs: Sequence[float],
+                            ys: Sequence[float]) -> float:
+    """Mean of |x - y| / y (the paper reports 0.13 for their simulator)."""
+    if len(xs) != len(ys) or not xs:
+        raise ValueError("need equal-length non-empty samples")
+    return arithmetic_mean(abs(x - y) / y for x, y in zip(xs, ys))

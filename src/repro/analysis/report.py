@@ -1,0 +1,79 @@
+"""ASCII rendering of figure/table data.
+
+Every experiment prints the same rows/series the paper's figures plot;
+these helpers keep the formatting in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.analysis.metrics import SpeedupTable
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 precision: int = 2) -> str:
+    """Render a list of rows as an aligned ASCII table."""
+    def fmt(cell):
+        if isinstance(cell, float):
+            return f"{cell:.{precision}f}"
+        return str(cell)
+
+    text_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in text_rows)) if text_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    def line(cells):
+        return "  ".join(c.rjust(w) if i else c.ljust(w)
+                         for i, (c, w) in enumerate(zip(cells, widths)))
+
+    out = [line(list(headers)), line(["-" * w for w in widths])]
+    out.extend(line(r) for r in text_rows)
+    return "\n".join(out)
+
+
+def format_speedup_table(table: SpeedupTable, labels: Mapping[str, str],
+                         geomean_row: bool = True) -> str:
+    """Fig 2/8-style table: one row per workload, one column per
+    protocol, speedups normalized to the no-remote-caching baseline."""
+    headers = ["workload"] + [labels.get(p, p) for p in table.protocols]
+    rows = [
+        [workload] + [table.rows[workload][p] for p in table.protocols]
+        for workload in table.workloads()
+    ]
+    if geomean_row and len(table.rows) > 1:
+        gm = table.geomeans()
+        rows.append(["GeoMean"] + [gm[p] for p in table.protocols])
+    return format_table(headers, rows)
+
+
+def format_bars(values: Mapping[str, float], width: int = 40,
+                precision: int = 2) -> str:
+    """Horizontal ASCII bar chart (for single-series figures)."""
+    if not values:
+        return "(empty)"
+    peak = max(values.values())
+    scale = width / peak if peak > 0 else 0
+    name_w = max(len(k) for k in values)
+    lines = []
+    for name, v in values.items():
+        bar = "#" * max(0, int(round(v * scale)))
+        lines.append(f"{name:<{name_w}}  {v:>{precision + 6}.{precision}f} {bar}")
+    return "\n".join(lines)
+
+
+def format_sweep(series: Mapping[str, Mapping], x_label: str,
+                 labels: Mapping[str, str]) -> str:
+    """Fig 12/13/14-style table: rows are sweep points, columns are
+    protocols, cells are geomean speedups."""
+    points = None
+    for proto_series in series.values():
+        points = list(proto_series)
+        break
+    headers = [x_label] + [labels.get(p, p) for p in series]
+    rows = [
+        [str(point)] + [series[p][point] for p in series]
+        for point in (points or [])
+    ]
+    return format_table(headers, rows)

@@ -1,0 +1,410 @@
+"""System configuration for the simulated hierarchical multi-GPU platform.
+
+The defaults mirror Table II of the HMG paper (HPCA 2020):
+
+======================  =========================================
+Number of GPUs          4
+Number of SMs           128 per GPU, 512 in total
+Number of GPMs          4 per GPU
+GPU frequency           1.3 GHz
+Max number of warps     64 per SM
+OS page size            2 MB
+L1 data cache           128 KB per SM, 128 B lines
+L2 data cache           12 MB per GPU, 128 B lines, 16 ways
+L2 coherence directory  12 K entries per GPM, 4 lines per entry
+Inter-GPM bandwidth     2 TB/s per GPU, bi-directional
+Inter-GPU bandwidth     200 GB/s per link, bi-directional
+Total DRAM bandwidth    1 TB/s per GPU
+Total DRAM capacity     32 GB per GPU
+======================  =========================================
+
+Because the real system is GB-scale and this reproduction runs on a
+laptop, :meth:`SystemConfig.paper_scaled` applies a single ``scale``
+factor consistently to every capacity (caches, directory, page size and —
+via the trace generators — workload footprints).  The protocol-relevant
+*ratios* (working set : L2 capacity, shared footprint : directory
+coverage) are preserved, which is what the paper's conclusions depend on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+#: Gigabytes-per-second are expressed in decimal units, as link vendors do.
+GBPS = 1_000_000_000.0
+
+
+class ConfigError(ValueError):
+    """Raised when a configuration is internally inconsistent."""
+
+
+@dataclass(frozen=True)
+class LatencyConfig:
+    """Unloaded latencies, in core cycles, for each hop of the hierarchy.
+
+    These follow the paper's qualitative statement that a round trip to a
+    remote GPU is "an order of magnitude larger" than an intra-GPU hop.
+    """
+
+    l1_hit: int = 28
+    l2_hit: int = 96
+    inter_gpm_hop: int = 110
+    inter_gpu_hop: int = 520
+    dram_access: int = 320
+
+    def validate(self) -> None:
+        for f in dataclasses.fields(self):
+            if getattr(self, f.name) <= 0:
+                raise ConfigError(f"latency {f.name} must be positive")
+        if self.inter_gpu_hop <= self.inter_gpm_hop:
+            raise ConfigError(
+                "inter-GPU hop latency must exceed inter-GPM hop latency"
+            )
+
+
+@dataclass(frozen=True)
+class MessageSizeConfig:
+    """On-wire sizes, in bytes, of each coherence message class.
+
+    The paper notes invalidation messages are "relatively small compared
+    to a GPU cache line"; requests and invalidations are header-only.
+    """
+
+    request_header: int = 16
+    data_payload_extra: int = 16  # header accompanying a data payload
+    invalidation: int = 16
+    acknowledgment: int = 8
+    release_fence: int = 16
+    downgrade: int = 16
+
+    def validate(self) -> None:
+        for f in dataclasses.fields(self):
+            if getattr(self, f.name) <= 0:
+                raise ConfigError(f"message size {f.name} must be positive")
+
+
+@dataclass(frozen=True)
+class TimingConfig:
+    """Knobs of the throughput (bottleneck) timing model."""
+
+    #: Memory operations a GPM's SMs can issue per core cycle in aggregate.
+    issue_rate_per_gpm: float = 16.0
+    #: Divisor applied to synchronization round-trip latency to model the
+    #: GPU's ability to overlap it with independent warps.
+    latency_tolerance: float = 32.0
+    #: L2 bank service bandwidth per GPM, bytes per cycle.  Sized to
+    #: sustain the full SM issue rate at line granularity so the L2
+    #: data banks are never the artificial bottleneck (real GPU L2s are
+    #: provisioned against aggregate SM bandwidth).
+    l2_bytes_per_cycle: float = 4096.0
+    #: Cycles charged for a whole-cache bulk invalidation.  Flash-clear
+    #: is a broadcast to the valid bits — nearly free; the real cost of
+    #: bulk invalidation is the refetching, which the cache state models.
+    bulk_invalidate_cycles: int = 2
+    #: Imperfect-overlap tax: execution time is the busiest resource
+    #: class plus this fraction of the other classes' busy time (phases
+    #: of real programs never overlap compute, DRAM and network
+    #: perfectly).
+    overlap_tax: float = 0.25
+    #: How effectively GPU-VI's transient states (3 L1 + 12 L2 states,
+    #: 65 transitions — Section III-B) hide its multi-copy-atomic
+    #: write-acknowledgment latency.  Acks are charged at
+    #: 1/mca_transient_hiding of the raw round trip (then further
+    #: discounted by latency_tolerance like all exposed latency).
+    mca_transient_hiding: float = 12.0
+
+    def validate(self) -> None:
+        if self.issue_rate_per_gpm <= 0:
+            raise ConfigError("issue_rate_per_gpm must be positive")
+        if self.latency_tolerance < 1:
+            raise ConfigError("latency_tolerance must be >= 1")
+        if self.l2_bytes_per_cycle <= 0:
+            raise ConfigError("l2_bytes_per_cycle must be positive")
+        if self.bulk_invalidate_cycles < 0:
+            raise ConfigError("bulk_invalidate_cycles must be >= 0")
+        if not 0 <= self.overlap_tax <= 1:
+            raise ConfigError("overlap_tax must be in [0, 1]")
+        if self.mca_transient_hiding < 1:
+            raise ConfigError("mca_transient_hiding must be >= 1")
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Full description of the simulated platform (Table II defaults)."""
+
+    num_gpus: int = 4
+    gpms_per_gpu: int = 4
+    sms_per_gpm: int = 32
+    frequency_ghz: float = 1.3
+    max_warps_per_sm: int = 64
+
+    line_size: int = 128
+    page_size: int = 2 * MB
+
+    l1_bytes_per_sm: int = 128 * KB
+    #: L1s are modelled as slices per GPM rather than one per SM; CTAs
+    #: hash to slices.  See DESIGN.md, "Substitutions".
+    l1_slices_per_gpm: int = 4
+    l1_ways: int = 8
+
+    l2_bytes_per_gpu: int = 12 * MB
+    l2_ways: int = 16
+
+    dir_entries_per_gpm: int = 12 * 1024
+    dir_ways: int = 16
+    dir_lines_per_entry: int = 4
+
+    inter_gpm_bw_gbps: float = 2000.0
+    inter_gpu_bw_gbps: float = 200.0
+    dram_bw_per_gpu_gbps: float = 1000.0
+    dram_bytes_per_gpu: int = 32 * GB
+
+    #: Whether clean L2 evictions send a downgrade message to the home
+    #: node (Section IV, "Cache Eviction" — optional, off in the paper's
+    #: evaluation: "We do not implement the optional sharer downgrade").
+    downgrade_on_clean_eviction: bool = False
+
+    #: Capacity scale factor actually applied (1.0 for the paper config).
+    scale: float = 1.0
+
+    latency: LatencyConfig = field(default_factory=LatencyConfig)
+    message_sizes: MessageSizeConfig = field(default_factory=MessageSizeConfig)
+    timing: TimingConfig = field(default_factory=TimingConfig)
+
+    # ------------------------------------------------------------------
+    # Factories
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def paper(cls, **overrides) -> "SystemConfig":
+        """The exact Table II configuration."""
+        return cls(**overrides)
+
+    @classmethod
+    def paper_scaled(cls, scale: float = 1.0 / 16, dir_scale: float = None,
+                     **overrides) -> "SystemConfig":
+        """Table II with every capacity scaled down by ``scale``.
+
+        Bandwidths, latencies and structural counts (GPUs, GPMs, ways)
+        are left untouched: the simulation's clock is abstract, so only
+        capacity *ratios* need preserving.
+
+        The coherence directory is scaled by ``dir_scale`` (default
+        ``scale / 4``): the paper's directories cover 6 MB against
+        multi-GB remote footprints, so preserving the experienced
+        *coverage : remote-footprint* regime — the one that produces
+        the capacity evictions of Fig 10 and the Fig 14 sensitivity —
+        requires scaling the directory harder than the caches (the
+        synthetic shared working sets scale with the caches, not with
+        the paper footprints).  See DESIGN.md, "Substitutions".
+        """
+        if not 0 < scale <= 1:
+            raise ConfigError("scale must be in (0, 1]")
+        if dir_scale is None:
+            dir_scale = scale / 4
+        if not 0 < dir_scale <= 1:
+            raise ConfigError("dir_scale must be in (0, 1]")
+        base = cls()
+        scaled = dict(
+            page_size=_scale_pow2(base.page_size, scale, minimum=4 * base.line_size),
+            l1_bytes_per_sm=_scale_pow2(
+                base.l1_bytes_per_sm, scale, minimum=base.line_size * base.l1_ways
+            ),
+            l2_bytes_per_gpu=_scale_pow2(
+                base.l2_bytes_per_gpu,
+                scale,
+                minimum=base.line_size * base.l2_ways * base.gpms_per_gpu,
+            ),
+            dir_entries_per_gpm=_scale_pow2(
+                base.dir_entries_per_gpm, dir_scale, minimum=base.dir_ways
+            ),
+            dram_bytes_per_gpu=_scale_pow2(base.dram_bytes_per_gpu, scale),
+            scale=scale,
+        )
+        scaled.update(overrides)
+        return cls(**scaled)
+
+    def replace(self, **changes) -> "SystemConfig":
+        """Return a copy with ``changes`` applied (validates the result)."""
+        cfg = dataclasses.replace(self, **changes)
+        cfg.validate()
+        return cfg
+
+    def __post_init__(self):
+        self.validate()
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+
+    @property
+    def total_gpms(self) -> int:
+        return self.num_gpus * self.gpms_per_gpu
+
+    @property
+    def total_sms(self) -> int:
+        return self.total_gpms * self.sms_per_gpm
+
+    @property
+    def l2_bytes_per_gpm(self) -> int:
+        return self.l2_bytes_per_gpu // self.gpms_per_gpu
+
+    @property
+    def l1_bytes_per_slice(self) -> int:
+        """Each L1 slice models the L1 of the SM subset one CTA group
+        maps to; its capacity is one SM's L1, so the pervasive
+        cross-SM duplication of shared data is reflected as reduced
+        effective capacity rather than modelled per-SM."""
+        return self.l1_bytes_per_sm
+
+    @property
+    def lines_per_page(self) -> int:
+        return self.page_size // self.line_size
+
+    @property
+    def cycles_per_second(self) -> float:
+        return self.frequency_ghz * 1e9
+
+    def bytes_per_cycle(self, gbps: float) -> float:
+        """Convert a link bandwidth in GB/s to bytes per core cycle."""
+        return gbps * GBPS / self.cycles_per_second
+
+    @property
+    def inter_gpm_bytes_per_cycle(self) -> float:
+        return self.bytes_per_cycle(self.inter_gpm_bw_gbps)
+
+    @property
+    def inter_gpu_bytes_per_cycle(self) -> float:
+        return self.bytes_per_cycle(self.inter_gpu_bw_gbps)
+
+    @property
+    def dram_bytes_per_cycle_per_gpm(self) -> float:
+        return self.bytes_per_cycle(self.dram_bw_per_gpu_gbps) / self.gpms_per_gpu
+
+    @property
+    def dir_coverage_bytes_per_gpm(self) -> int:
+        """Shared-data footprint one GPM's directory can track.
+
+        With Table II values: 12K entries x 4 lines x 128 B = 6 MB, the
+        figure quoted in Section VI.
+        """
+        return self.dir_entries_per_gpm * self.dir_lines_per_entry * self.line_size
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+
+    def validate(self) -> None:
+        if self.num_gpus < 1:
+            raise ConfigError("num_gpus must be >= 1")
+        if self.gpms_per_gpu < 1:
+            raise ConfigError("gpms_per_gpu must be >= 1")
+        if self.sms_per_gpm < 1:
+            raise ConfigError("sms_per_gpm must be >= 1")
+        if self.line_size <= 0 or self.line_size & (self.line_size - 1):
+            raise ConfigError("line_size must be a positive power of two")
+        if self.page_size % self.line_size:
+            raise ConfigError("page_size must be a multiple of line_size")
+        if self.page_size < self.line_size:
+            raise ConfigError("page_size must be >= line_size")
+        if self.l2_bytes_per_gpu % self.gpms_per_gpu:
+            raise ConfigError("l2_bytes_per_gpu must divide evenly across GPMs")
+        if self.l2_bytes_per_gpm % (self.line_size * self.l2_ways):
+            raise ConfigError("L2 per GPM must hold a whole number of sets")
+        if self.dir_entries_per_gpm % self.dir_ways:
+            raise ConfigError("directory entries must divide into whole sets")
+        if self.dir_lines_per_entry <= 0 or (
+            self.dir_lines_per_entry & (self.dir_lines_per_entry - 1)
+        ):
+            raise ConfigError("dir_lines_per_entry must be a positive power of two")
+        if self.l1_slices_per_gpm < 1 or self.l1_slices_per_gpm > self.sms_per_gpm:
+            raise ConfigError("l1_slices_per_gpm must be in [1, sms_per_gpm]")
+        for bw in (
+            self.inter_gpm_bw_gbps,
+            self.inter_gpu_bw_gbps,
+            self.dram_bw_per_gpu_gbps,
+        ):
+            if bw <= 0:
+                raise ConfigError("bandwidths must be positive")
+        if self.frequency_ghz <= 0:
+            raise ConfigError("frequency must be positive")
+        self.latency.validate()
+        self.message_sizes.validate()
+        self.timing.validate()
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def describe(self) -> str:
+        """Render the configuration as a Table II-style listing."""
+        rows = [
+            ("Number of GPUs", str(self.num_gpus)),
+            (
+                "Number of SMs",
+                f"{self.gpms_per_gpu * self.sms_per_gpm} per GPU, "
+                f"{self.total_sms} in total",
+            ),
+            ("Number of GPMs", f"{self.gpms_per_gpu} per GPU"),
+            ("GPU frequency", f"{self.frequency_ghz}GHz"),
+            ("Max number of warps", f"{self.max_warps_per_sm} per SM"),
+            ("OS Page Size", _fmt_bytes(self.page_size)),
+            (
+                "L1 data cache",
+                f"{_fmt_bytes(self.l1_bytes_per_sm)} per SM, "
+                f"{self.line_size}B lines",
+            ),
+            (
+                "L2 data cache",
+                f"{_fmt_bytes(self.l2_bytes_per_gpu)} per GPU, "
+                f"{self.line_size}B lines, {self.l2_ways} ways",
+            ),
+            (
+                "L2 coherence directory",
+                f"{self.dir_entries_per_gpm} entries per GPU module, "
+                f"each entry covers {self.dir_lines_per_entry} cache lines",
+            ),
+            (
+                "Inter-GPM bandwidth",
+                f"{self.inter_gpm_bw_gbps / 1000:g}TB/s per GPU, bi-directional",
+            ),
+            (
+                "Inter-GPU bandwidth",
+                f"{self.inter_gpu_bw_gbps:g}GB/s per link, bi-directional",
+            ),
+            (
+                "Total DRAM bandwidth",
+                f"{self.dram_bw_per_gpu_gbps / 1000:g}TB/s per GPU",
+            ),
+            ("Total DRAM capacity", f"{_fmt_bytes(self.dram_bytes_per_gpu)} per GPU"),
+        ]
+        if self.scale != 1.0:
+            rows.append(("Capacity scale factor", f"{self.scale:g}"))
+        width = max(len(name) for name, _ in rows)
+        return "\n".join(f"{name:<{width}}  {value}" for name, value in rows)
+
+
+def _scale_pow2(value: int, scale: float, minimum: int = 1) -> int:
+    """Scale ``value`` down and round to the nearest power of two."""
+    target = max(minimum, int(value * scale))
+    pow2 = 1
+    while pow2 * 2 <= target:
+        pow2 *= 2
+    if target - pow2 > 2 * pow2 - target:
+        pow2 *= 2
+    return max(pow2, minimum)
+
+
+def _fmt_bytes(n: int) -> str:
+    for unit, size in (("GB", GB), ("MB", MB), ("KB", KB)):
+        if n >= size and n % size == 0:
+            return f"{n // size}{unit}"
+    for unit, size in (("GB", GB), ("MB", MB), ("KB", KB)):
+        if n >= size:
+            return f"{n / size:.1f}{unit}"
+    return f"{n}B"

@@ -1,0 +1,35 @@
+"""The paper's contribution: coherence protocols and directories."""
+
+from repro.core.directory import CoherenceDirectory, DirectoryEntry, Sharer
+from repro.core.protocol import (
+    AccessOutcome,
+    CoherenceProtocol,
+    NullSink,
+    ProtocolStats,
+    RecordingSink,
+    TrafficSink,
+)
+from repro.core.registry import (
+    FIGURE2_PROTOCOLS,
+    FIGURE8_PROTOCOLS,
+    PROTOCOLS,
+    make_protocol,
+    protocol_names,
+)
+from repro.core.types import (
+    DirState,
+    MemOp,
+    Message,
+    MsgType,
+    NodeId,
+    OpType,
+    Scope,
+)
+
+__all__ = [
+    "AccessOutcome", "CoherenceDirectory", "CoherenceProtocol",
+    "DirectoryEntry", "DirState", "FIGURE2_PROTOCOLS", "FIGURE8_PROTOCOLS",
+    "MemOp", "Message", "MsgType", "NodeId", "NullSink", "OpType",
+    "PROTOCOLS", "ProtocolStats", "RecordingSink", "Scope", "Sharer",
+    "TrafficSink", "make_protocol", "protocol_names",
+]

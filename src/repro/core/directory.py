@@ -1,0 +1,189 @@
+"""Set-associative coherence directory (Sections IV-A, V-A).
+
+Each GPM attaches one directory to its L2 partition.  An entry covers a
+*sector* of ``dir_lines_per_entry`` consecutive cache lines (4 in
+Table II) and tracks the identity of every sharer together with a single
+Valid bit — there are no transient states.
+
+Sharers are hierarchical (Section V-A): an entry at a home node may mix
+
+* ``Sharer.gpm(i)`` — GPM ``i`` *within the same GPU*, and
+* ``Sharer.gpu(j)`` — peer GPU ``j`` as a whole (system home nodes never
+  learn which GPM inside a peer GPU holds a copy).
+
+For an M-GPM, N-GPU system an entry therefore tracks at most
+``M + N - 2`` sharers, which is what Section VII-C's storage-cost
+analysis assumes.  The flat NHCC protocol uses only GPM sharers, with
+flat GPM indices.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+
+class SharerKind(enum.IntEnum):
+    GPM = 0
+    GPU = 1
+
+
+@dataclass(frozen=True, order=True)
+class Sharer:
+    """One tracked sharer: a GPM (intra-GPU) or a whole peer GPU."""
+
+    kind: SharerKind
+    index: int
+
+    @staticmethod
+    def gpm(index: int) -> "Sharer":
+        """A GPM sharer within the home node's own GPU."""
+        return Sharer(SharerKind.GPM, index)
+
+    @staticmethod
+    def gpu(index: int) -> "Sharer":
+        """A peer GPU tracked as a whole (Section V-A)."""
+        return Sharer(SharerKind.GPU, index)
+
+    @property
+    def is_gpm(self) -> bool:
+        return self.kind == SharerKind.GPM
+
+    @property
+    def is_gpu(self) -> bool:
+        return self.kind == SharerKind.GPU
+
+    def __str__(self) -> str:
+        return f"{'GPM' if self.is_gpm else 'GPU'}{self.index}"
+
+
+class DirectoryEntry:
+    """One Valid directory entry: a sector and its sharer set."""
+
+    __slots__ = ("sector", "sharers")
+
+    def __init__(self, sector: int):
+        self.sector = sector
+        self.sharers: set[Sharer] = set()
+
+    def add(self, sharer: Sharer) -> None:
+        """Record a sharer (idempotent)."""
+        self.sharers.add(sharer)
+
+    def discard(self, sharer: Sharer) -> None:
+        """Forget a sharer if present."""
+        self.sharers.discard(sharer)
+
+    def others(self, excluding: Sharer) -> set[Sharer]:
+        """Every sharer except ``excluding``."""
+        return self.sharers - {excluding}
+
+    def __repr__(self) -> str:
+        who = ", ".join(str(s) for s in sorted(self.sharers))
+        return f"V:sector{self.sector}:[{who}]"
+
+
+@dataclass
+class DirectoryStats:
+    lookups: int = 0
+    allocations: int = 0
+    evictions: int = 0
+    evictions_with_sharers: int = 0
+
+    @property
+    def conflict_pressure(self) -> float:
+        return self.evictions / self.allocations if self.allocations else 0.0
+
+
+class CoherenceDirectory:
+    """Set-associative sharer-tracking directory with LRU replacement.
+
+    Only Valid entries are stored; Invalid is represented by absence, so
+    the Table I ``I`` column corresponds to a missing entry.
+    """
+
+    def __init__(self, entries: int, ways: int, name: str = "dir"):
+        if entries <= 0 or ways <= 0:
+            raise ValueError("entries and ways must be positive")
+        if entries % ways:
+            raise ValueError("entries must be a multiple of ways")
+        self.name = name
+        self.ways = ways
+        self.num_sets = entries // ways
+        self._sets: list[dict[int, DirectoryEntry]] = [
+            {} for _ in range(self.num_sets)
+        ]
+        self.stats = DirectoryStats()
+
+    @property
+    def capacity(self) -> int:
+        return self.num_sets * self.ways
+
+    def _set_for(self, sector: int) -> dict:
+        # Hash the set index (see SetAssociativeCache._set_for): sector
+        # streams are strided and would otherwise conflict pathologically.
+        mixed = (sector * 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+        return self._sets[(mixed >> 33) % self.num_sets]
+
+    def __len__(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+    def __contains__(self, sector: int) -> bool:
+        return sector in self._set_for(sector)
+
+    def entries(self) -> Iterator[DirectoryEntry]:
+        """Iterate over all Valid entries (no particular order)."""
+        for s in self._sets:
+            yield from s.values()
+
+    # ------------------------------------------------------------------
+
+    def lookup(self, sector: int, touch: bool = True) -> Optional[DirectoryEntry]:
+        """Find the Valid entry for a sector, if any (LRU-touching)."""
+        self.stats.lookups += 1
+        cset = self._set_for(sector)
+        entry = cset.get(sector)
+        if entry is not None and touch:
+            del cset[sector]
+            cset[sector] = entry
+        return entry
+
+    def allocate(
+        self, sector: int
+    ) -> tuple[DirectoryEntry, Optional[DirectoryEntry]]:
+        """Get-or-create the entry for a sector.
+
+        Returns ``(entry, victim)``.  ``victim`` is a displaced Valid
+        entry whose sharers the caller must invalidate (Table I,
+        "Replace Dir Entry": inv all sharers, -> I).
+        """
+        cset = self._set_for(sector)
+        entry = cset.get(sector)
+        if entry is not None:
+            del cset[sector]
+            cset[sector] = entry
+            return entry, None
+        victim = None
+        if len(cset) >= self.ways:
+            victim_sector = next(iter(cset))
+            victim = cset.pop(victim_sector)
+            self.stats.evictions += 1
+            if victim.sharers:
+                self.stats.evictions_with_sharers += 1
+        entry = DirectoryEntry(sector)
+        cset[sector] = entry
+        self.stats.allocations += 1
+        return entry, victim
+
+    def invalidate(self, sector: int) -> Optional[DirectoryEntry]:
+        """Transition a sector's entry to Invalid (drop it)."""
+        return self._set_for(sector).pop(sector, None)
+
+    def sharer_histogram(self) -> dict:
+        """Distribution of sharer-set sizes over resident entries."""
+        hist: dict[int, int] = {}
+        for entry in self.entries():
+            n = len(entry.sharers)
+            hist[n] = hist.get(n, 0) + 1
+        return hist

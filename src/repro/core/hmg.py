@@ -1,0 +1,372 @@
+"""HMG — hierarchical multi-GPU hardware coherence (Section V).
+
+HMG layers NHCC twice.  Within each GPU, a *GPU home node* per address
+keeps the GPU's GPMs coherent; across GPUs, the *system home node* (the
+GPU home node inside the page-owning GPU) keeps the GPUs coherent,
+tracking peer GPUs only at GPU granularity.  Invalidations fan out
+hierarchically: an invalidation arriving at a GPU home node is forwarded
+to that GPU's GPM sharers (the single extra transition in Table I).
+
+Requests and write-throughs route local L2 -> GPU home -> system home;
+only the GPU identifier crosses the inter-GPU network, never the
+requesting GPM's identity.
+"""
+
+from __future__ import annotations
+
+from repro.core.directory import DirectoryEntry, Sharer
+from repro.core.protocol import AccessOutcome, CoherenceProtocol
+from repro.core.types import MemOp, MsgType, NodeId, Scope
+
+
+class HMGProtocol(CoherenceProtocol):
+    """Two-layer hierarchical hardware coherence."""
+
+    name = "hmg"
+    label = "HMG Coherence"
+    has_directory = True
+
+    # ------------------------------------------------------------------
+    # Invalidation machinery
+    # ------------------------------------------------------------------
+
+    def _drop_sector_lines(self, node: NodeId, sector: int) -> int:
+        l2 = self.l2[self.flat(node)]
+        dropped = 0
+        for line in self.amap.lines_in_sector(sector):
+            if l2.invalidate(line) is not None:
+                dropped += 1
+        return dropped
+
+    def _inv_gpu_sharer(self, home: NodeId, gpu: int, sector: int) -> int:
+        """Invalidate a peer GPU: send one invalidation to its GPU home
+        node, which drops its own copy and forwards to its GPM sharers
+        (Table I, the HMG-only transition)."""
+        ghome = NodeId(gpu, self.amap.home_gpm_of_sector(sector))
+        self.send(MsgType.INVALIDATION, home, ghome, sector)
+        dropped = self._drop_sector_lines(ghome, sector)
+        directory = self.dirs[self.flat(ghome)]
+        entry = directory.lookup(sector, touch=False)
+        if entry is not None:
+            for sharer in sorted(entry.sharers):
+                # Entries at a non-owner GPU home only track local GPMs.
+                target = NodeId(gpu, sharer.index)
+                self.send(MsgType.INVALIDATION, ghome, target, sector)
+                dropped += self._drop_sector_lines(target, sector)
+            directory.invalidate(sector)
+        return dropped
+
+    def _inv_sharers(self, home: NodeId, entry: DirectoryEntry,
+                     keep: Sharer = None, cause: str = "store") -> int:
+        """Hierarchically invalidate every sharer except ``keep``."""
+        dropped = 0
+        for sharer in sorted(entry.sharers):
+            if keep is not None and sharer == keep:
+                continue
+            if sharer.is_gpm:
+                target = NodeId(home.gpu, sharer.index)
+                if target == home:
+                    continue
+                self.send(MsgType.INVALIDATION, home, target, entry.sector)
+                dropped += self._drop_sector_lines(target, entry.sector)
+            else:
+                dropped += self._inv_gpu_sharer(home, sharer.index,
+                                                entry.sector)
+        if cause == "store":
+            self.stats.lines_inv_by_store += dropped
+        else:
+            self.stats.lines_inv_by_dir_evict += dropped
+        return dropped
+
+    def _dir_allocate(self, home: NodeId, sector: int) -> DirectoryEntry:
+        directory = self.dirs[self.flat(home)]
+        entry, victim = directory.allocate(sector)
+        if victim is not None and victim.sharers:
+            self.stats.dir_evictions += 1
+            self._inv_sharers(home, victim, cause="evict")
+        return entry
+
+    # ------------------------------------------------------------------
+    # Routing helpers
+    # ------------------------------------------------------------------
+
+    def _homes(self, line: int, node: NodeId):
+        """(gpu_home, sys_home) for a line as seen from ``node``.
+
+        Within the owning GPU the two coincide: the GPU home node of
+        the owning GPU is the page's GPM itself.
+        """
+        return self.homes(line, node)
+
+    def _may_hit(self, cache_node: NodeId, op: MemOp, ghome: NodeId,
+                 syshome: NodeId) -> bool:
+        """Scope-dependent hit permission (Section V-B, "Loads")."""
+        if op.scope == Scope.CTA:
+            return True
+        if op.scope == Scope.GPU:
+            return cache_node in (ghome, syshome)
+        return cache_node == syshome
+
+    # ------------------------------------------------------------------
+    # Loads
+    # ------------------------------------------------------------------
+
+    def _load(self, op: MemOp) -> AccessOutcome:
+        line = self.amap.line_of(op.address)
+        ghome, syshome = self._homes(line, op.node)
+        lat = self.cfg.latency
+        latency = float(lat.l1_hit)
+
+        hit = self._l1_load(op, line)
+        if hit is not None:
+            return AccessOutcome(hit.version, latency, hit_level="l1")
+
+        local = self.l2[self.flat(op.node)]
+        self._l2_touch(op.node, self.cfg.line_size)
+        latency += lat.l2_hit
+        if self._may_hit(op.node, op, ghome, syshome):
+            entry = local.lookup(line)
+        else:
+            entry = None
+            local.stats.misses += 1
+        if entry is not None:
+            self._l1_fill(op, line, entry.version, remote=op.node != syshome)
+            level = ("sys_home" if op.node == syshome
+                     else "gpu_home" if op.node == ghome else "local_l2")
+            return AccessOutcome(entry.version, latency, hit_level=level)
+
+        if op.node == syshome:
+            # Local miss at the system home itself: straight to DRAM.
+            version = self.dram[self.flat(syshome)].read(line)
+            latency += lat.dram_access
+            victim = local.fill(line, version, remote=False)
+            self._handle_l2_victim(op.node, victim)
+            self._l1_fill(op, line, version, remote=False)
+            return AccessOutcome(version, latency, hit_level="dram")
+
+        # Miss: climb the hierarchy — GPU home first (if we are not it).
+        version = None
+        level = "dram"
+        sector = self.amap.sector_of_line(line)
+        if op.node != ghome:
+            self.send(MsgType.LOAD_REQ, op.node, ghome, line)
+            latency += 2 * self.hop_latency(op.node, ghome)
+            self._l2_touch(ghome, self.cfg.line_size)
+            latency += lat.l2_hit
+            ghome_l2 = self.l2[self.flat(ghome)]
+            if self._may_hit(ghome, op, ghome, syshome):
+                gentry = ghome_l2.lookup(line)
+            else:
+                gentry = None
+                ghome_l2.stats.misses += 1
+            if gentry is not None:
+                version = gentry.version
+                level = "gpu_home" if ghome != syshome else "sys_home"
+            # The GPU home tracks the requesting GPM either way — on a
+            # forwarded miss it will cache the response too.
+            dentry = self._dir_allocate(ghome, sector)
+            dentry.add(Sharer.gpm(op.node.gpm))
+
+        if version is None and ghome != syshome:
+            # Forward to the system home; only the GPU id crosses.
+            self.stats.remote_gpu_loads += 1
+            src = ghome
+            self.send(MsgType.LOAD_REQ, src, syshome, line)
+            latency += 2 * self.hop_latency(src, syshome)
+            self._l2_touch(syshome, self.cfg.line_size)
+            latency += lat.l2_hit
+            sentry = self.l2[self.flat(syshome)].lookup(line)
+            if sentry is not None:
+                version = sentry.version
+                level = "sys_home"
+            else:
+                version = self.dram[self.flat(syshome)].read(line)
+                latency += lat.dram_access
+                svictim = self.l2[self.flat(syshome)].fill(
+                    line, version, remote=False
+                )
+                self._handle_l2_victim(syshome, svictim)
+            dentry = self._dir_allocate(syshome, sector)
+            dentry.add(Sharer.gpu(op.node.gpu))
+            self.send(MsgType.DATA_RESP, syshome, src, line)
+            # Response fills the GPU home on its way back (Fig 6b).
+            if op.node != ghome:
+                gvictim = self.l2[self.flat(ghome)].fill(
+                    line, version, remote=True
+                )
+                self._handle_l2_victim(ghome, gvictim)
+                self._l2_touch(ghome, self.cfg.line_size)
+        elif version is None:
+            # Owning GPU, requester is not the home: the home L2 missed,
+            # so the home fetches from its DRAM and keeps a copy.
+            version = self.dram[self.flat(syshome)].read(line)
+            latency += lat.dram_access
+            svictim = self.l2[self.flat(syshome)].fill(
+                line, version, remote=False
+            )
+            self._handle_l2_victim(syshome, svictim)
+
+        if op.node != ghome:
+            self.send(MsgType.DATA_RESP, ghome, op.node, line)
+
+        victim = local.fill(line, version, remote=True)
+        self._handle_l2_victim(op.node, victim)
+        self._l1_fill(op, line, version, remote=True)
+        return AccessOutcome(version, latency, hit_level=level)
+
+    # ------------------------------------------------------------------
+    # Stores and atomics
+    # ------------------------------------------------------------------
+
+    def _store_at_gpu_home(self, requester: NodeId, ghome: NodeId,
+                           sector: int, is_sys_home: bool,
+                           version: int) -> None:
+        """Apply the Table I transition at a GPU home node."""
+        directory = self.dirs[self.flat(ghome)]
+        if requester == ghome:
+            # Local store: inv all sharers, -> I.
+            entry = directory.lookup(sector, touch=False)
+            if entry is not None:
+                if entry.sharers:
+                    self.stats.stores_on_shared += 1
+                    self._inv_sharers(ghome, entry, cause="store")
+                directory.invalidate(sector)
+            return
+        # Remote store: add sender, inv other sharers, stay V.
+        if requester.gpu == ghome.gpu:
+            me = Sharer.gpm(requester.gpm)
+        else:
+            me = Sharer.gpu(requester.gpu)
+        entry = self._dir_allocate(ghome, sector)
+        if entry.others(me):
+            self.stats.stores_on_shared += 1
+            self._inv_sharers(ghome, entry, keep=me, cause="store")
+        entry.sharers = {me}
+
+    def _store(self, op: MemOp) -> AccessOutcome:
+        line = self.amap.line_of(op.address)
+        ghome, syshome = self._homes(line, op.node)
+        version = self._new_version()
+        lat = self.cfg.latency
+        payload = min(op.size, self.cfg.line_size)
+        latency = float(lat.l1_hit)
+
+        self._l1_store(op, line, version, remote=op.node != syshome)
+        local = self.l2[self.flat(op.node)]
+        self._l2_touch(op.node, payload)
+        victim = local.write(line, version, remote=op.node != syshome)
+        self._handle_l2_victim(op.node, victim)
+        latency += lat.l2_hit
+        sector = self.amap.sector_of_line(line)
+
+        # Layer 1: the GPU home node of the issuing GPU.
+        if op.node != ghome:
+            self.send(MsgType.STORE_REQ, op.node, ghome, line,
+                      payload=payload)
+            latency += self.hop_latency(op.node, ghome)
+            gl2 = self.l2[self.flat(ghome)]
+            self._l2_touch(ghome, payload)
+            gvictim = gl2.write(line, version, remote=ghome != syshome)
+            self._handle_l2_victim(ghome, gvictim)
+        self._store_at_gpu_home(op.node, ghome, sector,
+                                is_sys_home=ghome == syshome,
+                                version=version)
+
+        # Layer 2: the system home node, if it lives on another GPU.
+        if ghome != syshome:
+            self.send(MsgType.STORE_REQ, ghome, syshome, line,
+                      payload=payload)
+            latency += self.hop_latency(ghome, syshome)
+            self._home_store(syshome, line, version, payload)
+            # Only the GPU identifier crosses the inter-GPU network.
+            self._store_at_gpu_home(op.node, syshome, sector,
+                                    is_sys_home=True, version=version)
+        else:
+            # The GPU home is the system home: its copy is the
+            # authoritative one (dirty; written back on eviction).
+            target = self.l2[self.flat(syshome)].peek(line)
+            if target is not None:
+                target.dirty = True
+        return AccessOutcome(0, latency)
+
+    def _atomic(self, op: MemOp) -> AccessOutcome:
+        line = self.amap.line_of(op.address)
+        if op.scope == Scope.CTA:
+            version = self._new_version()
+            self._l1_store(op, line, version, remote=False)
+            return AccessOutcome(version, float(self.cfg.latency.l1_hit),
+                                 exposed=True, hit_level="l1")
+        ghome, syshome = self._homes(line, op.node)
+        # The atomic executes at the home node for its scope and is then
+        # written through to subsequent levels like a store.
+        target = ghome if op.scope == Scope.GPU else syshome
+        out = self._store(op)
+        if op.node != target:
+            self.send(MsgType.ATOMIC_RESP, target, op.node, line)
+        latency = float(self.cfg.latency.l2_hit) + self.rtt(op.node, target)
+        return AccessOutcome(self._next_version - 1, latency, exposed=False)
+
+    # ------------------------------------------------------------------
+    # Synchronization
+    # ------------------------------------------------------------------
+
+    def _acquire(self, op: MemOp) -> AccessOutcome:
+        if op.scope == Scope.CTA:
+            out = self._load(op)
+            out.exposed = True
+            return out
+        slices = self.l1[self.flat(op.node)]
+        slice_index = op.cta % len(slices)
+        self.stats.lines_inv_by_acquire += self._invalidate_l1s(
+            op.node, slice_index
+        )
+        out = self._load(op)
+        out.latency += self.cfg.timing.bulk_invalidate_cycles
+        out.exposed = True
+        return out
+
+    def _release_fence(self, op: MemOp, scope: Scope) -> float:
+        """Scoped release fence.
+
+        A .gpu release only drains within the issuing GPU — it "need not
+        flush all write-back operations across the inter-GPU network"
+        (Section V-B).  A .sys release fans out hierarchically.
+        """
+        farthest = 0
+        for gpm in range(self.cfg.gpms_per_gpu):
+            other = NodeId(op.node.gpu, gpm)
+            if other == op.node:
+                continue
+            self.send(MsgType.RELEASE_FENCE, op.node, other)
+            self.send(MsgType.RELEASE_ACK, other, op.node)
+            farthest = max(farthest, self.rtt(op.node, other))
+        if scope == Scope.SYS:
+            for gpu in range(self.cfg.num_gpus):
+                if gpu == op.node.gpu:
+                    continue
+                peer = NodeId(gpu, op.node.gpm)
+                self.send(MsgType.RELEASE_FENCE, op.node, peer)
+                farthest = max(farthest, self.rtt(op.node, peer))
+                # The peer GPU home fences its own GPMs before acking.
+                for gpm in range(self.cfg.gpms_per_gpu):
+                    inner = NodeId(gpu, gpm)
+                    if inner == peer:
+                        continue
+                    self.send(MsgType.RELEASE_FENCE, peer, inner)
+                    self.send(MsgType.RELEASE_ACK, inner, peer)
+                self.send(MsgType.RELEASE_ACK, peer, op.node)
+        return float(farthest)
+
+    def _release(self, op: MemOp) -> AccessOutcome:
+        out = self._store(op)
+        if op.scope == Scope.CTA:
+            out.exposed = True
+            return out
+        fence_latency = self._release_fence(op, op.scope)
+        return AccessOutcome(0, out.latency + fence_latency, exposed=True)
+
+    def _kernel_boundary(self, op: MemOp) -> AccessOutcome:
+        fence_latency = self._release_fence(op, Scope.SYS)
+        self.stats.lines_inv_by_acquire += self._invalidate_l1s(op.node)
+        latency = fence_latency + self.cfg.timing.bulk_invalidate_cycles
+        return AccessOutcome(0, latency, exposed=True)

@@ -1,0 +1,170 @@
+"""Idealized caching without coherence enforcement.
+
+The paper's loose performance upper bound: data is cached hierarchically
+exactly as under HMG, but coherence is *free* — a store instantly and
+silently removes every other cached copy (no invalidation messages, no
+directory, no acknowledgments), loads may hit in any cache regardless of
+scope, and synchronization costs nothing beyond kernel-launch
+serialization.  The bound therefore still pays the fundamental data
+movement (freshly-produced data must still travel), but none of the
+protocol overhead; HMG's "97% of ideal" claim is measured against
+exactly this definition.
+"""
+
+from __future__ import annotations
+
+from repro.core.protocol import AccessOutcome, CoherenceProtocol
+from repro.core.types import MemOp, MsgType, NodeId, Scope
+
+
+class IdealProtocol(CoherenceProtocol):
+    """Hierarchical caching with zero coherence overhead."""
+
+    name = "ideal"
+    label = "Idealized Caching w/o Coherence"
+    has_directory = False
+
+    def _homes(self, line: int, node: NodeId):
+        return self.homes(line, node)
+
+    def _magic_invalidate(self, line: int) -> None:
+        """Drop every cached copy of a line, for free: no messages, no
+        latency, no directory state.  Runs before the store's own fills
+        so the writer's path ends up holding only the fresh version."""
+        for l2 in self.l2:
+            l2.invalidate(line)
+        for slices in self.l1:
+            for sl in slices:
+                sl.invalidate(line)
+
+    def _load(self, op: MemOp) -> AccessOutcome:
+        line = self.amap.line_of(op.address)
+        ghome, syshome = self._homes(line, op.node)
+        lat = self.cfg.latency
+        latency = float(lat.l1_hit)
+
+        # Scope never forces a miss in the idealized model.
+        hit = self.l1_slice(op).lookup(line)
+        if hit is not None:
+            return AccessOutcome(hit.version, latency, hit_level="l1")
+
+        local = self.l2[self.flat(op.node)]
+        self._l2_touch(op.node, self.cfg.line_size)
+        latency += lat.l2_hit
+        entry = local.lookup(line)
+        if entry is not None:
+            self._l1_fill(op, line, entry.version, remote=op.node != syshome)
+            return AccessOutcome(entry.version, latency, hit_level="local_l2")
+
+        if op.node == syshome:
+            version = self.dram[self.flat(syshome)].read(line)
+            latency += lat.dram_access
+            victim = local.fill(line, version, remote=False)
+            self._handle_l2_victim(op.node, victim)
+            self._l1_fill(op, line, version, remote=False)
+            return AccessOutcome(version, latency, hit_level="dram")
+
+        version = None
+        level = "dram"
+        if op.node != ghome:
+            self.send(MsgType.LOAD_REQ, op.node, ghome, line)
+            latency += 2 * self.hop_latency(op.node, ghome)
+            self._l2_touch(ghome, self.cfg.line_size)
+            latency += lat.l2_hit
+            gentry = self.l2[self.flat(ghome)].lookup(line)
+            if gentry is not None:
+                version = gentry.version
+                level = "gpu_home" if ghome != syshome else "sys_home"
+
+        if version is None and ghome != syshome:
+            self.stats.remote_gpu_loads += 1
+            self.send(MsgType.LOAD_REQ, ghome, syshome, line)
+            latency += 2 * self.hop_latency(ghome, syshome)
+            self._l2_touch(syshome, self.cfg.line_size)
+            latency += lat.l2_hit
+            sentry = self.l2[self.flat(syshome)].lookup(line)
+            if sentry is not None:
+                version = sentry.version
+                level = "sys_home"
+            else:
+                version = self.dram[self.flat(syshome)].read(line)
+                latency += lat.dram_access
+                svictim = self.l2[self.flat(syshome)].fill(
+                    line, version, remote=False
+                )
+                self._handle_l2_victim(syshome, svictim)
+            self.send(MsgType.DATA_RESP, syshome, ghome, line)
+            if op.node != ghome:
+                gvictim = self.l2[self.flat(ghome)].fill(
+                    line, version, remote=True
+                )
+                self._handle_l2_victim(ghome, gvictim)
+                self._l2_touch(ghome, self.cfg.line_size)
+        elif version is None:
+            version = self.dram[self.flat(syshome)].read(line)
+            latency += lat.dram_access
+            svictim = self.l2[self.flat(syshome)].fill(
+                line, version, remote=False
+            )
+            self._handle_l2_victim(syshome, svictim)
+
+        if op.node != ghome:
+            self.send(MsgType.DATA_RESP, ghome, op.node, line)
+        victim = local.fill(line, version, remote=True)
+        self._handle_l2_victim(op.node, victim)
+        self._l1_fill(op, line, version, remote=True)
+        return AccessOutcome(version, latency, hit_level=level)
+
+    def _store(self, op: MemOp) -> AccessOutcome:
+        line = self.amap.line_of(op.address)
+        ghome, syshome = self._homes(line, op.node)
+        version = self._new_version()
+        payload = min(op.size, self.cfg.line_size)
+        lat = self.cfg.latency
+        latency = float(lat.l1_hit) + lat.l2_hit
+
+        # Free, instant coherence: every stale copy vanishes first.
+        self._magic_invalidate(line)
+        self._l1_store(op, line, version, remote=op.node != syshome)
+        local = self.l2[self.flat(op.node)]
+        self._l2_touch(op.node, payload)
+        victim = local.write(line, version, dirty=op.node == syshome,
+                             remote=op.node != syshome)
+        self._handle_l2_victim(op.node, victim)
+
+        if op.node != ghome:
+            self.send(MsgType.STORE_REQ, op.node, ghome, line, payload=payload)
+            gvictim = self.l2[self.flat(ghome)].write(
+                line, version, dirty=ghome == syshome,
+                remote=ghome != syshome,
+            )
+            self._handle_l2_victim(ghome, gvictim)
+            self._l2_touch(ghome, payload)
+        if ghome != syshome:
+            self.send(MsgType.STORE_REQ, ghome, syshome, line, payload=payload)
+            self._home_store(syshome, line, version, payload)
+        return AccessOutcome(0, latency)
+
+    def _atomic(self, op: MemOp) -> AccessOutcome:
+        # Atomics execute at the nearest cached copy — free coherence
+        # means no round trip is ever exposed.
+        out = self._store(op)
+        return AccessOutcome(self._next_version - 1, out.latency,
+                             exposed=False)
+
+    def _acquire(self, op: MemOp) -> AccessOutcome:
+        # No invalidation, no forced misses: an acquire is a plain load.
+        return self._load(op.with_scope(Scope.CTA))
+
+    def _release(self, op: MemOp) -> AccessOutcome:
+        return self._store(op)
+
+    def _kernel_boundary(self, op: MemOp) -> AccessOutcome:
+        # Kernel-launch serialization is not a coherence cost: the ideal
+        # model pays the same drain round trip as every other protocol
+        # (but performs no invalidation and sends no fences).
+        if self.cfg.num_gpus > 1:
+            stall = 2.0 * self.cfg.latency.inter_gpu_hop
+        else:
+            stall = 2.0 * self.cfg.latency.inter_gpm_hop
+        return AccessOutcome(0, stall, exposed=True)

@@ -1,0 +1,173 @@
+"""Normalization baseline: no caching of remote-GPU data.
+
+This is the configuration every figure normalizes against ("a 4-GPU
+system that disallows caching of remote GPU data", Fig 8).  Lines homed
+on a peer GPU are never cached in the local GPU's L1s or L2s — every
+access to them crosses the inter-GPU network to the system home, which
+may serve it from its own L2.  Data homed *within* the GPU is cached
+normally and kept correct by flat software coherence (bulk invalidation
+of intra-GPU remote lines at synchronization points).
+"""
+
+from __future__ import annotations
+
+from repro.core.protocol import AccessOutcome, CoherenceProtocol
+from repro.core.types import MemOp, MsgType, NodeId, Scope
+
+
+class NoRemoteCachingProtocol(CoherenceProtocol):
+    """Remote-GPU data is never cached — the paper's baseline."""
+
+    name = "noremote"
+    label = "No Remote Caching (baseline)"
+    has_directory = False
+
+    def _cacheable(self, home: NodeId, node: NodeId) -> bool:
+        """Only data homed within the accessing GPU may be cached."""
+        return home.gpu == node.gpu
+
+    # ------------------------------------------------------------------
+
+    def _load(self, op: MemOp) -> AccessOutcome:
+        line = self.amap.line_of(op.address)
+        home = self.sys_home(line, op.node)
+        cacheable = self._cacheable(home, op.node)
+        lat = self.cfg.latency
+        latency = float(lat.l1_hit)
+
+        if cacheable:
+            hit = self._l1_load(op, line)
+            if hit is not None:
+                return AccessOutcome(hit.version, latency, hit_level="l1")
+
+        local = self.l2[self.flat(op.node)]
+        may_hit_local = cacheable and (
+            op.scope == Scope.CTA or op.node == home
+        )
+        if may_hit_local:
+            self._l2_touch(op.node, self.cfg.line_size)
+            latency += lat.l2_hit
+            entry = local.lookup(line)
+            if entry is not None:
+                self._l1_fill(op, line, entry.version, remote=home != op.node)
+                return AccessOutcome(entry.version, latency,
+                                     hit_level="local_l2")
+
+        if op.node == home:
+            version = self.dram[self.flat(home)].read(line)
+            latency += lat.dram_access
+            victim = local.fill(line, version, remote=False)
+            self._handle_l2_victim(op.node, victim)
+            self._l1_fill(op, line, version, remote=False)
+            return AccessOutcome(version, latency, hit_level="dram")
+
+        if home.gpu != op.node.gpu:
+            self.stats.remote_gpu_loads += 1
+        self.send(MsgType.LOAD_REQ, op.node, home, line)
+        latency += 2 * self.hop_latency(op.node, home)
+        home_l2 = self.l2[self.flat(home)]
+        self._l2_touch(home, self.cfg.line_size)
+        latency += lat.l2_hit
+        hentry = home_l2.lookup(line)
+        if hentry is None:
+            version = self.dram[self.flat(home)].read(line)
+            latency += lat.dram_access
+            hvictim = home_l2.fill(line, version, remote=False)
+            self._handle_l2_victim(home, hvictim)
+            level = "dram"
+        else:
+            version = hentry.version
+            level = "home_l2"
+        self.send(MsgType.DATA_RESP, home, op.node, line)
+        if cacheable:
+            victim = local.fill(line, version, remote=True)
+            self._handle_l2_victim(op.node, victim)
+            self._l2_touch(op.node, self.cfg.line_size)
+            self._l1_fill(op, line, version, remote=True)
+        return AccessOutcome(version, latency, hit_level=level)
+
+    def _store(self, op: MemOp) -> AccessOutcome:
+        line = self.amap.line_of(op.address)
+        home = self.sys_home(line, op.node)
+        cacheable = self._cacheable(home, op.node)
+        version = self._new_version()
+        payload = min(op.size, self.cfg.line_size)
+        lat = self.cfg.latency
+        latency = float(lat.l1_hit)
+
+        if cacheable:
+            self._l1_store(op, line, version, remote=home != op.node)
+            local = self.l2[self.flat(op.node)]
+            self._l2_touch(op.node, payload)
+            victim = local.write(line, version, dirty=op.node == home,
+                                 remote=home != op.node)
+            self._handle_l2_victim(op.node, victim)
+            latency += lat.l2_hit
+
+        if op.node != home:
+            self.send(MsgType.STORE_REQ, op.node, home, line, payload=payload)
+            latency += self.hop_latency(op.node, home)
+            self._home_store(home, line, version, payload)
+        return AccessOutcome(0, latency)
+
+    def _atomic(self, op: MemOp) -> AccessOutcome:
+        line = self.amap.line_of(op.address)
+        if op.scope == Scope.CTA:
+            version = self._new_version()
+            self._l1_store(op, line, version, remote=False)
+            return AccessOutcome(version, float(self.cfg.latency.l1_hit),
+                                 exposed=True, hit_level="l1")
+        home = self.sys_home(line, op.node)
+        version = self._new_version()
+        latency = float(self.cfg.latency.l2_hit)
+        if op.node != home:
+            self.send(MsgType.ATOMIC_REQ, op.node, home, line, payload=16)
+            self.send(MsgType.ATOMIC_RESP, home, op.node, line)
+            latency += self.rtt(op.node, home)
+        self._home_store(home, line, version, self.cfg.line_size)
+        return AccessOutcome(version, latency, exposed=False)
+
+    def _acquire(self, op: MemOp) -> AccessOutcome:
+        if op.scope == Scope.CTA:
+            out = self._load(op)
+            out.exposed = True
+            return out
+        slices = self.l1[self.flat(op.node)]
+        self.stats.lines_inv_by_acquire += self._invalidate_l1s(
+            op.node, op.cta % len(slices)
+        )
+        # Drop intra-GPU remote lines (software coherence within the GPU).
+        dropped = self.l2[self.flat(op.node)].invalidate_where(
+            lambda entry: entry.remote
+        )
+        self.stats.lines_inv_by_acquire += len(dropped)
+        self.bulk_invs_per_gpm[self.flat(op.node)] += 1
+        out = self._load(op)
+        out.latency += self.cfg.timing.bulk_invalidate_cycles
+        out.exposed = True
+        return out
+
+    def _release(self, op: MemOp) -> AccessOutcome:
+        out = self._store(op)
+        if op.scope == Scope.CTA:
+            out.exposed = True
+            return out
+        if self.cfg.num_gpus > 1:
+            stall = 2.0 * self.cfg.latency.inter_gpu_hop
+        else:
+            stall = 2.0 * self.cfg.latency.inter_gpm_hop
+        return AccessOutcome(0, out.latency + stall, exposed=True)
+
+    def _kernel_boundary(self, op: MemOp) -> AccessOutcome:
+        if self.cfg.num_gpus > 1:
+            stall = 2.0 * self.cfg.latency.inter_gpu_hop
+        else:
+            stall = 2.0 * self.cfg.latency.inter_gpm_hop
+        self.stats.lines_inv_by_acquire += self._invalidate_l1s(op.node)
+        dropped = self.l2[self.flat(op.node)].invalidate_where(
+            lambda entry: entry.remote
+        )
+        self.stats.lines_inv_by_acquire += len(dropped)
+        self.bulk_invs_per_gpm[self.flat(op.node)] += 1
+        latency = stall + self.cfg.timing.bulk_invalidate_cycles
+        return AccessOutcome(0, latency, exposed=True)

@@ -1,0 +1,65 @@
+"""Protocol registry: name -> implementation.
+
+The five registered names match the five configurations of Fig 8:
+
+========== ================================================
+noremote   No remote-GPU caching (normalization baseline)
+sw         Non-hierarchical software coherence
+hsw        Hierarchical software coherence
+nhcc       Non-hierarchical hardware coherence (Section IV)
+gpuvi      GPU-VI: NHCC + multi-copy-atomicity (Fig 2's HW baseline)
+hmg        Hierarchical hardware coherence (Section V)
+ideal      Idealized caching without coherence
+========== ================================================
+"""
+
+from __future__ import annotations
+
+from repro.core.gpuvi import GPUVIProtocol
+from repro.core.hmg import HMGProtocol
+from repro.core.ideal import IdealProtocol
+from repro.core.nhcc import NHCCProtocol
+from repro.core.noremote import NoRemoteCachingProtocol
+from repro.core.protocol import CoherenceProtocol, TrafficSink
+from repro.core.software import (
+    HierarchicalSWProtocol,
+    NonHierarchicalSWProtocol,
+)
+from repro.config import SystemConfig
+
+PROTOCOLS: dict = {
+    cls.name: cls
+    for cls in (
+        NoRemoteCachingProtocol,
+        NonHierarchicalSWProtocol,
+        HierarchicalSWProtocol,
+        NHCCProtocol,
+        GPUVIProtocol,
+        HMGProtocol,
+        IdealProtocol,
+    )
+}
+
+#: The protocols plotted in Fig 8, in the paper's legend order.
+FIGURE8_PROTOCOLS = ("sw", "nhcc", "hsw", "hmg", "ideal")
+
+#: The subset plotted in Fig 2 (whose hardware baseline is GPU-VI —
+#: the paper adopts the ack-free NHCC only from Fig 8 onward).
+FIGURE2_PROTOCOLS = ("sw", "gpuvi", "ideal")
+
+
+def protocol_names() -> list:
+    """Registered protocol names, sorted."""
+    return sorted(PROTOCOLS)
+
+
+def make_protocol(name: str, cfg: SystemConfig, sink: TrafficSink = None,
+                  placement: str = "first_touch") -> CoherenceProtocol:
+    """Instantiate a protocol by registry name."""
+    try:
+        cls = PROTOCOLS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown protocol {name!r}; expected one of {protocol_names()}"
+        ) from None
+    return cls(cfg, sink=sink, placement=placement)

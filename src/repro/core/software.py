@@ -1,0 +1,431 @@
+"""Software coherence protocols (the paper's two SW baselines).
+
+Both variants are "conventional software coherence with scopes and
+bulk invalidation of caches" (Section VI): there is no directory and no
+invalidation traffic; instead, load-acquires flash-invalidate every
+possibly-stale line between the issuing SM and the home node for the
+scope in question, and store-releases stall until pending write-throughs
+drain.
+
+* :class:`NonHierarchicalSWProtocol` treats the machine as one flat GPU
+  of ``N x M`` GPMs.  Any L2 may cache any data; a ``>= .gpu``-scoped
+  acquire invalidates the issuing SM's L1 plus every remotely-homed line
+  in the GPM-local L2 (".sys-scoped loads need not invalidate L2 caches
+  in other GPMs of the same GPU" — Section VI).
+* :class:`HierarchicalSWProtocol` additionally routes requests through
+  the per-GPU home node so intra-GPU locality is captured; ``.gpu``
+  acquires invalidate only lines whose GPU home is another GPM, and
+  ``.sys`` acquires invalidate peer-GPU-homed lines in *all* L2 caches
+  of the issuing GPU.
+"""
+
+from __future__ import annotations
+
+from repro.core.protocol import AccessOutcome, CoherenceProtocol
+from repro.core.types import MemOp, MsgType, NodeId, Scope
+
+
+class _SoftwareProtocolBase(CoherenceProtocol):
+    """Machinery shared by both software variants."""
+
+    has_directory = False
+
+    # -- bulk invalidation ------------------------------------------------
+
+    def _owner_of_line(self, line: int, toucher: NodeId) -> NodeId:
+        page = self.amap.page_of_line(line)
+        return self.page_table.owner_of_page(page, toucher)
+
+    def _gpu_home_of_line(self, line: int, node: NodeId) -> NodeId:
+        owner = self._owner_of_line(line, node)
+        return self.amap.gpu_home(line, node.gpu, owner)
+
+    def _bulk_invalidate_l2(self, node: NodeId, predicate) -> int:
+        """Flash-invalidate matching lines in one GPM's L2."""
+        dropped = self.l2[self.flat(node)].invalidate_where(predicate)
+        self.bulk_invs_per_gpm[self.flat(node)] += 1
+        self.stats.lines_inv_by_acquire += len(dropped)
+        return len(dropped)
+
+    # -- releases ----------------------------------------------------------
+
+    def _release_stall(self, op: MemOp) -> float:
+        """Cycles a release stalls waiting for write-throughs to drain.
+
+        Software releases carry no fence messages; the issuing L2 simply
+        waits until the home node for the scope has acknowledged all
+        pending writes (Section VI: "Store-release operations stall
+        subsequent operations until the home node for the scope in
+        question clears all pending writes").
+        """
+        raise NotImplementedError
+
+    def _release(self, op: MemOp) -> AccessOutcome:
+        out = self._store(op)
+        if op.scope == Scope.CTA:
+            out.exposed = True
+            return out
+        return AccessOutcome(0, out.latency + self._release_stall(op),
+                             exposed=True)
+
+    def _kernel_boundary(self, op: MemOp) -> AccessOutcome:
+        stall = self._release_stall(op.with_scope(Scope.SYS))
+        self.stats.lines_inv_by_acquire += self._invalidate_l1s(op.node)
+        dropped = self._boundary_l2_invalidate(op.node)
+        latency = stall + self.cfg.timing.bulk_invalidate_cycles
+        return AccessOutcome(0, latency, exposed=True)
+
+    def _boundary_l2_invalidate(self, node: NodeId) -> int:
+        raise NotImplementedError
+
+
+class NonHierarchicalSWProtocol(_SoftwareProtocolBase):
+    """Flat scoped software coherence over N x M GPMs."""
+
+    name = "sw"
+    label = "Non-Hierarchical SW Coherence"
+
+    def _home(self, line: int, toucher: NodeId) -> NodeId:
+        return self.sys_home(line, toucher)
+
+    # -- loads ---------------------------------------------------------
+
+    def _load(self, op: MemOp) -> AccessOutcome:
+        line = self.amap.line_of(op.address)
+        home = self._home(line, op.node)
+        lat = self.cfg.latency
+        latency = float(lat.l1_hit)
+
+        hit = self._l1_load(op, line)
+        if hit is not None:
+            return AccessOutcome(hit.version, latency, hit_level="l1")
+
+        local = self.l2[self.flat(op.node)]
+        self._l2_touch(op.node, self.cfg.line_size)
+        latency += lat.l2_hit
+        may_hit_local = op.scope == Scope.CTA or op.node == home
+        entry = local.lookup(line) if may_hit_local else None
+        if not may_hit_local:
+            local.stats.misses += 1
+        if entry is not None:
+            self._l1_fill(op, line, entry.version, remote=home != op.node)
+            return AccessOutcome(entry.version, latency,
+                                 hit_level="local_l2")
+
+        if op.node == home:
+            version = self.dram[self.flat(home)].read(line)
+            latency += lat.dram_access
+            victim = local.fill(line, version, remote=False)
+            self._handle_l2_victim(op.node, victim)
+            self._l1_fill(op, line, version, remote=False)
+            return AccessOutcome(version, latency, hit_level="dram")
+
+        if home.gpu != op.node.gpu:
+            self.stats.remote_gpu_loads += 1
+        self.send(MsgType.LOAD_REQ, op.node, home, line)
+        latency += 2 * self.hop_latency(op.node, home)
+        home_l2 = self.l2[self.flat(home)]
+        self._l2_touch(home, self.cfg.line_size)
+        latency += lat.l2_hit
+        hentry = home_l2.lookup(line)
+        if hentry is None:
+            version = self.dram[self.flat(home)].read(line)
+            latency += lat.dram_access
+            hvictim = home_l2.fill(line, version, remote=False)
+            self._handle_l2_victim(home, hvictim)
+            level = "dram"
+        else:
+            version = hentry.version
+            level = "home_l2"
+        self.send(MsgType.DATA_RESP, home, op.node, line)
+        victim = local.fill(line, version, remote=True)
+        self._handle_l2_victim(op.node, victim)
+        self._l1_fill(op, line, version, remote=True)
+        return AccessOutcome(version, latency, hit_level=level)
+
+    # -- stores ----------------------------------------------------------
+
+    def _store(self, op: MemOp) -> AccessOutcome:
+        line = self.amap.line_of(op.address)
+        home = self._home(line, op.node)
+        version = self._new_version()
+        payload = min(op.size, self.cfg.line_size)
+        lat = self.cfg.latency
+        latency = float(lat.l1_hit) + lat.l2_hit
+
+        self._l1_store(op, line, version, remote=home != op.node)
+        local = self.l2[self.flat(op.node)]
+        self._l2_touch(op.node, payload)
+        victim = local.write(line, version, dirty=op.node == home,
+                             remote=home != op.node)
+        self._handle_l2_victim(op.node, victim)
+
+        if op.node != home:
+            self.send(MsgType.STORE_REQ, op.node, home, line, payload=payload)
+            latency += self.hop_latency(op.node, home)
+            self._home_store(home, line, version, payload)
+        return AccessOutcome(0, latency)
+
+    def _atomic(self, op: MemOp) -> AccessOutcome:
+        line = self.amap.line_of(op.address)
+        if op.scope == Scope.CTA:
+            version = self._new_version()
+            self._l1_store(op, line, version, remote=False)
+            return AccessOutcome(version, float(self.cfg.latency.l1_hit),
+                                 exposed=True, hit_level="l1")
+        # Flat software coherence performs every scoped atomic at the
+        # system home node — it has no closer coherence point.
+        home = self._home(line, op.node)
+        version = self._new_version()
+        latency = float(self.cfg.latency.l2_hit)
+        if op.node != home:
+            self.send(MsgType.ATOMIC_REQ, op.node, home, line, payload=16)
+            self.send(MsgType.ATOMIC_RESP, home, op.node, line)
+            latency += self.rtt(op.node, home)
+        self._home_store(home, line, version, self.cfg.line_size)
+        return AccessOutcome(version, latency, exposed=False)
+
+    # -- synchronization ----------------------------------------------
+
+    def _acquire(self, op: MemOp) -> AccessOutcome:
+        if op.scope == Scope.CTA:
+            out = self._load(op)
+            out.exposed = True
+            return out
+        slices = self.l1[self.flat(op.node)]
+        self.stats.lines_inv_by_acquire += self._invalidate_l1s(
+            op.node, op.cta % len(slices)
+        )
+        # Bulk-invalidate every remotely-homed line in the local L2 —
+        # the same action for .gpu and .sys in the flat protocol.
+        self._bulk_invalidate_l2(
+            op.node, lambda entry: entry.remote
+        )
+        out = self._load(op)
+        out.latency += self.cfg.timing.bulk_invalidate_cycles
+        out.exposed = True
+        return out
+
+    def _release_stall(self, op: MemOp) -> float:
+        # Flat view: pending writes may target any GPM in the system.
+        if self.cfg.num_gpus > 1:
+            return 2.0 * self.cfg.latency.inter_gpu_hop
+        return 2.0 * self.cfg.latency.inter_gpm_hop
+
+    def _boundary_l2_invalidate(self, node: NodeId) -> int:
+        return self._bulk_invalidate_l2(node, lambda entry: entry.remote)
+
+
+class HierarchicalSWProtocol(_SoftwareProtocolBase):
+    """Scoped software coherence with hierarchical request routing."""
+
+    name = "hsw"
+    label = "Hierarchical SW Coherence"
+
+    def _homes(self, line: int, node: NodeId):
+        return self.homes(line, node)
+
+    def _may_hit(self, cache_node: NodeId, op: MemOp, ghome: NodeId,
+                 syshome: NodeId) -> bool:
+        if op.scope == Scope.CTA:
+            return True
+        if op.scope == Scope.GPU:
+            return cache_node in (ghome, syshome)
+        return cache_node == syshome
+
+    # -- loads ---------------------------------------------------------
+
+    def _load(self, op: MemOp) -> AccessOutcome:
+        line = self.amap.line_of(op.address)
+        ghome, syshome = self._homes(line, op.node)
+        lat = self.cfg.latency
+        latency = float(lat.l1_hit)
+
+        hit = self._l1_load(op, line)
+        if hit is not None:
+            return AccessOutcome(hit.version, latency, hit_level="l1")
+
+        local = self.l2[self.flat(op.node)]
+        self._l2_touch(op.node, self.cfg.line_size)
+        latency += lat.l2_hit
+        if self._may_hit(op.node, op, ghome, syshome):
+            entry = local.lookup(line)
+        else:
+            entry = None
+            local.stats.misses += 1
+        if entry is not None:
+            self._l1_fill(op, line, entry.version, remote=op.node != syshome)
+            return AccessOutcome(entry.version, latency,
+                                 hit_level="local_l2")
+
+        if op.node == syshome:
+            version = self.dram[self.flat(syshome)].read(line)
+            latency += lat.dram_access
+            victim = local.fill(line, version, remote=False)
+            self._handle_l2_victim(op.node, victim)
+            self._l1_fill(op, line, version, remote=False)
+            return AccessOutcome(version, latency, hit_level="dram")
+
+        version = None
+        level = "dram"
+        if op.node != ghome:
+            self.send(MsgType.LOAD_REQ, op.node, ghome, line)
+            latency += 2 * self.hop_latency(op.node, ghome)
+            self._l2_touch(ghome, self.cfg.line_size)
+            latency += lat.l2_hit
+            gl2 = self.l2[self.flat(ghome)]
+            if self._may_hit(ghome, op, ghome, syshome):
+                gentry = gl2.lookup(line)
+            else:
+                gentry = None
+                gl2.stats.misses += 1
+            if gentry is not None:
+                version = gentry.version
+                level = "gpu_home" if ghome != syshome else "sys_home"
+
+        if version is None and ghome != syshome:
+            self.stats.remote_gpu_loads += 1
+            self.send(MsgType.LOAD_REQ, ghome, syshome, line)
+            latency += 2 * self.hop_latency(ghome, syshome)
+            self._l2_touch(syshome, self.cfg.line_size)
+            latency += lat.l2_hit
+            sentry = self.l2[self.flat(syshome)].lookup(line)
+            if sentry is not None:
+                version = sentry.version
+                level = "sys_home"
+            else:
+                version = self.dram[self.flat(syshome)].read(line)
+                latency += lat.dram_access
+                svictim = self.l2[self.flat(syshome)].fill(
+                    line, version, remote=False
+                )
+                self._handle_l2_victim(syshome, svictim)
+            self.send(MsgType.DATA_RESP, syshome, ghome, line)
+            if op.node != ghome:
+                gvictim = self.l2[self.flat(ghome)].fill(
+                    line, version, remote=True
+                )
+                self._handle_l2_victim(ghome, gvictim)
+                self._l2_touch(ghome, self.cfg.line_size)
+        elif version is None:
+            version = self.dram[self.flat(syshome)].read(line)
+            latency += lat.dram_access
+            svictim = self.l2[self.flat(syshome)].fill(
+                line, version, remote=False
+            )
+            self._handle_l2_victim(syshome, svictim)
+
+        if op.node != ghome:
+            self.send(MsgType.DATA_RESP, ghome, op.node, line)
+        victim = local.fill(line, version, remote=True)
+        self._handle_l2_victim(op.node, victim)
+        self._l1_fill(op, line, version, remote=True)
+        return AccessOutcome(version, latency, hit_level=level)
+
+    # -- stores ----------------------------------------------------------
+
+    def _store(self, op: MemOp) -> AccessOutcome:
+        line = self.amap.line_of(op.address)
+        ghome, syshome = self._homes(line, op.node)
+        version = self._new_version()
+        payload = min(op.size, self.cfg.line_size)
+        lat = self.cfg.latency
+        latency = float(lat.l1_hit) + lat.l2_hit
+
+        self._l1_store(op, line, version, remote=op.node != syshome)
+        local = self.l2[self.flat(op.node)]
+        self._l2_touch(op.node, payload)
+        victim = local.write(line, version, dirty=op.node == syshome,
+                             remote=op.node != syshome)
+        self._handle_l2_victim(op.node, victim)
+
+        if op.node != ghome:
+            self.send(MsgType.STORE_REQ, op.node, ghome, line, payload=payload)
+            latency += self.hop_latency(op.node, ghome)
+            gl2 = self.l2[self.flat(ghome)]
+            self._l2_touch(ghome, payload)
+            gvictim = gl2.write(line, version, dirty=ghome == syshome,
+                                remote=ghome != syshome)
+            self._handle_l2_victim(ghome, gvictim)
+        if ghome != syshome:
+            self.send(MsgType.STORE_REQ, ghome, syshome, line, payload=payload)
+            latency += self.hop_latency(ghome, syshome)
+            self._home_store(syshome, line, version, payload)
+        return AccessOutcome(0, latency)
+
+    def _atomic(self, op: MemOp) -> AccessOutcome:
+        line = self.amap.line_of(op.address)
+        if op.scope == Scope.CTA:
+            version = self._new_version()
+            self._l1_store(op, line, version, remote=False)
+            return AccessOutcome(version, float(self.cfg.latency.l1_hit),
+                                 exposed=True, hit_level="l1")
+        ghome, syshome = self._homes(line, op.node)
+        # Hierarchical software coherence performs the atomic at the
+        # home node for its scope: the GPU home is the .gpu coherence
+        # point because all stores write through it.
+        target = ghome if op.scope == Scope.GPU else syshome
+        out = self._store(op)
+        if op.node != target:
+            self.send(MsgType.ATOMIC_RESP, target, op.node, line)
+        latency = float(self.cfg.latency.l2_hit) + self.rtt(op.node, target)
+        return AccessOutcome(self._next_version - 1, latency, exposed=False)
+
+    # -- synchronization ----------------------------------------------
+
+    def _acquire(self, op: MemOp) -> AccessOutcome:
+        if op.scope == Scope.CTA:
+            out = self._load(op)
+            out.exposed = True
+            return out
+        slices = self.l1[self.flat(op.node)]
+        self.stats.lines_inv_by_acquire += self._invalidate_l1s(
+            op.node, op.cta % len(slices)
+        )
+        if op.scope == Scope.GPU:
+            # Drop lines whose GPU home is another GPM of this GPU.
+            self._bulk_invalidate_l2(
+                op.node,
+                lambda entry: self._gpu_home_of_line(entry.line, op.node)
+                != op.node,
+            )
+        else:
+            # .sys: drop peer-GPU-homed lines in every L2 of this GPU,
+            # plus (in the issuing GPM) lines GPU-homed elsewhere.
+            gpu = op.node.gpu
+            for other_gpm in range(self.cfg.gpms_per_gpu):
+                target = NodeId(gpu, other_gpm)
+
+                def stale(entry, target=target):
+                    owner = self._owner_of_line(entry.line, target)
+                    if owner.gpu != gpu:
+                        return True
+                    return (
+                        target == op.node
+                        and self._gpu_home_of_line(entry.line, op.node)
+                        != op.node
+                    )
+
+                self._bulk_invalidate_l2(target, stale)
+        out = self._load(op)
+        out.latency += self.cfg.timing.bulk_invalidate_cycles
+        out.exposed = True
+        return out
+
+    def _release_stall(self, op: MemOp) -> float:
+        if op.scope == Scope.GPU or self.cfg.num_gpus == 1:
+            return 2.0 * self.cfg.latency.inter_gpm_hop
+        return 2.0 * self.cfg.latency.inter_gpu_hop
+
+    def _boundary_l2_invalidate(self, node: NodeId) -> int:
+        def stale(entry):
+            # A .sys boundary must drop (a) peer-GPU-owned lines — even
+            # at their designated GPU home, since peer-GPU writers make
+            # them stale — and (b) lines GPU-homed at another GPM of
+            # this GPU, which same-GPU writers make stale.
+            owner = self._owner_of_line(entry.line, node)
+            if owner.gpu != node.gpu:
+                return True
+            return self.amap.gpu_home(entry.line, node.gpu, owner) != node
+
+        return self._bulk_invalidate_l2(node, stale)

@@ -1,0 +1,13 @@
+"""Timing engines and simulation orchestration."""
+
+from repro.engine.detailed import BufferingSink, DetailedEngine
+from repro.engine.events import EventQueue, SimulationClock
+from repro.engine.simulator import compare, simulate, speedups
+from repro.engine.stats import ResourceTimes, SimResult
+from repro.engine.throughput import ThroughputEngine, ThroughputSink
+
+__all__ = [
+    "BufferingSink", "DetailedEngine", "EventQueue", "ResourceTimes",
+    "SimResult", "SimulationClock", "ThroughputEngine", "ThroughputSink",
+    "compare", "simulate", "speedups",
+]

@@ -1,0 +1,221 @@
+"""Detailed (event-driven) timing engine.
+
+Where the throughput engine reduces a run to per-resource byte totals,
+this engine replays the trace through simulated time: each GPM's SM
+cluster issues its ops in program order at the configured rate with a
+bounded outstanding window, every coherence message is threaded through
+FIFO bandwidth-limited links (per-GPU crossbars, inter-GPU links, DRAM
+and L2 ports), and synchronizing operations stall their GPM until their
+round trip — including any queuing — completes.
+
+GPMs advance through one shared event queue ordered by next-issue time,
+so the functional coherence state evolves in simulated-time order, not
+trace order.  The engine is used for the Fig 7 correlation study (it
+plays the role the paper's hardware measurements play for their
+simulator) and for validation tests asserting both engines rank the
+protocols identically; the throughput engine remains the workhorse for
+the full sweeps.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.config import SystemConfig
+from repro.core.protocol import CoherenceProtocol, TrafficSink
+from repro.core.registry import make_protocol
+from repro.core.types import OpType
+from repro.engine.events import EventQueue
+from repro.engine.stats import (
+    ResourceTimes,
+    SimResult,
+    aggregate_l1_stats,
+    aggregate_l2_stats,
+    total_dram_bytes,
+)
+from repro.gpu.sm import SMCluster
+from repro.interconnect.link import Link
+from repro.interconnect.network import Network
+
+
+class BufferingSink(TrafficSink):
+    """Collects the messages one op emits, for the engine to route."""
+
+    def __init__(self):
+        self.pending: list = []
+        self.total_messages = 0
+
+    def send(self, mtype, src, dst, line, size_bytes):
+        self.pending.append((mtype, src, dst, size_bytes))
+        self.total_messages += 1
+
+    def drain(self) -> list:
+        """Take (and clear) the messages buffered since the last drain."""
+        msgs, self.pending = self.pending, []
+        return msgs
+
+
+class DetailedEngine:
+    """Event-driven replay with link queuing and issue windows."""
+
+    name = "detailed"
+
+    def __init__(self, cfg: SystemConfig, max_outstanding: int = 256):
+        self.cfg = cfg
+        self.max_outstanding = max_outstanding
+
+    # ------------------------------------------------------------------
+
+    def simulate(self, trace, protocol: str, placement: str = "first_touch",
+                 workload_name: str = "trace") -> SimResult:
+        """Replay a trace through simulated time under one protocol."""
+        cfg = self.cfg
+        sink = BufferingSink()
+        proto = make_protocol(protocol, cfg, sink=sink, placement=placement)
+        network = Network(cfg)
+        dram_links = [
+            Link(f"dram[{i}]", cfg.dram_bytes_per_cycle_per_gpm,
+                 latency=cfg.latency.dram_access / 2)
+            for i in range(cfg.total_gpms)
+        ]
+        l2_links = [
+            Link(f"l2[{i}]", cfg.timing.l2_bytes_per_cycle)
+            for i in range(cfg.total_gpms)
+        ]
+        sms = [
+            SMCluster(proto.node(i), cfg, self.max_outstanding)
+            for i in range(cfg.total_gpms)
+        ]
+
+        # Split the trace into per-GPM program-order queues.
+        queues = [deque() for _ in range(cfg.total_gpms)]
+        ops = 0
+        boundary_counts = [0] * cfg.total_gpms
+        for op in trace:
+            flat = proto.flat(op.node)
+            queues[flat].append(op)
+            if op.op == OpType.KERNEL_BOUNDARY:
+                boundary_counts[flat] += 1
+            ops += 1
+
+        dram_reads = [0] * cfg.total_gpms
+        dram_writes = [0] * cfg.total_gpms
+
+        events = EventQueue()
+        for i, q in enumerate(queues):
+            if q:
+                events.schedule(0.0, i)
+
+        # Kernel boundaries are global rendezvous points: dependent
+        # kernels launch only after every CTA of the previous kernel
+        # (on every GPM) has completed.  A GPM reaching its boundary
+        # parks until the round's last participant arrives.
+        rounds_done = [0] * cfg.total_gpms
+        parked: dict = {}
+
+        end_time = 0.0
+        while len(events):
+            _t, flat = events.pop()
+            op = queues[flat].popleft()
+            outcome = proto.process(op)
+            messages = sink.drain()
+
+            def completion_of(issue_time: float) -> float:
+                arrival = issue_time
+                for _mtype, src, dst, size in messages:
+                    arrival = max(arrival,
+                                  network.deliver(issue_time, src, dst, size))
+                # L2 port occupancy at the issuing GPM.
+                l2_links[flat].send(issue_time, cfg.line_size)
+                # DRAM occupancy wherever partitions were touched.
+                for i in range(cfg.total_gpms):
+                    d = proto.dram[i].stats
+                    delta_r = d.reads - dram_reads[i]
+                    delta_w = d.writes - dram_writes[i]
+                    if delta_r or delta_w:
+                        t = dram_links[i].send(
+                            issue_time,
+                            (delta_r + delta_w) * cfg.line_size,
+                        )
+                        arrival = max(arrival, t)
+                        dram_reads[i] = d.reads
+                        dram_writes[i] = d.writes
+                return max(arrival, issue_time + outcome.latency)
+
+            sm = sms[flat]
+            issued_at = sm.issue(_t, completion_of)
+            if outcome.exposed:
+                # Synchronizing ops hold their warp; other warps keep
+                # the GPM busy, so the exposed stall is discounted by
+                # the same latency tolerance the throughput engine uses.
+                stall = outcome.latency / cfg.timing.latency_tolerance
+                done = issued_at + stall
+                sm.barrier(issued_at, done)
+                end_time = max(end_time, done)
+            end_time = max(end_time, sm.busy_until)
+            if op.op == OpType.KERNEL_BOUNDARY:
+                round_index = rounds_done[flat]
+                rounds_done[flat] += 1
+                parked[flat] = max(sm.busy_until, events.clock.now)
+                expected = sum(
+                    1 for i in range(cfg.total_gpms)
+                    if boundary_counts[i] > round_index
+                )
+                if len(parked) >= expected:
+                    release = max(parked.values())
+                    for i, _arrival in parked.items():
+                        sms[i].barrier(release, release)
+                        if queues[i]:
+                            events.schedule(
+                                max(release, events.clock.now), i
+                            )
+                    end_time = max(end_time, release)
+                    parked = {}
+                continue
+            if queues[flat]:
+                events.schedule(max(sm.next_issue, events.clock.now), flat)
+
+        cycles = max(
+            [end_time]
+            + [link.free_at for link in network.all_links()]
+            + [link.free_at for link in dram_links]
+        )
+        resources = self._resource_times(proto, network, dram_links,
+                                         l2_links, sms)
+        sink_bytes = self._link_bytes(network)
+        return SimResult(
+            protocol_name=proto.name,
+            workload_name=workload_name,
+            cfg=cfg,
+            cycles=max(cycles, 1.0),
+            resources=resources,
+            stats=proto.stats,
+            l1_stats=aggregate_l1_stats(proto),
+            l2_stats=aggregate_l2_stats(proto),
+            dram_bytes=total_dram_bytes(proto),
+            ops=ops,
+            link_bytes=sink_bytes,
+            xbar_bytes=[x.stats.bytes for x in network.xbars],
+        )
+
+    # ------------------------------------------------------------------
+
+    def _link_bytes(self, network: Network) -> list:
+        return [
+            (network.links_out[g].stats.bytes, network.links_in[g].stats.bytes)
+            for g in range(self.cfg.num_gpus)
+        ]
+
+    def _resource_times(self, proto: CoherenceProtocol, network: Network,
+                        dram_links, l2_links, sms) -> ResourceTimes:
+        return ResourceTimes(
+            issue=[sm.busy_until for sm in sms],
+            l2=[link.stats.busy_cycles for link in l2_links],
+            dram=[link.stats.busy_cycles for link in dram_links],
+            xbar=[x.stats.busy_cycles for x in network.xbars],
+            link=[
+                max(network.links_out[g].stats.busy_cycles,
+                    network.links_in[g].stats.busy_cycles)
+                for g in range(self.cfg.num_gpus)
+            ],
+        )

@@ -1,0 +1,91 @@
+"""Minimal discrete-event core.
+
+A deterministic priority queue of timestamped events with stable
+tie-breaking (insertion order), plus a monotonic-clock guard.  The
+detailed engine drives per-GPM issue through this queue; it is exposed
+separately because it is independently useful (and independently
+testable).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional
+
+
+class SimulationClock:
+    """Monotonic simulated-time clock."""
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance_to(self, t: float) -> float:
+        """Move the clock forward to ``t`` (never backward)."""
+        if t < self._now:
+            raise ValueError(
+                f"time may not move backwards ({t} < {self._now})"
+            )
+        self._now = t
+        return self._now
+
+
+class EventQueue:
+    """Deterministic timestamped event queue.
+
+    Events scheduled for the same time fire in insertion order, which
+    keeps whole simulations reproducible run-to-run.
+    """
+
+    def __init__(self):
+        self._heap: list = []
+        self._seq = 0
+        self.clock = SimulationClock()
+        self.processed = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def schedule(self, time: float, payload: Any) -> None:
+        """Add an event; ``payload`` may be anything (often a callable)."""
+        if time < self.clock.now:
+            raise ValueError(
+                f"cannot schedule event at {time} before now "
+                f"({self.clock.now})"
+            )
+        heapq.heappush(self._heap, (time, self._seq, payload))
+        self._seq += 1
+
+    def peek_time(self) -> Optional[float]:
+        """Timestamp of the earliest queued event, if any."""
+        return self._heap[0][0] if self._heap else None
+
+    def pop(self):
+        """Remove and return ``(time, payload)``, advancing the clock."""
+        if not self._heap:
+            raise IndexError("pop from empty event queue")
+        time, _seq, payload = heapq.heappop(self._heap)
+        self.clock.advance_to(time)
+        self.processed += 1
+        return time, payload
+
+    def run(self, handler: Callable[[float, Any], None],
+            until: float = float("inf"), max_events: int = None) -> float:
+        """Drain the queue through ``handler(time, payload)``.
+
+        Stops at ``until`` (events beyond it stay queued) or after
+        ``max_events``.  Returns the final clock value.
+        """
+        count = 0
+        while self._heap:
+            if max_events is not None and count >= max_events:
+                break
+            if self._heap[0][0] > until:
+                break
+            time, payload = self.pop()
+            handler(time, payload)
+            count += 1
+        return self.clock.now

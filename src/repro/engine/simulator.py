@@ -1,0 +1,74 @@
+"""Top-level simulation entry points.
+
+Typical use::
+
+    from repro import SystemConfig, simulate
+    from repro.trace.workloads import WORKLOADS
+
+    cfg = SystemConfig.paper_scaled()
+    trace = WORKLOADS["mst"].generate(cfg, seed=1)
+    result = simulate(trace, cfg, protocol="hmg")
+    print(result.summary())
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.config import SystemConfig
+from repro.core.registry import make_protocol
+from repro.engine.stats import SimResult
+from repro.engine.throughput import ThroughputEngine, ThroughputSink
+
+ENGINES = ("throughput", "detailed")
+
+
+def simulate(trace, cfg: SystemConfig, protocol: str = "hmg",
+             engine: str = "throughput", placement: str = "first_touch",
+             workload_name: str = "trace") -> SimResult:
+    """Run one trace under one protocol and return its :class:`SimResult`.
+
+    ``trace`` must be re-iterable (a list, or a
+    :class:`repro.trace.stream.Trace`) if you plan to reuse it across
+    protocols; a single run only needs one pass.
+    """
+    if engine == "throughput":
+        sink = ThroughputSink(cfg.num_gpus)
+        proto = make_protocol(protocol, cfg, sink=sink, placement=placement)
+        return ThroughputEngine(cfg).run(proto, trace,
+                                         workload_name=workload_name)
+    if engine == "detailed":
+        from repro.engine.detailed import DetailedEngine
+
+        return DetailedEngine(cfg).simulate(trace, protocol,
+                                            placement=placement,
+                                            workload_name=workload_name)
+    raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+
+
+def compare(trace, cfg: SystemConfig, protocols: Sequence[str],
+            engine: str = "throughput", placement: str = "first_touch",
+            workload_name: str = "trace") -> dict:
+    """Run the same trace under several protocols.
+
+    Returns ``{protocol_name: SimResult}``.  ``trace`` is materialized
+    once so every protocol sees the identical op sequence.
+    """
+    ops = trace if isinstance(trace, (list, tuple)) else list(trace)
+    return {
+        name: simulate(ops, cfg, protocol=name, engine=engine,
+                       placement=placement, workload_name=workload_name)
+        for name in protocols
+    }
+
+
+def speedups(results: dict, baseline: str = "noremote") -> dict:
+    """Normalized speedups of each result over the baseline protocol."""
+    if baseline not in results:
+        raise KeyError(f"baseline {baseline!r} missing from results")
+    base = results[baseline]
+    return {
+        name: result.speedup_over(base)
+        for name, result in results.items()
+        if name != baseline
+    }

@@ -1,0 +1,145 @@
+"""Simulation results and aggregate statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config import SystemConfig
+from repro.core.protocol import CoherenceProtocol, ProtocolStats
+from repro.core.types import MsgType
+from repro.memsys.cache import CacheStats
+
+
+@dataclass
+class ResourceTimes:
+    """Busy time, in cycles, of every throughput-limiting resource."""
+
+    issue: list = field(default_factory=list)  # per flat GPM
+    l2: list = field(default_factory=list)  # per flat GPM
+    dram: list = field(default_factory=list)  # per flat GPM
+    xbar: list = field(default_factory=list)  # per GPU
+    link: list = field(default_factory=list)  # per GPU (max of in/out)
+
+    def bottleneck(self) -> tuple:
+        """(resource_name, index, cycles) of the binding constraint."""
+        best = ("none", -1, 0.0)
+        for name, values in (
+            ("issue", self.issue),
+            ("l2", self.l2),
+            ("dram", self.dram),
+            ("xbar", self.xbar),
+            ("link", self.link),
+        ):
+            for i, v in enumerate(values):
+                if v > best[2]:
+                    best = (name, i, v)
+        return best
+
+    @property
+    def max_cycles(self) -> float:
+        return self.bottleneck()[2]
+
+    def class_maxima(self) -> dict:
+        """Busiest instance of each resource class."""
+        return {
+            "issue": max(self.issue, default=0.0),
+            "l2": max(self.l2, default=0.0),
+            "dram": max(self.dram, default=0.0),
+            "xbar": max(self.xbar, default=0.0),
+            "link": max(self.link, default=0.0),
+        }
+
+    def total_cycles(self, overlap_tax: float) -> float:
+        """Execution time: the busiest resource class, plus an
+        imperfect-overlap tax on the other classes' busy time."""
+        maxima = list(self.class_maxima().values())
+        peak = max(maxima)
+        return peak + overlap_tax * (sum(maxima) - peak)
+
+
+@dataclass
+class SimResult:
+    """Everything a run produced: time, traffic, coherence events."""
+
+    protocol_name: str
+    workload_name: str
+    cfg: SystemConfig
+    cycles: float
+    resources: ResourceTimes
+    stats: ProtocolStats
+    l1_stats: CacheStats
+    l2_stats: CacheStats
+    dram_bytes: int
+    ops: int
+    #: Per-GPU inter-GPU link bytes (out, in).
+    link_bytes: list = field(default_factory=list)
+    #: Per-GPU intra-GPU crossbar bytes.
+    xbar_bytes: list = field(default_factory=list)
+
+    @property
+    def seconds(self) -> float:
+        return self.cycles / self.cfg.cycles_per_second
+
+    @property
+    def bottleneck(self) -> str:
+        name, index, _cycles = self.resources.bottleneck()
+        return f"{name}[{index}]"
+
+    def speedup_over(self, baseline: "SimResult") -> float:
+        """Normalized speedup: baseline cycles / our cycles."""
+        if self.cycles <= 0:
+            raise ValueError("cannot compute speedup of a zero-cycle run")
+        return baseline.cycles / self.cycles
+
+    @property
+    def inv_bandwidth_gbps(self) -> float:
+        """Fig 11 metric: invalidation-message bytes per second of
+        simulated time, in (decimal) GB/s."""
+        if self.seconds <= 0:
+            return 0.0
+        return self.stats.inv_bytes / self.seconds / 1e9
+
+    @property
+    def inter_gpu_bytes(self) -> int:
+        return sum(out_b + in_b for out_b, in_b in self.link_bytes)
+
+    def summary(self) -> str:
+        """Multi-line human-readable digest of the run."""
+        lines = [
+            f"workload={self.workload_name} protocol={self.protocol_name}",
+            f"  cycles={self.cycles:.0f} ({self.seconds * 1e6:.1f} us)"
+            f" bottleneck={self.bottleneck}",
+            f"  ops={self.ops} l2_hit_rate={self.l2_stats.hit_rate:.3f}"
+            f" l1_hit_rate={self.l1_stats.hit_rate:.3f}",
+            f"  inter_gpu_bytes={self.inter_gpu_bytes}"
+            f" inv_msgs={self.stats.inv_messages}"
+            f" inv_bw={self.inv_bandwidth_gbps:.3f}GB/s",
+        ]
+        return "\n".join(lines)
+
+
+def aggregate_l1_stats(protocol: CoherenceProtocol) -> CacheStats:
+    """Machine-wide L1 counters, summed over every slice."""
+    total = CacheStats()
+    for slices in protocol.l1:
+        for sl in slices:
+            total.merge(sl.stats)
+    return total
+
+
+def aggregate_l2_stats(protocol: CoherenceProtocol) -> CacheStats:
+    """Machine-wide L2 counters, summed over every partition."""
+    total = CacheStats()
+    for l2 in protocol.l2:
+        total.merge(l2.stats)
+    return total
+
+
+def total_dram_bytes(protocol: CoherenceProtocol) -> int:
+    """Bytes moved by every DRAM partition."""
+    return sum(d.stats.total_bytes for d in protocol.dram)
+
+
+def message_byte_breakdown(stats: ProtocolStats) -> dict:
+    """Human-keyed message byte totals for reports."""
+    return {mtype.name: stats.msg_bytes.get(mtype, 0) for mtype in MsgType}

@@ -1,0 +1,27 @@
+"""Experiment drivers: one per table/figure of the paper (DESIGN.md)."""
+
+from repro.experiments.runner import (
+    PROTOCOL_LABELS,
+    ExperimentContext,
+    ExperimentResult,
+)
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentContext",
+    "ExperimentResult",
+    "PROTOCOL_LABELS",
+    "experiment_ids",
+    "run_experiment",
+]
+
+
+def __getattr__(name):
+    # Deferred import: repro.experiments.registry imports the figure
+    # drivers, which import the full stack; keep `import
+    # repro.experiments` light.
+    if name in ("EXPERIMENTS", "experiment_ids", "run_experiment"):
+        from repro.experiments import registry
+
+        return getattr(registry, name)
+    raise AttributeError(name)

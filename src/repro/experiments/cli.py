@@ -1,0 +1,64 @@
+"""Command-line entry point: ``python -m repro.experiments <id> ...``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.config import SystemConfig
+from repro.experiments.registry import EXPERIMENTS, experiment_ids
+from repro.experiments.runner import ExperimentContext
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the HMG paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment", nargs="+",
+        help=f"experiment id(s): {', '.join(experiment_ids())}, or 'all'",
+    )
+    parser.add_argument("--scale", type=float, default=1 / 16,
+                        help="capacity scale factor (default 1/16)")
+    parser.add_argument("--ops-scale", type=float, default=1.0,
+                        help="trace-length multiplier (default 1.0)")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--workloads", nargs="*", default=None,
+                        help="restrict to these workloads")
+    parser.add_argument("--quick", action="store_true",
+                        help="shortcut for --ops-scale 0.25")
+    return parser
+
+
+def main(argv=None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    ids = args.experiment
+    if ids == ["all"]:
+        ids = experiment_ids()
+    unknown = [i for i in ids if i not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}",
+              file=sys.stderr)
+        print(f"known: {', '.join(experiment_ids())}", file=sys.stderr)
+        return 2
+    ops_scale = 0.25 if args.quick else args.ops_scale
+    ctx = ExperimentContext(
+        SystemConfig.paper_scaled(args.scale),
+        seed=args.seed,
+        ops_scale=ops_scale,
+        workloads=args.workloads,
+    )
+    for experiment_id in ids:
+        start = time.time()
+        result = EXPERIMENTS[experiment_id](ctx)
+        print(str(result))
+        print(f"\n[{experiment_id}: {time.time() - start:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,45 @@
+"""Experiment registry: id -> driver, per DESIGN.md's experiment index."""
+
+from __future__ import annotations
+
+from repro.experiments import figures, tables
+
+EXPERIMENTS = {
+    "fig2": figures.fig2,
+    "fig3": figures.fig3,
+    "fig7": figures.fig7,
+    "fig8": figures.fig8,
+    "fig9": figures.fig9,
+    "fig10": figures.fig10,
+    "fig11": figures.fig11,
+    "fig12": figures.fig12,
+    "fig13": figures.fig13,
+    "fig14": figures.fig14,
+    "granularity": figures.granularity,
+    "scaleout": figures.scaleout,
+    "mca": figures.mca,
+    "singlegpu": figures.singlegpu,
+    "placement": figures.placement,
+    "downgrade": figures.downgrade,
+    "table1": tables.table1,
+    "table2": tables.table2,
+    "table3": tables.table3,
+    "hwcost": tables.hwcost,
+}
+
+
+def experiment_ids() -> list:
+    """All runnable experiment ids, in DESIGN.md order."""
+    return list(EXPERIMENTS)
+
+
+def run_experiment(experiment_id: str, ctx=None, **kwargs):
+    """Run one experiment by id (see DESIGN.md for the index)."""
+    try:
+        driver = EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise ValueError(
+            f"unknown experiment {experiment_id!r}; "
+            f"known: {', '.join(experiment_ids())}"
+        ) from None
+    return driver(ctx, **kwargs) if ctx is not None else driver(**kwargs)

@@ -1,0 +1,102 @@
+"""Experiment harness shared by every figure/table driver.
+
+An :class:`ExperimentContext` fixes the platform configuration, random
+seed and trace-length scale; drivers use it to run workloads under
+protocol sets and collect normalized speedups.  Traces are generated
+once per workload and cached, so a sensitivity sweep that simulates the
+same trace under many configurations pays generation once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config import SystemConfig
+from repro.analysis.metrics import SpeedupTable, normalized_speedups
+from repro.core.registry import PROTOCOLS
+from repro.engine.simulator import simulate
+from repro.trace.workloads import FIGURE_ORDER, WORKLOADS
+
+#: Display labels for figure columns, in the paper's legend wording.
+PROTOCOL_LABELS = {name: cls.label for name, cls in PROTOCOLS.items()}
+
+
+@dataclass
+class ExperimentResult:
+    """One experiment's output: human-readable text + structured data."""
+
+    id: str
+    title: str
+    text: str
+    data: dict = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        bar = "=" * max(len(self.title), 8)
+        return f"{self.title}\n{bar}\n{self.text}"
+
+
+class ExperimentContext:
+    """Shared machinery: config, trace cache, run helpers."""
+
+    def __init__(self, cfg: SystemConfig = None, seed: int = 1,
+                 ops_scale: float = 1.0, workloads=None):
+        self.cfg = cfg if cfg is not None else SystemConfig.paper_scaled()
+        self.seed = seed
+        self.ops_scale = ops_scale
+        self.workloads = list(workloads) if workloads else list(FIGURE_ORDER)
+        self._traces: dict = {}
+
+    def trace(self, workload: str) -> list:
+        """Generate (or fetch the cached) trace for a workload.
+
+        Traces depend only on the context's base config (line/page
+        geometry and the reference cache sizes the generators scale
+        against), so sensitivity sweeps can reuse them across platform
+        variants.
+        """
+        if workload not in self._traces:
+            spec = WORKLOADS[workload]
+            self._traces[workload] = list(
+                spec.generate(self.cfg, seed=self.seed,
+                              ops_scale=self.ops_scale)
+            )
+        return self._traces[workload]
+
+    def run(self, workload: str, protocol: str,
+            cfg: SystemConfig = None, placement: str = "first_touch"):
+        """Simulate one workload under one protocol (throughput engine)."""
+        return simulate(
+            self.trace(workload),
+            cfg if cfg is not None else self.cfg,
+            protocol=protocol,
+            placement=placement,
+            workload_name=workload,
+        )
+
+    def speedups(self, workload: str, protocols,
+                 cfg: SystemConfig = None,
+                 placement: str = "first_touch") -> dict:
+        """Normalized speedups of ``protocols`` over no-remote-caching."""
+        results = {
+            name: self.run(workload, name, cfg=cfg, placement=placement)
+            for name in ["noremote", *protocols]
+        }
+        return normalized_speedups(results)
+
+    def speedup_table(self, protocols, cfg: SystemConfig = None,
+                      placement: str = "first_touch") -> SpeedupTable:
+        """Fig 2/8-shaped table over this context's workload list."""
+        table = SpeedupTable(list(protocols))
+        for workload in self.workloads:
+            table.add(workload,
+                      self.speedups(workload, protocols, cfg=cfg,
+                                    placement=placement))
+        return table
+
+    def per_workload_results(self, protocol: str,
+                             cfg: SystemConfig = None) -> dict:
+        """{workload: SimResult} under one protocol (for Figs 9-11)."""
+        return {
+            workload: self.run(workload, protocol, cfg=cfg)
+            for workload in self.workloads
+        }

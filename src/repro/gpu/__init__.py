@@ -1,0 +1,12 @@
+"""Structural GPU hierarchy: CTAs, SMs, GPMs, GPUs, the whole machine."""
+
+from repro.gpu.cta import CTA, ContiguousCTAScheduler, RoundRobinCTAScheduler
+from repro.gpu.gpm import GPMView
+from repro.gpu.gpu import GPUView
+from repro.gpu.sm import SMCluster
+from repro.gpu.system import MultiGPUSystem
+
+__all__ = [
+    "CTA", "ContiguousCTAScheduler", "GPMView", "GPUView",
+    "MultiGPUSystem", "RoundRobinCTAScheduler", "SMCluster",
+]

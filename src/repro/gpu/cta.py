@@ -1,0 +1,71 @@
+"""CTA scheduling.
+
+The simulator inherits *contiguous CTA scheduling* from the MCM-GPU /
+NUMA-aware GPU work (Section VI): consecutive CTAs of a kernel are
+assigned to the same GPM so that inter-CTA locality turns into intra-GPM
+cache locality, and page first-touch lands near the consumer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import SystemConfig
+from repro.core.types import NodeId
+
+
+@dataclass(frozen=True)
+class CTA:
+    """One cooperative thread array of a kernel grid."""
+
+    kernel: int
+    index: int
+
+    def __str__(self) -> str:
+        return f"kernel{self.kernel}:cta{self.index}"
+
+
+class ContiguousCTAScheduler:
+    """Assigns CTA index ranges to GPMs contiguously.
+
+    For a grid of ``n`` CTAs over ``G`` GPMs, GPM ``i`` runs CTAs
+    ``[i * n/G, (i+1) * n/G)`` — the placement that maximizes
+    neighbouring-CTA data locality.
+    """
+
+    def __init__(self, cfg: SystemConfig):
+        self.cfg = cfg
+        self.total_gpms = cfg.total_gpms
+
+    def node_of(self, cta_index: int, grid_size: int) -> NodeId:
+        if not 0 <= cta_index < grid_size:
+            raise IndexError(f"CTA {cta_index} outside grid of {grid_size}")
+        per_gpm = -(-grid_size // self.total_gpms)
+        flat = min(cta_index // per_gpm, self.total_gpms - 1)
+        return NodeId.from_flat(flat, self.cfg.gpms_per_gpu)
+
+    def ctas_of(self, node: NodeId, grid_size: int) -> range:
+        """CTA index range assigned to one GPM."""
+        flat = node.flat(self.cfg.gpms_per_gpu)
+        per_gpm = -(-grid_size // self.total_gpms)
+        start = min(flat * per_gpm, grid_size)
+        end = min(start + per_gpm, grid_size)
+        return range(start, end)
+
+    def slice_of(self, cta_index: int) -> int:
+        """L1 slice an CTA's memory accesses use within its GPM."""
+        return cta_index % self.cfg.l1_slices_per_gpm
+
+
+class RoundRobinCTAScheduler(ContiguousCTAScheduler):
+    """Ablation: CTAs round-robin across GPMs (locality-oblivious)."""
+
+    def node_of(self, cta_index: int, grid_size: int) -> NodeId:
+        if not 0 <= cta_index < grid_size:
+            raise IndexError(f"CTA {cta_index} outside grid of {grid_size}")
+        return NodeId.from_flat(cta_index % self.total_gpms,
+                                self.cfg.gpms_per_gpu)
+
+    def ctas_of(self, node: NodeId, grid_size: int) -> range:
+        flat = node.flat(self.cfg.gpms_per_gpu)
+        return range(flat, grid_size, self.total_gpms)

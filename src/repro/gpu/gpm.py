@@ -1,0 +1,61 @@
+"""GPU-module (GPM) structural view.
+
+A :class:`GPMView` bundles the per-GPM pieces that the protocols own —
+L1 slices, the L2 partition, the DRAM partition, the (optional)
+coherence directory — with the detailed engine's SM issue cluster, so
+examples and tests can navigate the machine the way Fig 4 draws it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.protocol import CoherenceProtocol
+from repro.core.types import NodeId
+from repro.gpu.sm import SMCluster
+
+
+@dataclass
+class GPMView:
+    """One GPM: SMs + L1 slices + L2 partition + DRAM + directory."""
+
+    node: NodeId
+    protocol: CoherenceProtocol
+    sm: SMCluster = None
+
+    @property
+    def flat(self) -> int:
+        return self.protocol.flat(self.node)
+
+    @property
+    def l1_slices(self):
+        return self.protocol.l1[self.flat]
+
+    @property
+    def l2(self):
+        return self.protocol.l2[self.flat]
+
+    @property
+    def dram(self):
+        return self.protocol.dram[self.flat]
+
+    @property
+    def directory(self):
+        if not self.protocol.has_directory:
+            return None
+        return self.protocol.dirs[self.flat]
+
+    def resident_remote_lines(self) -> int:
+        """Valid L2 lines whose system home is elsewhere."""
+        return sum(1 for entry in self.l2.lines() if entry.remote)
+
+    def describe(self) -> str:
+        """One-line occupancy summary of this GPM."""
+        dir_part = ""
+        if self.directory is not None:
+            dir_part = (f", directory {len(self.directory)}/"
+                        f"{self.directory.capacity} entries")
+        return (
+            f"{self.node}: L2 {len(self.l2)}/{self.l2.capacity_lines} lines"
+            f" ({self.resident_remote_lines()} remote){dir_part}"
+        )

@@ -1,0 +1,40 @@
+"""Whole-GPU structural view: the GPMs of one package (Fig 1/4)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.protocol import CoherenceProtocol
+from repro.core.types import NodeId
+from repro.gpu.gpm import GPMView
+
+
+@dataclass
+class GPUView:
+    """One GPU: an MCM of ``gpms_per_gpu`` GPU modules."""
+
+    index: int
+    protocol: CoherenceProtocol
+
+    @property
+    def gpms(self) -> list:
+        return [
+            GPMView(NodeId(self.index, m), self.protocol)
+            for m in range(self.protocol.cfg.gpms_per_gpu)
+        ]
+
+    def l2_resident_lines(self) -> int:
+        """Valid lines across this GPU's four L2 partitions."""
+        return sum(len(gpm.l2) for gpm in self.gpms)
+
+    def directory_occupancy(self) -> int:
+        """Valid directory entries across this GPU's GPMs."""
+        if not self.protocol.has_directory:
+            return 0
+        return sum(len(gpm.directory) for gpm in self.gpms)
+
+    def describe(self) -> str:
+        """Multi-line occupancy summary of the GPU."""
+        lines = [f"GPU{self.index}:"]
+        lines.extend("  " + gpm.describe() for gpm in self.gpms)
+        return "\n".join(lines)

@@ -1,0 +1,54 @@
+"""Top-level machine view: protocol state + topology, Fig 1 shaped.
+
+:class:`MultiGPUSystem` is the introspection-friendly wrapper around a
+protocol instance: it exposes the GPU/GPM hierarchy, the interconnect,
+and machine-wide occupancy summaries.  The engines operate on the
+protocol directly; this view exists for examples, debugging and tests.
+"""
+
+from __future__ import annotations
+
+from repro.config import SystemConfig
+from repro.core.protocol import TrafficSink
+from repro.core.registry import make_protocol
+from repro.core.types import NodeId
+from repro.gpu.gpu import GPUView
+from repro.gpu.gpm import GPMView
+from repro.interconnect.network import Network
+
+
+class MultiGPUSystem:
+    """A protocol instance viewed as the hierarchical machine it models."""
+
+    def __init__(self, cfg: SystemConfig, protocol: str = "hmg",
+                 sink: TrafficSink = None, placement: str = "first_touch"):
+        self.cfg = cfg
+        self.protocol = make_protocol(protocol, cfg, sink=sink,
+                                      placement=placement)
+        self.network = Network(cfg)
+
+    @property
+    def gpus(self) -> list:
+        return [GPUView(g, self.protocol) for g in range(self.cfg.num_gpus)]
+
+    def gpm(self, gpu: int, gpm: int) -> GPMView:
+        """Navigate to one GPM's structural view."""
+        return GPMView(NodeId(gpu, gpm), self.protocol)
+
+    def process(self, op):
+        """Run one op through the protocol (functional, untimed)."""
+        return self.protocol.process(op)
+
+    def run(self, trace):
+        """Run a whole trace functionally; returns the protocol stats."""
+        for op in trace:
+            self.protocol.process(op)
+        return self.protocol.stats
+
+    def describe(self) -> str:
+        """Multi-line summary of the whole machine."""
+        head = (
+            f"{self.cfg.num_gpus}-GPU system, {self.cfg.gpms_per_gpu} GPMs "
+            f"per GPU, protocol={self.protocol.name}"
+        )
+        return "\n".join([head] + [gpu.describe() for gpu in self.gpus])

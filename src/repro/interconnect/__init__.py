@@ -1,0 +1,6 @@
+"""Interconnect: links and the two-level crossbar + switch topology."""
+
+from repro.interconnect.link import Link, LinkStats
+from repro.interconnect.network import Network
+
+__all__ = ["Link", "LinkStats", "Network"]

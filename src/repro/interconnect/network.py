@@ -1,0 +1,73 @@
+"""System topology: per-GPU crossbars joined by an NVSwitch-style hub.
+
+The network mirrors Fig 1: every GPM connects to its GPU's crossbar
+(2 TB/s aggregate, Table II), and every GPU has one bidirectional
+200 GB/s connection into a non-blocking switch, so any pair of GPUs
+communicates at full link rate without transit interference.
+
+Routing a message yields the ordered list of :class:`~repro.interconnect.link.Link`
+resources it occupies, which the detailed engine threads the message
+through; the throughput engine uses the same topology shape implicitly
+in its per-resource byte accounting.
+"""
+
+from __future__ import annotations
+
+from repro.config import SystemConfig
+from repro.core.types import NodeId
+from repro.interconnect.link import Link
+
+
+class Network:
+    """Hierarchical two-level network: crossbars + inter-GPU switch."""
+
+    def __init__(self, cfg: SystemConfig):
+        self.cfg = cfg
+        xbar_rate = cfg.inter_gpm_bytes_per_cycle
+        link_rate = cfg.inter_gpu_bytes_per_cycle
+        hop = cfg.latency.inter_gpm_hop
+        gpu_hop = cfg.latency.inter_gpu_hop
+        # The crossbar is modelled as one aggregate resource per GPU;
+        # its unloaded latency is charged on the message's hop count.
+        self.xbars = [
+            Link(f"xbar[{g}]", xbar_rate, latency=hop / 2)
+            for g in range(cfg.num_gpus)
+        ]
+        self.links_out = [
+            Link(f"link_out[{g}]", link_rate, latency=gpu_hop / 2)
+            for g in range(cfg.num_gpus)
+        ]
+        self.links_in = [
+            Link(f"link_in[{g}]", link_rate, latency=gpu_hop / 2)
+            for g in range(cfg.num_gpus)
+        ]
+
+    def route(self, src: NodeId, dst: NodeId) -> list:
+        """Ordered link resources a message from src to dst occupies."""
+        if src == dst:
+            return []
+        if src.gpu == dst.gpu:
+            return [self.xbars[src.gpu]]
+        return [
+            self.xbars[src.gpu],
+            self.links_out[src.gpu],
+            self.links_in[dst.gpu],
+            self.xbars[dst.gpu],
+        ]
+
+    def deliver(self, now: float, src: NodeId, dst: NodeId,
+                size_bytes: int) -> float:
+        """Thread a message through its route; returns arrival time."""
+        t = now
+        for link in self.route(src, dst):
+            t = link.send(t, size_bytes)
+        return t
+
+    def all_links(self) -> list:
+        """Every link resource (crossbars + both link directions)."""
+        return list(self.xbars) + list(self.links_out) + list(self.links_in)
+
+    def reset(self) -> None:
+        """Reset every link's backlog and statistics."""
+        for link in self.all_links():
+            link.reset()

@@ -1,0 +1,26 @@
+"""Memory-system substrates: addresses, caches, DRAM, page placement."""
+
+from repro.memsys.address import AddressMap, AddressSpace, Region
+from repro.memsys.cache import (
+    CacheLine,
+    CacheStats,
+    NullCache,
+    SetAssociativeCache,
+)
+from repro.memsys.dram import DramPartition, DramStats
+from repro.memsys.page_table import (
+    FirstTouchPlacement,
+    InterleavedPlacement,
+    PagePlacementPolicy,
+    PageTable,
+    SingleNodePlacement,
+    make_placement,
+)
+
+__all__ = [
+    "AddressMap", "AddressSpace", "CacheLine", "CacheStats",
+    "DramPartition", "DramStats", "FirstTouchPlacement",
+    "InterleavedPlacement", "NullCache", "PagePlacementPolicy",
+    "PageTable", "Region", "SetAssociativeCache", "SingleNodePlacement",
+    "make_placement",
+]

@@ -1,0 +1,63 @@
+"""DRAM partition model.
+
+Each GPM owns a slice of its GPU's DRAM (Table II: 1 TB/s and 32 GB per
+GPU).  For the functional model DRAM is the authoritative backing store
+of line versions; for timing it is a bandwidth resource accounted by the
+engines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class DramStats:
+    reads: int = 0
+    writes: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.reads + self.writes
+
+    @property
+    def total_bytes(self) -> int:
+        return self.bytes_read + self.bytes_written
+
+
+class DramPartition:
+    """Backing store for the lines homed at one GPM.
+
+    Versions default to zero: a never-written line reads as version 0
+    everywhere, which matches an all-zero fresh allocation.
+    """
+
+    def __init__(self, line_size: int, name: str = "dram"):
+        self.line_size = line_size
+        self.name = name
+        self._versions: dict[int, int] = {}
+        self.stats = DramStats()
+
+    def read(self, line: int) -> int:
+        """Return the version stored for ``line`` (0 if never written)."""
+        self.stats.reads += 1
+        self.stats.bytes_read += self.line_size
+        return self._versions.get(line, 0)
+
+    def write(self, line: int, version: int) -> None:
+        """Store ``version`` for ``line``; versions never move backward."""
+        self.stats.writes += 1
+        self.stats.bytes_written += self.line_size
+        current = self._versions.get(line, 0)
+        if version > current:
+            self._versions[line] = version
+
+    def peek(self, line: int) -> int:
+        """Read without touching statistics (for assertions in tests)."""
+        return self._versions.get(line, 0)
+
+    @property
+    def resident_lines(self) -> int:
+        return len(self._versions)

@@ -1,0 +1,144 @@
+"""NUMA page placement policies.
+
+The simulator inherits the paper's setup ("Our simulator inherits the
+contiguous CTA scheduling and first-touch page placement policies from
+prior work to maximize data locality"): pages are mapped to the *GPM*
+(and hence GPU) of the first accessor — the MCM-GPU/NUMA-aware-GPU
+policy of mapping "each memory page to the first GPM/GPU that touches
+it".  Static interleaving and single-node placement are provided for
+ablations.
+
+The owning GPM is where the page's DRAM lives, so it is the system home
+node for every line of the page.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+from repro.core.types import NodeId
+
+
+class PagePlacementPolicy(abc.ABC):
+    """Maps a page index to the GPM owning its DRAM backing."""
+
+    @abc.abstractmethod
+    def owner(self, page: int, toucher: NodeId) -> NodeId:
+        """GPM owning ``page``; ``toucher`` is the accessing GPM (used
+        by first-touch on the first access)."""
+
+    @abc.abstractmethod
+    def lookup(self, page: int) -> NodeId:
+        """Owner of an already-placed page.
+
+        Raises :class:`KeyError` for pages never touched (policies with
+        a static mapping never raise).
+        """
+
+
+class FirstTouchPlacement(PagePlacementPolicy):
+    """Pages bind to the first GPM that touches them."""
+
+    def __init__(self, num_gpus: int, gpms_per_gpu: int):
+        if num_gpus < 1 or gpms_per_gpu < 1:
+            raise ValueError("num_gpus and gpms_per_gpu must be >= 1")
+        self.num_gpus = num_gpus
+        self.gpms_per_gpu = gpms_per_gpu
+        self._owners: dict = {}
+
+    def owner(self, page: int, toucher: NodeId) -> NodeId:
+        node = self._owners.get(page)
+        if node is None:
+            node = toucher
+            self._owners[page] = node
+        return node
+
+    def lookup(self, page: int) -> NodeId:
+        return self._owners[page]
+
+    @property
+    def placed_pages(self) -> int:
+        return len(self._owners)
+
+    def gpu_distribution(self) -> list:
+        """Pages owned per GPU — useful for checking placement balance."""
+        counts = [0] * self.num_gpus
+        for node in self._owners.values():
+            counts[node.gpu] += 1
+        return counts
+
+
+class InterleavedPlacement(PagePlacementPolicy):
+    """Pages round-robin across all GPMs by page index (static)."""
+
+    def __init__(self, num_gpus: int, gpms_per_gpu: int):
+        if num_gpus < 1 or gpms_per_gpu < 1:
+            raise ValueError("num_gpus and gpms_per_gpu must be >= 1")
+        self.num_gpus = num_gpus
+        self.gpms_per_gpu = gpms_per_gpu
+
+    def owner(self, page: int, toucher: NodeId) -> NodeId:
+        return self.lookup(page)
+
+    def lookup(self, page: int) -> NodeId:
+        gpu = page % self.num_gpus
+        gpm = (page // self.num_gpus) % self.gpms_per_gpu
+        return NodeId(gpu, gpm)
+
+
+class SingleNodePlacement(PagePlacementPolicy):
+    """All pages on one GPU — the worst-case NUMA stress ablation."""
+
+    def __init__(self, gpu: int = 0, gpms_per_gpu: int = 4):
+        if gpu < 0:
+            raise ValueError("gpu must be >= 0")
+        self.gpu = gpu
+        self.gpms_per_gpu = gpms_per_gpu
+
+    def owner(self, page: int, toucher: NodeId) -> NodeId:
+        return self.lookup(page)
+
+    def lookup(self, page: int) -> NodeId:
+        return NodeId(self.gpu, page % self.gpms_per_gpu)
+
+
+_POLICIES = {
+    "first_touch": FirstTouchPlacement,
+    "interleave": InterleavedPlacement,
+}
+
+
+def make_placement(name: str, num_gpus: int,
+                   gpms_per_gpu: int) -> PagePlacementPolicy:
+    """Factory by policy name (``first_touch``, ``interleave``,
+    ``single:<gpu>``)."""
+    if name.startswith("single"):
+        _, _, idx = name.partition(":")
+        return SingleNodePlacement(int(idx) if idx else 0, gpms_per_gpu)
+    try:
+        return _POLICIES[name](num_gpus, gpms_per_gpu)
+    except KeyError:
+        raise ValueError(
+            f"unknown placement policy {name!r}; "
+            f"expected one of {sorted(_POLICIES)} or 'single[:gpu]'"
+        ) from None
+
+
+@dataclass
+class PageTable:
+    """Binds a placement policy to page arithmetic for convenient lookup."""
+
+    page_size: int
+    policy: PagePlacementPolicy
+    touches: int = field(default=0)
+
+    def owner_of_address(self, address: int, toucher: NodeId) -> NodeId:
+        """Owner GPM of the page containing a byte address."""
+        self.touches += 1
+        return self.policy.owner(address // self.page_size, toucher)
+
+    def owner_of_page(self, page: int, toucher: NodeId) -> NodeId:
+        """Owner GPM of a page index (placing it on first touch)."""
+        self.touches += 1
+        return self.policy.owner(page, toucher)

@@ -1,0 +1,122 @@
+"""Trace (de)serialization.
+
+Traces are stored as JSON-lines: one header object followed by one
+compact array per op.  The format is versioned, diffable, and streams —
+a multi-million-op trace never has to be held twice in memory.
+
+    {"format": "repro-trace", "version": 1, "name": ..., ...}
+    [0, 4096, 1, 2, 5, 0, 128]      # op, address, gpu, gpm, cta, scope, size
+    ...
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from pathlib import Path
+from typing import Iterator, TextIO, Union
+
+from repro.core.types import MemOp, NodeId, OpType, Scope
+from repro.trace.stream import Trace
+
+FORMAT_NAME = "repro-trace"
+FORMAT_VERSION = 1
+
+
+class TraceFormatError(ValueError):
+    """Raised when a trace file is malformed or from the wrong format."""
+
+
+def _encode_op(op: MemOp) -> list:
+    return [int(op.op), op.address, op.node.gpu, op.node.gpm, op.cta,
+            int(op.scope), op.size]
+
+
+def _decode_op(row) -> MemOp:
+    if not isinstance(row, list) or len(row) != 7:
+        raise TraceFormatError(f"malformed op row: {row!r}")
+    kind, address, gpu, gpm, cta, scope, size = row
+    return MemOp(OpType(kind), address, NodeId(gpu, gpm), cta=cta,
+                 scope=Scope(scope), size=size)
+
+
+def dump_trace(trace: Trace, target: Union[str, Path, TextIO]) -> int:
+    """Write a trace; returns the number of ops written."""
+    own = isinstance(target, (str, Path))
+    fh = open(target, "w") if own else target
+    try:
+        header = {
+            "format": FORMAT_NAME,
+            "version": FORMAT_VERSION,
+            "name": trace.name,
+            "footprint_bytes": trace.footprint_bytes,
+            "kernels": trace.kernels,
+            "meta": trace.meta,
+            "ops": len(trace),
+        }
+        fh.write(json.dumps(header) + "\n")
+        count = 0
+        for op in trace:
+            fh.write(json.dumps(_encode_op(op)) + "\n")
+            count += 1
+        return count
+    finally:
+        if own:
+            fh.close()
+
+
+def _read_header(fh: TextIO) -> dict:
+    first = fh.readline()
+    if not first:
+        raise TraceFormatError("empty trace file")
+    try:
+        header = json.loads(first)
+    except json.JSONDecodeError as exc:
+        raise TraceFormatError(f"bad header: {exc}") from exc
+    if not isinstance(header, dict) or header.get("format") != FORMAT_NAME:
+        raise TraceFormatError("not a repro trace file")
+    if header.get("version") != FORMAT_VERSION:
+        raise TraceFormatError(
+            f"unsupported trace version {header.get('version')}"
+        )
+    return header
+
+
+def load_trace(source: Union[str, Path, TextIO]) -> Trace:
+    """Read a trace written by :func:`dump_trace`."""
+    own = isinstance(source, (str, Path))
+    fh = open(source) if own else source
+    try:
+        header = _read_header(fh)
+        ops = [_decode_op(json.loads(line)) for line in fh if line.strip()]
+        if header.get("ops") not in (None, len(ops)):
+            raise TraceFormatError(
+                f"header says {header['ops']} ops, found {len(ops)}"
+            )
+        return Trace(
+            name=header.get("name", "trace"),
+            ops=ops,
+            footprint_bytes=header.get("footprint_bytes", 0),
+            kernels=header.get("kernels", 0),
+            meta=header.get("meta", {}),
+        )
+    finally:
+        if own:
+            fh.close()
+
+
+def iter_trace_ops(source: Union[str, Path]) -> Iterator[MemOp]:
+    """Stream a trace file's ops without materializing the list."""
+    with open(source) as fh:
+        _read_header(fh)
+        for line in fh:
+            if line.strip():
+                yield _decode_op(json.loads(line))
+
+
+def roundtrip(trace: Trace) -> Trace:
+    """Serialize and re-load in memory (testing helper)."""
+    buf = io.StringIO()
+    dump_trace(trace, buf)
+    buf.seek(0)
+    return load_trace(buf)

@@ -1,0 +1,583 @@
+"""Pattern generators: the sharing-behaviour families of Table III.
+
+Every pattern composes the same protocol-relevant ingredients, exposed
+as per-workload parameters:
+
+``remote_frac``
+    Fraction of each GPM's per-kernel op budget spent reading a *shared*
+    region whose pages are spread over the machine.  This sets how hard
+    the workload leans on the inter-GPU links — the paper's central
+    bottleneck.
+``reuse``
+    How many times each shared line is re-read within one kernel.  The
+    no-remote-caching baseline pays the link for every read; a caching
+    protocol pays once per kernel (software, which bulk-invalidates at
+    kernel boundaries) or once per run (hardware).
+``hier_frac``
+    Fraction of the shared working set that is the *same* for all GPMs
+    of a GPU (Fig 3's intra-GPU locality).  Hierarchical protocols fetch
+    it once per GPU instead of once per GPM.
+``fresh``
+    If true, each kernel reads a different window of the shared region
+    (producer-consumer pipelines like snap): cross-kernel caching is
+    useless and only hierarchy helps.
+
+The remainder of the budget is local-slice streaming (reads + writes on
+page-aligned, first-touch-local, per-GPM regions), which models the
+compute-side memory traffic that dilutes NUMA effects in real
+applications.
+
+================  ====================================================
+``dense_ml``      Conv/FC layers (AlexNet, GoogLeNet, overfeat, resnet)
+``rnn``           Persistent weights + pipelined hidden-state exchange
+                  (lstm, RNN FW/DGRAD/WGRAD)
+``stencil``       Halo exchange + stable coefficient tables (CoMD,
+                  HPGMG, MiniAMR, Nekbone)
+``wavefront``     Pipelined sweeps (snap, pathfinder, nw-16K)
+``graph``         Irregular frontiers, fine-grained conflicting stores
+                  (bfs, mst)
+``solver``        Iterative panels with .gpu-scoped sync
+                  (cuSolver, namd2.10, MiniContact)
+================  ====================================================
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.types import NodeId, OpType, Scope
+from repro.trace.generator import (
+    GenContext,
+    WorkloadSpec,
+    partition,
+    register_pattern,
+)
+
+
+def _strided_cover(total: int, count: int) -> tuple:
+    """(stride, n) visiting ``n`` evenly-spaced lines of ``total``."""
+    if total <= 0:
+        return 1, 0
+    if count >= total:
+        return 1, total
+    stride = max(1, total // count)
+    return stride, max(1, total // stride)
+
+
+def _first_touch_init(ctx: GenContext, region, owner_of_page) -> None:
+    """Init kernel: one store per page from the page's intended owner,
+    binding first-touch placement without blowing the op budget."""
+    lines_per_page = ctx.cfg.lines_per_page
+    total_lines = region.size // ctx.line
+    page_count = (region.size + ctx.cfg.page_size - 1) // ctx.cfg.page_size
+    for p in range(page_count):
+        line_offset = min(p * lines_per_page, total_lines - 1)
+        ctx.emit(owner_of_page(p), OpType.STORE, region, line_offset)
+
+
+def _ring_neighbor(flat: int, n: int, offset: int) -> int:
+    return (flat + offset) % n
+
+
+class _SharedReadPlan:
+    """Budgeted plan for one GPM's per-kernel reads of a shared region."""
+
+    def __init__(self, ctx: GenContext, total_reads: int, reuse: int,
+                 hier_frac: float, fresh: bool = False, windows: int = 4):
+        self.fresh = fresh
+        self.windows = windows if fresh else 1
+        self.total_reads = max(0, total_reads)
+        # Clamp reuse so that the emitted volume (reuse x unique) never
+        # exceeds the budgeted total for small plans.
+        self.reuse = max(1, min(reuse, self.total_reads)) \
+            if self.total_reads else 1
+        self.unique = max(1, round(self.total_reads / self.reuse)) \
+            if self.total_reads else 0
+        self.hier_unique = int(round(self.unique * hier_frac))
+        self.priv_unique = self.unique - self.hier_unique
+
+    @classmethod
+    def main(cls, ctx: GenContext, spec: WorkloadSpec) -> "_SharedReadPlan":
+        p = spec.params
+        budget = ctx.budget()
+        return cls(
+            ctx,
+            total_reads=max(4, int(budget * p.get("remote_frac", 0.10))),
+            reuse=p.get("reuse", 2),
+            hier_frac=p.get("hier_frac", 0.8),
+            fresh=p.get("fresh", False),
+            windows=p.get("windows", 4),
+        )
+
+    @classmethod
+    def secondary(cls, ctx: GenContext, spec: WorkloadSpec, prefix: str,
+                  **defaults) -> "_SharedReadPlan":
+        """A second shared-read plan from ``<prefix>_*`` parameters
+        (e.g. a stencil's coefficient table alongside its halos)."""
+        p = spec.params
+        budget = ctx.budget()
+        frac = p.get(f"{prefix}_frac", defaults.get("frac", 0.0))
+        return cls(
+            ctx,
+            total_reads=int(budget * frac),
+            reuse=p.get(f"{prefix}_reuse", defaults.get("reuse", 4)),
+            hier_frac=p.get(f"{prefix}_hier", defaults.get("hier", 0.8)),
+            fresh=defaults.get("fresh", False),
+            windows=defaults.get("windows", 4),
+        )
+
+
+def _local_budget(ctx: GenContext, *plans) -> tuple:
+    """(reads, writes) for the local-compute filler after shared reads."""
+    budget = ctx.budget()
+    local = max(8, budget - sum(p.total_reads for p in plans))
+    return max(4, int(local * 0.78)), max(2, int(local * 0.22))
+
+
+class _ColdStream:
+    """Once-through cold remote reads: the long tail of a real
+    workload's multi-GB footprint.
+
+    Every GPM streams through a disjoint range of a large interleaved
+    region, visiting two lines of each fresh directory sector and never
+    returning.  Cold traffic costs every protocol (and the baseline)
+    exactly one crossing per line, so it barely shifts relative
+    speedups — but it creates the directory capacity pressure behind
+    Fig 10 and the Fig 14 sensitivity.
+    """
+
+    LINES_PER_VISIT = 2
+
+    def __init__(self, ctx: GenContext, spec: WorkloadSpec):
+        frac = spec.params.get("cold_frac", 0.04)
+        budget = ctx.budget()
+        self.reads_per_kernel = int(budget * frac)
+        self.region = None
+        if not self.reads_per_kernel:
+            return
+        chunk = ctx.cfg.dir_lines_per_entry
+        visits = (self.reads_per_kernel // self.LINES_PER_VISIT + 1)
+        total_sectors = visits * ctx.n_gpms * spec.kernels + 1
+        lpp = ctx.cfg.lines_per_page
+        groups = max(total_sectors, (2 * ctx.n_gpms * lpp) // chunk)
+        stride = max(2, lpp // chunk + 1)
+        while math.gcd(stride, groups) != 1:
+            groups += 1
+        self.chunk = chunk
+        self.groups = groups
+        self.stride = stride
+        self.visits_per_kernel = visits
+        self.kernels = spec.kernels
+        self.region = ctx.alloc_lines("coldtail", groups * chunk)
+        _first_touch_init(ctx, self.region,
+                          lambda p_: ctx.nodes[p_ % ctx.n_gpms])
+
+    @property
+    def total_reads(self) -> int:
+        return self.reads_per_kernel
+
+    def emit(self, ctx: GenContext, node: NodeId, flat: int,
+             kernel: int) -> None:
+        if self.region is None:
+            return
+        base_visit = (flat * self.kernels + kernel) * self.visits_per_kernel
+        emitted = 0
+        for v in range(self.visits_per_kernel):
+            sector = (base_visit + v) % self.groups
+            line = ((sector * self.stride) % self.groups) * self.chunk
+            for k in range(min(self.LINES_PER_VISIT, self.chunk)):
+                ctx.emit(node, OpType.LOAD, self.region, line + k)
+                emitted += 1
+                if emitted >= self.reads_per_kernel:
+                    return
+
+
+class _SharedRegion:
+    """A shared region whose logically-consecutive lines are spread
+    across pages by an injective strided permutation.
+
+    Scaled pages are large relative to shared working sets, so laying
+    unique lines out contiguously would park the whole set on one GPU
+    and create an artificial egress hot spot.  Spreading by a stride
+    coprime with the region size keeps first-touch placement balanced
+    while remaining fully deterministic.
+    """
+
+    def __init__(self, ctx: GenContext, name: str, plan: _SharedReadPlan,
+                 n_consumers: int, placement: str = "interleave",
+                 min_pages: int = 8, chunk: int = 1):
+        per_window = plan.hier_unique + plan.priv_unique * n_consumers
+        self.per_window = max(1, per_window)
+        total_unique = self.per_window * plan.windows
+        lpp = ctx.cfg.lines_per_page
+        lines = max(total_unique, min_pages * lpp)
+        # ``chunk`` consecutive logical lines stay physically adjacent
+        # (so e.g. directory sectors really are contended — graph label
+        # arrays); chunks are then spread across pages by the stride.
+        self.chunk = max(1, chunk)
+        groups = -(-lines // self.chunk)
+        stride = max(2, lpp // self.chunk + 1)
+        while math.gcd(stride, groups) != 1:
+            groups += 1
+        self.lines = groups * self.chunk
+        self.groups = groups
+        self.stride = stride
+        self.region = ctx.alloc_lines(name, self.lines)
+        if placement == "gpu0":
+            _first_touch_init(ctx, self.region, lambda p_: ctx.nodes[0])
+        elif placement == "interleave":
+            _first_touch_init(ctx, self.region,
+                              lambda p_: ctx.nodes[p_ % ctx.n_gpms])
+        else:  # "gpu:<g>" pins every page to one GPU
+            gpu = int(placement.split(":")[1])
+            _first_touch_init(
+                ctx, self.region,
+                lambda p_, gpu=gpu: NodeId(gpu, p_ % ctx.cfg.gpms_per_gpu),
+            )
+
+    def line_at(self, logical: int) -> int:
+        group, offset = divmod(logical, self.chunk)
+        return ((group * self.stride) % self.groups) * self.chunk + offset
+
+    def read(self, ctx: GenContext, node: NodeId, logical: int,
+             size: int = None, scope: Scope = Scope.CTA) -> None:
+        ctx.emit(node, OpType.LOAD, self.region, self.line_at(logical),
+                 size=size, scope=scope)
+
+    def write(self, ctx: GenContext, node: NodeId, logical: int,
+              size: int = None, scope: Scope = Scope.CTA) -> None:
+        ctx.emit(node, OpType.STORE, self.region, self.line_at(logical),
+                 size=size, scope=scope)
+
+    def atomic(self, ctx: GenContext, node: NodeId, logical: int,
+               size: int = None, scope: Scope = Scope.CTA) -> None:
+        ctx.emit(node, OpType.ATOMIC, self.region, self.line_at(logical),
+                 size=size, scope=scope)
+
+
+def _emit_shared_reads(ctx: GenContext, plan: _SharedReadPlan,
+                       shared: _SharedRegion, node: NodeId,
+                       consumer: int, kernel: int) -> None:
+    """One GPM's shared reads for one kernel: ``reuse`` passes over its
+    window, split into the GPU-common part and its private part."""
+    if not plan.total_reads:
+        return
+    base = (kernel % plan.windows) * shared.per_window
+    for _pass in range(plan.reuse):
+        for k in range(plan.hier_unique):
+            shared.read(ctx, node, base + k)
+        if plan.priv_unique:
+            start = base + plan.hier_unique + consumer * plan.priv_unique
+            for k in range(plan.priv_unique):
+                shared.read(ctx, node, start + k)
+
+
+def _alloc_local_slices(ctx: GenContext, name: str,
+                        slice_lines: int) -> list:
+    """One page-aligned private region per GPM, first-touched locally."""
+    regions = []
+    for flat, node in enumerate(ctx.nodes):
+        region = ctx.alloc_lines(f"{name}{flat}", slice_lines)
+        _first_touch_init(ctx, region, lambda p_, node=node: node)
+        regions.append(region)
+    return regions
+
+
+def _emit_local_work(ctx: GenContext, reads: int, writes: int, region,
+                     node: NodeId) -> None:
+    slice_lines = region.size // ctx.line
+    rstride, nreads = _strided_cover(slice_lines, reads)
+    wstride, nwrites = _strided_cover(slice_lines, writes)
+    ctx.read_span(node, region, 0, nreads, stride=rstride)
+    ctx.write_span(node, region, 0, nwrites, stride=wstride)
+
+
+def _alloc_sync(ctx: GenContext):
+    """Synchronization flags: one page per GPU (flag homed on its own
+    GPU, as real runtimes allocate) plus one global page on GPU0."""
+    lpp = ctx.cfg.lines_per_page
+    region = ctx.alloc_lines("sync", (ctx.cfg.num_gpus + 1) * lpp)
+    _first_touch_init(
+        ctx, region,
+        lambda p_: NodeId(min(p_, ctx.cfg.num_gpus - 1), 0),
+    )
+    return region
+
+
+# ----------------------------------------------------------------------
+# dense_ml
+# ----------------------------------------------------------------------
+
+@register_pattern("dense_ml")
+def dense_ml(ctx: GenContext, spec: WorkloadSpec) -> None:
+    """Layer-wise dense ML: globally-read weights + private activations."""
+    plan = _SharedReadPlan.main(ctx, spec)
+    cold = _ColdStream(ctx, spec)
+    lr, lw = _local_budget(ctx, plan, cold)
+    slice_lines = max(16, int(ctx.l2_lines_per_gpm()
+                              * spec.params.get("act_mult", 1.0)))
+    weights = _SharedRegion(ctx, "weights", plan, ctx.n_gpms,
+                            spec.params.get("placement", "interleave"))
+    acts = _alloc_local_slices(ctx, "act", slice_lines)
+    ctx.end_kernel()
+
+    for kernel in range(spec.kernels):
+        for flat, node in enumerate(ctx.nodes):
+            _emit_shared_reads(ctx, plan, weights, node, flat, kernel)
+            cold.emit(ctx, node, flat, kernel)
+            _emit_local_work(ctx, lr, lw, acts[flat], node)
+        ctx.end_kernel()
+
+
+# ----------------------------------------------------------------------
+# rnn
+# ----------------------------------------------------------------------
+
+@register_pattern("rnn")
+def rnn(ctx: GenContext, spec: WorkloadSpec) -> None:
+    """Recurrent timesteps: persistent weights re-read every timestep,
+    plus a pipelined hidden-state exchange — each GPU's GPMs consume the
+    hidden block the previous GPU produced in the prior timestep."""
+    p = spec.params
+    plan = _SharedReadPlan.main(ctx, spec)
+    hplan = _SharedReadPlan.secondary(ctx, spec, "hidden",
+                                      frac=0.05, reuse=1, hier=1.0,
+                                      fresh=True, windows=4)
+    wgrad_frac = p.get("wgrad_frac", 0.0)
+    cold = _ColdStream(ctx, spec)
+    lr, lw = _local_budget(ctx, plan, hplan, cold)
+
+    n_gpus = ctx.cfg.num_gpus
+    gpms = ctx.cfg.gpms_per_gpu
+    weights = _SharedRegion(ctx, "weights", plan, ctx.n_gpms)
+    hidden = [
+        _SharedRegion(ctx, f"hidden{g}", hplan, gpms, placement=f"gpu:{g}")
+        for g in range(n_gpus)
+    ]
+    scratch = _alloc_local_slices(
+        ctx, "scratch", max(16, int(ctx.l2_lines_per_gpm() * 0.8))
+    )
+    ctx.end_kernel()
+
+    h_writes = max(2, hplan.unique // gpms)
+    wgrad_writes = int(plan.unique * wgrad_frac)
+
+    for t in range(spec.kernels):
+        for flat, node in enumerate(ctx.nodes):
+            _emit_shared_reads(ctx, plan, weights, node, flat, t)
+            # Consume the upstream GPU's hidden state...
+            upstream = hidden[(node.gpu - 1) % n_gpus]
+            _emit_shared_reads(ctx, hplan, upstream, node, node.gpm, t)
+            # ...and produce this GPU's block for the next timestep.
+            own = hidden[node.gpu]
+            base = ((t + 1) % hplan.windows) * own.per_window
+            for k in range(h_writes):
+                own.write(ctx, node, base + node.gpm * h_writes + k)
+            if wgrad_writes:
+                # Gradient accumulation: read-write sharing on weights.
+                start = flat * wgrad_writes
+                for k in range(wgrad_writes):
+                    weights.write(ctx, node, start + k)
+            cold.emit(ctx, node, flat, t)
+            _emit_local_work(ctx, lr, lw, scratch[flat], node)
+        ctx.end_kernel()
+
+
+# ----------------------------------------------------------------------
+# stencil
+# ----------------------------------------------------------------------
+
+@register_pattern("stencil")
+def stencil(ctx: GenContext, spec: WorkloadSpec) -> None:
+    """Halo exchange over the GPM ring plus a stable, globally-shared
+    coefficient table (force constants, mesh metadata, ...)."""
+    p = spec.params
+    plan = _SharedReadPlan.main(ctx, spec)
+    tplan = _SharedReadPlan.secondary(ctx, spec, "table",
+                                      frac=0.0, reuse=6, hier=0.7)
+    domain_mult = p.get("domain_mult", 1.5)
+    cold = _ColdStream(ctx, spec)
+    lr, lw = _local_budget(ctx, plan, tplan, cold)
+
+    slice_lines = max(32, int(ctx.l2_lines_per_gpm() * domain_mult))
+    domain = _alloc_local_slices(ctx, "domain", slice_lines)
+    table = (_SharedRegion(ctx, "table", tplan, ctx.n_gpms)
+             if tplan.total_reads else None)
+    ctx.end_kernel()
+
+    halo = max(2, plan.unique // 2)  # split across the two neighbours
+
+    for step in range(spec.kernels):
+        for flat, node in enumerate(ctx.nodes):
+            left = _ring_neighbor(flat, ctx.n_gpms, -1)
+            right = _ring_neighbor(flat, ctx.n_gpms, 1)
+            for _pass in range(plan.reuse):
+                # Trailing lines of the left neighbour, leading lines of
+                # the right neighbour.
+                ctx.read_span(node, domain[left], slice_lines - halo, halo)
+                ctx.read_span(node, domain[right], 0, halo)
+            if table is not None:
+                _emit_shared_reads(ctx, tplan, table, node, flat, step)
+            cold.emit(ctx, node, flat, step)
+            _emit_local_work(ctx, lr, lw, domain[flat], node)
+            # The stencil update rewrites this GPM's boundary zones
+            # every timestep, so cached halo copies at the neighbours
+            # really do go stale each step.
+            ctx.write_span(node, domain[flat], 0, halo)
+            ctx.write_span(node, domain[flat], slice_lines - halo, halo)
+        ctx.end_kernel()
+
+
+# ----------------------------------------------------------------------
+# wavefront
+# ----------------------------------------------------------------------
+
+@register_pattern("wavefront")
+def wavefront(ctx: GenContext, spec: WorkloadSpec) -> None:
+    """Pipelined sweep: each GPU's GPMs all re-read the upstream GPU's
+    freshly-produced block each wave, then write their own block."""
+    p = spec.params
+    plan = _SharedReadPlan.main(ctx, spec)
+    cold = _ColdStream(ctx, spec)
+    lr, lw = _local_budget(ctx, plan, cold)
+    n_gpus = ctx.cfg.num_gpus
+    gpms = ctx.cfg.gpms_per_gpu
+
+    planes = [
+        _SharedRegion(ctx, f"plane{g}", plan, gpms, placement=f"gpu:{g}")
+        for g in range(n_gpus)
+    ]
+    slice_lines = max(32, int(ctx.l2_lines_per_gpm()
+                              * p.get("local_mult", 1.0)))
+    scratch = _alloc_local_slices(ctx, "scratch", slice_lines)
+    ctx.end_kernel()
+
+    writes_per_gpm = max(2, plan.unique // gpms)
+
+    for wave in range(spec.kernels):
+        for flat, node in enumerate(ctx.nodes):
+            upstream = planes[(node.gpu - 1) % n_gpus]
+            _emit_shared_reads(ctx, plan, upstream, node, node.gpm, wave)
+            # Produce this GPU's block for the next wave (partitioned).
+            own = planes[node.gpu]
+            base = ((wave + 1) % plan.windows) * own.per_window
+            for k in range(writes_per_gpm):
+                own.write(ctx, node, base + node.gpm * writes_per_gpm + k)
+            cold.emit(ctx, node, flat, wave)
+            _emit_local_work(ctx, lr, lw, scratch[flat], node)
+        ctx.end_kernel()
+
+
+# ----------------------------------------------------------------------
+# graph
+# ----------------------------------------------------------------------
+
+@register_pattern("graph")
+def graph(ctx: GenContext, spec: WorkloadSpec) -> None:
+    """Irregular graph processing with fine-grained shared updates."""
+    p = spec.params
+    plan = _SharedReadPlan.main(ctx, spec)
+    store_frac = p.get("store_frac", 0.03)
+    atomic_frac = p.get("atomic_frac", 0.01)
+    access_size = p.get("access_size", 16)
+    scope = Scope[p.get("scope", "SYS")]
+    gpu_synced = p.get("gpu_synced", False)
+    hot_frac = p.get("hot_frac", 0.6)
+    labels_mult = p.get("labels_mult", 8)
+
+    budget = ctx.budget()
+    cold = _ColdStream(ctx, spec)
+    lr, lw = _local_budget(ctx, plan, cold)
+    labels = _SharedRegion(ctx, "labels", plan, 1,
+                           min_pages=2 * ctx.n_gpms,
+                           chunk=ctx.cfg.dir_lines_per_entry)
+    hot_logical = max(8, plan.unique)
+    cold_logical = min(labels.lines, hot_logical * labels_mult)
+    edge_slice = max(32, int(ctx.l2_lines_per_gpm()
+                             * p.get("edges_mult", 1.0)))
+    edges = _alloc_local_slices(ctx, "edges", edge_slice)
+    sync = _alloc_sync(ctx)
+    ctx.end_kernel()
+
+    hot_reads = int(plan.total_reads * hot_frac)
+    cold_reads = plan.total_reads - hot_reads
+    label_stores = max(1, int(budget * store_frac))
+    atomics = max(1, int(budget * atomic_frac))
+
+    # Each GPM's hot window overlaps its ring successor's by half, so a
+    # typical hot line is shared by about two GPMs — matching the
+    # paper's observation that "there are generally no more than two
+    # sharers" when invalidations are sent (Section VII-A).
+    win = max(4, hot_logical // ctx.n_gpms)
+
+    def hot_index(flat: int, idx: int) -> int:
+        return (flat * win // 2 + int(idx)) % hot_logical
+
+    for _level in range(spec.kernels):
+        for flat, node in enumerate(ctx.nodes):
+            # Irregular frontier reads: hot window (reused) + cold tail.
+            for idx in ctx.random_lines(win, hot_reads):
+                labels.read(ctx, node, hot_index(flat, idx),
+                            size=access_size)
+            for idx in ctx.random_lines(cold_logical, cold_reads):
+                labels.read(ctx, node, int(idx), size=access_size)
+            # Conflicting fine-grained updates within the overlapping
+            # windows (false sharing at 4-line directory granularity).
+            for idx in ctx.random_lines(win, label_stores):
+                labels.write(ctx, node, hot_index(flat, idx),
+                             size=access_size)
+            for idx in ctx.random_lines(win, atomics):
+                labels.atomic(ctx, node, hot_index(flat, idx),
+                              size=access_size, scope=scope)
+            cold.emit(ctx, node, flat, _level)
+            _emit_local_work(ctx, lr, lw, edges[flat], node)
+        if gpu_synced:
+            ctx.gpu_sync(sync)
+        ctx.end_kernel()
+
+
+# ----------------------------------------------------------------------
+# solver
+# ----------------------------------------------------------------------
+
+@register_pattern("solver")
+def solver(ctx: GenContext, spec: WorkloadSpec) -> None:
+    """Iterative solver: rotating shared panel + .gpu-scoped sync."""
+    p = spec.params
+    plan = _SharedReadPlan.main(ctx, spec)
+    cold = _ColdStream(ctx, spec)
+    lr, lw = _local_budget(ctx, plan, cold)
+    sys_every = p.get("sys_every", 4)
+    gpu_synced = p.get("gpu_synced", True)
+    n_gpus = ctx.cfg.num_gpus
+    gpms = ctx.cfg.gpms_per_gpu
+
+    panels = [
+        _SharedRegion(ctx, f"panel{g}", plan, gpms, placement=f"gpu:{g}")
+        for g in range(n_gpus)
+    ]
+    slice_lines = max(32, int(ctx.l2_lines_per_gpm()
+                              * p.get("domain_mult", 1.0)))
+    domain = _alloc_local_slices(ctx, "domain", slice_lines)
+    sync = _alloc_sync(ctx)
+    ctx.end_kernel()
+
+    for it in range(spec.kernels):
+        panel = panels[it % n_gpus]
+        for flat, node in enumerate(ctx.nodes):
+            _emit_shared_reads(ctx, plan, panel, node, node.gpm, it)
+            cold.emit(ctx, node, flat, it)
+            _emit_local_work(ctx, lr, lw, domain[flat], node)
+        if gpu_synced:
+            ctx.gpu_sync(sync)
+        # The next iteration's panel is (partially) refreshed by its
+        # owner GPU; untouched panel fractions stay hardware-cacheable.
+        nxt = panels[(it + 1) % n_gpus]
+        upd = max(2, int(plan.unique * p.get("update_frac", 1.0)) // gpms)
+        base = ((it + 1) % plan.windows) * nxt.per_window
+        for gpm in range(gpms):
+            node = NodeId((it + 1) % n_gpus, gpm)
+            for k in range(upd):
+                nxt.write(ctx, node, base + gpm * upd + k)
+        boundary = sys_every > 0 and (it + 1) % sys_every == 0
+        ctx.end_kernel(boundary=boundary)

@@ -1,0 +1,102 @@
+"""Trace containers.
+
+A :class:`Trace` is a replayable sequence of :class:`~repro.core.types.MemOp`
+plus metadata about the workload that produced it.  Traces model the
+machine-wide interleaving of all GPMs' memory operations: per-GPM
+streams are merged round-robin, which approximates the GPMs executing
+concurrently at equal rates (all micro-scheduling is abstracted by the
+timing engines anyway).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+from repro.core.types import MemOp, OpType
+
+
+@dataclass
+class Trace:
+    """A named, replayable op sequence."""
+
+    name: str
+    ops: list
+    footprint_bytes: int = 0
+    kernels: int = 0
+    meta: dict = field(default_factory=dict)
+
+    def __iter__(self) -> Iterator[MemOp]:
+        return iter(self.ops)
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def __getitem__(self, index):
+        return self.ops[index]
+
+    @property
+    def loads(self) -> int:
+        return sum(1 for op in self.ops if op.op == OpType.LOAD)
+
+    @property
+    def stores(self) -> int:
+        return sum(1 for op in self.ops if op.op == OpType.STORE)
+
+    @property
+    def synchronizing_ops(self) -> int:
+        return sum(1 for op in self.ops if op.op.is_synchronizing)
+
+    def scoped_op_counts(self) -> dict:
+        """Histogram of (op type, scope) pairs."""
+        counts: dict = {}
+        for op in self.ops:
+            key = (op.op, op.scope)
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def nodes(self) -> set:
+        """The set of GPMs that issue at least one op."""
+        return {op.node for op in self.ops}
+
+    def describe(self) -> str:
+        """One-line summary: ops, mix, kernels, footprint."""
+        return (
+            f"Trace {self.name!r}: {len(self.ops)} ops "
+            f"({self.loads} loads, {self.stores} stores, "
+            f"{self.synchronizing_ops} sync), "
+            f"{self.kernels} kernels, "
+            f"footprint {self.footprint_bytes / (1 << 20):.1f} MiB"
+        )
+
+
+def interleave(streams: Sequence[Sequence[MemOp]],
+               chunk: int = 4) -> list:
+    """Merge per-GPM op streams round-robin, ``chunk`` ops at a time.
+
+    Round-robin at a small chunk granularity models GPMs progressing at
+    similar rates while keeping each GPM's own program order intact
+    (which the coherence protocols rely on).
+    """
+    if chunk < 1:
+        raise ValueError("chunk must be >= 1")
+    merged: list = []
+    cursors = [0] * len(streams)
+    remaining = sum(len(s) for s in streams)
+    while remaining:
+        for i, stream in enumerate(streams):
+            take = min(chunk, len(stream) - cursors[i])
+            if take <= 0:
+                continue
+            merged.extend(stream[cursors[i]:cursors[i] + take])
+            cursors[i] += take
+            remaining -= take
+    return merged
+
+
+def merge_phases(phases: Iterable[list]) -> list:
+    """Concatenate already-interleaved kernel phases into one op list."""
+    ops: list = []
+    for phase in phases:
+        ops.extend(phase)
+    return ops

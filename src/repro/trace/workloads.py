@@ -1,0 +1,230 @@
+"""The Table III benchmark catalog.
+
+Every workload of the paper's evaluation, with its reported memory
+footprint and the synthesis parameters that reproduce its sharing
+behaviour (see :mod:`repro.trace.patterns` for the parameter glossary:
+``remote_frac``, ``reuse``, ``hier_frac``, ``fresh``...).  Parameter
+choices encode the per-application observations in Sections VI-VII:
+
+* ``cuSolver``, ``namd2.10`` and ``mst`` use explicit .gpu-scoped
+  synchronization;
+* the RNN kernels, lstm and GoogLeNet re-read small persistent weights
+  heavily within each timestep (right half of Fig 8: large speedups);
+* ``snap`` has the strongest intra-GPU read locality (Fig 3): all four
+  GPMs of a GPU consume the upstream GPU's freshly-produced block, so
+  only *hierarchical* protocols help (3.3/3.4 flat vs 7.0+/7.2 hier);
+* ``mst``'s conflicting fine-grained stores cause false sharing at the
+  4-line directory granularity, making HMG locally worse than
+  hierarchical software coherence;
+* the bulk-synchronous HPC apps (left half) are compute/DRAM-bound with
+  thin halos: modest, protocol-insensitive speedups;
+* ``lstm`` partitions its weights per GPM (low ``hier_frac``), so all
+  caching protocols land close together (3.1-3.2 in Fig 8).
+"""
+
+from __future__ import annotations
+
+from repro.trace.generator import WorkloadSpec
+
+# Ensure the pattern registry is populated on import.
+from repro.trace import patterns as _patterns  # noqa: F401
+
+_SPECS = [
+    WorkloadSpec(
+        name="cuSolver", abbrev="cuSolver", suite="cuSolver",
+        footprint_mb=1638.4, pattern="solver", kernels=10,
+        ops_per_gpm_per_kernel=1100,
+        params={"remote_frac": 0.05, "reuse": 3, "hier_frac": 0.8,
+                "gpu_synced": True, "sys_every": 5, "domain_mult": 0.65,
+                "update_frac": 0.4},
+        description="Dense solver panels with explicit .gpu-scope sync",
+    ),
+    WorkloadSpec(
+        name="HPC CoMD-xyz49", abbrev="CoMD", suite="HPC",
+        footprint_mb=313, pattern="stencil", kernels=8,
+        ops_per_gpm_per_kernel=800,
+        params={"remote_frac": 0.045, "reuse": 2, "domain_mult": 0.75,
+                "table_frac": 0.012, "table_reuse": 6, "table_hier": 0.7},
+        description="Molecular dynamics halo exchange",
+    ),
+    WorkloadSpec(
+        name="HPC HPGMG", abbrev="HPGMG", suite="HPC",
+        footprint_mb=1351.7, pattern="stencil", kernels=10,
+        ops_per_gpm_per_kernel=700,
+        params={"remote_frac": 0.055, "reuse": 2, "domain_mult": 0.7,
+                "table_frac": 0.015, "table_reuse": 6, "table_hier": 0.7},
+        description="Multigrid: deeper halos, more neighbour traffic",
+    ),
+    WorkloadSpec(
+        name="HPC MiniAMR-test2", abbrev="MiniAMR", suite="HPC",
+        footprint_mb=1843.2, pattern="stencil", kernels=8,
+        ops_per_gpm_per_kernel=800,
+        params={"remote_frac": 0.035, "reuse": 2, "domain_mult": 1.8,
+                "table_frac": 0.012, "table_reuse": 6, "table_hier": 0.7},
+        description="AMR: large streaming domains, thin halos",
+    ),
+    WorkloadSpec(
+        name="HPC MiniContact", abbrev="MiniContact", suite="HPC",
+        footprint_mb=246, pattern="solver", kernels=8,
+        ops_per_gpm_per_kernel=900,
+        params={"remote_frac": 0.05, "reuse": 2, "hier_frac": 0.7,
+                "gpu_synced": False, "sys_every": 1, "domain_mult": 0.7},
+        description="Contact detection: shared panel, per-kernel sync",
+    ),
+    WorkloadSpec(
+        name="HPC namd2.10", abbrev="namd2.10", suite="HPC",
+        footprint_mb=72, pattern="solver", kernels=10,
+        ops_per_gpm_per_kernel=1100,
+        params={"remote_frac": 0.055, "reuse": 3, "hier_frac": 0.85,
+                "gpu_synced": True, "sys_every": 5, "domain_mult": 0.65,
+                "update_frac": 0.4},
+        description="MD with explicit .gpu-scope synchronization",
+    ),
+    WorkloadSpec(
+        name="HPC Nekbone-10", abbrev="Nekbone", suite="HPC",
+        footprint_mb=178, pattern="stencil", kernels=10,
+        ops_per_gpm_per_kernel=700,
+        params={"remote_frac": 0.07, "reuse": 2, "domain_mult": 0.65,
+                "table_frac": 0.018, "table_reuse": 6, "table_hier": 0.7},
+        description="Spectral elements: heavy neighbour exchange",
+    ),
+    WorkloadSpec(
+        name="HPC snap", abbrev="snap", suite="HPC",
+        footprint_mb=3522.6, pattern="wavefront", kernels=12,
+        ops_per_gpm_per_kernel=700,
+        params={"remote_frac": 0.34, "reuse": 4, "hier_frac": 1.0,
+                "fresh": True, "windows": 4, "local_mult": 0.6},
+        description="Discrete-ordinates sweep: all GPMs of a GPU re-read "
+                    "the upstream GPU's angular block (peak Fig 3 locality)",
+    ),
+    WorkloadSpec(
+        name="Lonestar bfs-road-fla", abbrev="bfs", suite="Lonestar",
+        footprint_mb=26, pattern="graph", kernels=8,
+        ops_per_gpm_per_kernel=800,
+        params={"remote_frac": 0.045, "reuse": 3, "hot_frac": 0.7,
+                "store_frac": 0.015, "atomic_frac": 0.005,
+                "access_size": 16, "scope": "SYS", "labels_mult": 8,
+                "edges_mult": 0.8},
+        description="Level-synchronous BFS: hot frontier, light stores",
+    ),
+    WorkloadSpec(
+        name="Lonestar mst-road-fla", abbrev="mst", suite="Lonestar",
+        footprint_mb=83, pattern="graph", kernels=8,
+        ops_per_gpm_per_kernel=800,
+        params={"remote_frac": 0.07, "reuse": 3, "hot_frac": 0.6,
+                "store_frac": 0.06, "atomic_frac": 0.02,
+                "access_size": 8, "scope": "GPU", "gpu_synced": True,
+                "labels_mult": 6, "edges_mult": 0.8},
+        description="MST: conflicting fine-grained stores -> false sharing "
+                    "at 4-line directory granularity (.gpu-scope sync)",
+    ),
+    WorkloadSpec(
+        name="ML AlexNet conv2", abbrev="AlexNet", suite="ML",
+        footprint_mb=812, pattern="dense_ml", kernels=8,
+        ops_per_gpm_per_kernel=900,
+        params={"remote_frac": 0.014, "reuse": 3, "hier_frac": 0.5,
+                "act_mult": 0.65},
+        description="Conv layer: medium shared weights",
+    ),
+    WorkloadSpec(
+        name="ML GoogLeNet conv2", abbrev="GoogLeNet", suite="ML",
+        footprint_mb=1177.6, pattern="dense_ml", kernels=10,
+        ops_per_gpm_per_kernel=900,
+        params={"remote_frac": 0.023, "reuse": 8, "hier_frac": 0.85,
+                "act_mult": 0.6},
+        description="Inception: broadly-shared weights, heavy re-reads",
+    ),
+    WorkloadSpec(
+        name="ML lstm layer2", abbrev="lstm", suite="ML",
+        footprint_mb=710, pattern="rnn", kernels=14,
+        ops_per_gpm_per_kernel=600,
+        params={"remote_frac": 0.08, "reuse": 12, "hier_frac": 0.3,
+                "hidden_frac": 0.02},
+        description="LSTM: per-GPM weight partitions (low intra-GPU "
+                    "overlap: protocols fare similarly)",
+    ),
+    WorkloadSpec(
+        name="ML overfeat layer1", abbrev="overfeat", suite="ML",
+        footprint_mb=618, pattern="dense_ml", kernels=6,
+        ops_per_gpm_per_kernel=900,
+        params={"remote_frac": 0.012, "reuse": 2, "hier_frac": 0.5,
+                "act_mult": 1.6},
+        description="Early conv layer: activation-dominated, tiny weights",
+    ),
+    WorkloadSpec(
+        name="ML resnet", abbrev="resnet", suite="ML",
+        footprint_mb=3276.8, pattern="dense_ml", kernels=12,
+        ops_per_gpm_per_kernel=900,
+        params={"remote_frac": 0.026, "reuse": 4, "hier_frac": 0.7,
+                "act_mult": 0.6},
+        description="Deep residual network: many dependent layers",
+    ),
+    WorkloadSpec(
+        name="ML RNN layer4 DGRAD", abbrev="RNN_DGRAD", suite="ML",
+        footprint_mb=29, pattern="rnn", kernels=16,
+        ops_per_gpm_per_kernel=600,
+        params={"remote_frac": 0.068, "reuse": 10, "hier_frac": 0.9,
+                "hidden_frac": 0.03},
+        description="RNN data-gradient: shared weights + dense exchange",
+    ),
+    WorkloadSpec(
+        name="ML RNN layer4 FW", abbrev="RNN_FW", suite="ML",
+        footprint_mb=40, pattern="rnn", kernels=16,
+        ops_per_gpm_per_kernel=600,
+        params={"remote_frac": 0.055, "reuse": 12, "hier_frac": 0.85,
+                "hidden_frac": 0.025},
+        description="RNN forward: persistent weights across timesteps",
+    ),
+    WorkloadSpec(
+        name="ML RNN layer4 WGRAD", abbrev="RNN_WGRAD", suite="ML",
+        footprint_mb=38, pattern="rnn", kernels=14,
+        ops_per_gpm_per_kernel=600,
+        params={"remote_frac": 0.045, "reuse": 8, "hier_frac": 0.8,
+                "hidden_frac": 0.03, "wgrad_frac": 0.3},
+        description="RNN weight-gradient: read-write sharing on weights",
+    ),
+    WorkloadSpec(
+        name="Rodinia nw-16K-10", abbrev="nw-16K", suite="Rodinia",
+        footprint_mb=2048, pattern="wavefront", kernels=10,
+        ops_per_gpm_per_kernel=700,
+        params={"remote_frac": 0.13, "reuse": 2, "hier_frac": 0.6,
+                "fresh": True, "windows": 4, "local_mult": 0.6},
+        description="Needleman-Wunsch anti-diagonal wavefront",
+    ),
+    WorkloadSpec(
+        name="Rodinia pathfinder", abbrev="pathfinder", suite="Rodinia",
+        footprint_mb=1525.8, pattern="wavefront", kernels=8,
+        ops_per_gpm_per_kernel=800,
+        params={"remote_frac": 0.055, "reuse": 2, "hier_frac": 0.85,
+                "fresh": True, "windows": 4, "local_mult": 0.6},
+        description="Dynamic-programming rows: thin shared frontier",
+    ),
+]
+
+#: Catalog keyed by figure label.
+WORKLOADS: dict = {spec.abbrev: spec for spec in _SPECS}
+
+#: Fig 2/8 x-axis ordering (left: bulk-synchronous; right: fine-grained).
+FIGURE_ORDER = (
+    "overfeat", "MiniAMR", "AlexNet", "CoMD", "HPGMG", "MiniContact",
+    "pathfinder", "Nekbone", "cuSolver", "namd2.10", "resnet", "mst",
+    "nw-16K", "lstm", "RNN_FW", "RNN_DGRAD", "GoogLeNet", "bfs", "snap",
+    "RNN_WGRAD",
+)
+
+assert set(FIGURE_ORDER) == set(WORKLOADS), "figure order out of sync"
+
+
+def workload_names() -> list:
+    """All catalog abbreviations in Fig 8 x-axis order."""
+    return list(FIGURE_ORDER)
+
+
+def get_workload(abbrev: str) -> WorkloadSpec:
+    """Catalog lookup with a helpful error for unknown names."""
+    try:
+        return WORKLOADS[abbrev]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload {abbrev!r}; known: {', '.join(FIGURE_ORDER)}"
+        ) from None

@@ -1,0 +1,153 @@
+"""Address arithmetic, home mapping and the bump allocator."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.core.types import NodeId
+from repro.memsys.address import AddressMap, AddressSpace, Region
+
+
+@pytest.fixture
+def amap(cfg):
+    return AddressMap.from_config(cfg)
+
+
+class TestLineMath:
+    def test_line_of(self, amap):
+        assert amap.line_of(0) == 0
+        assert amap.line_of(127) == 0
+        assert amap.line_of(128) == 1
+        assert amap.line_of(128 * 10 + 5) == 10
+
+    def test_line_address_roundtrip(self, amap):
+        for line in (0, 1, 77, 123456):
+            assert amap.line_of(amap.line_address(line)) == line
+
+    def test_page_of(self, amap, cfg):
+        assert amap.page_of(0) == 0
+        assert amap.page_of(cfg.page_size) == 1
+        assert amap.page_of(cfg.page_size - 1) == 0
+
+    def test_lines_in_page(self, amap, cfg):
+        lines = list(amap.lines_in_page(3))
+        assert len(lines) == cfg.page_size // cfg.line_size
+        assert lines[0] == amap.line_of(3 * cfg.page_size)
+
+    def test_page_of_line_consistent(self, amap, cfg):
+        line = amap.line_of(5 * cfg.page_size + 300)
+        assert amap.page_of_line(line) == 5
+
+
+class TestSectors:
+    def test_sector_of_line(self, amap):
+        assert amap.sector_of_line(0) == 0
+        assert amap.sector_of_line(3) == 0
+        assert amap.sector_of_line(4) == 1
+
+    def test_lines_in_sector(self, amap, cfg):
+        lines = list(amap.lines_in_sector(7))
+        assert len(lines) == cfg.dir_lines_per_entry
+        assert all(amap.sector_of_line(ln) == 7 for ln in lines)
+
+
+class TestHomeMapping:
+    def test_home_gpm_in_range(self, amap, cfg):
+        for line in range(0, 4096, 7):
+            assert 0 <= amap.home_gpm_index(line) < cfg.gpms_per_gpu
+
+    def test_sector_mates_share_home(self, amap, cfg):
+        for sector in range(100):
+            homes = {
+                amap.home_gpm_index(ln)
+                for ln in amap.lines_in_sector(sector)
+            }
+            assert len(homes) == 1
+
+    def test_gpu_home_in_owner_gpu_is_owner(self, amap):
+        owner = NodeId(2, 3)
+        assert amap.gpu_home(123, 2, owner) == owner
+
+    def test_gpu_home_elsewhere_uses_hash(self, amap):
+        owner = NodeId(2, 3)
+        home = amap.gpu_home(123, 0, owner)
+        assert home.gpu == 0
+        assert home.gpm == amap.home_gpm_index(123)
+
+    def test_gpu_homes_line_up_across_gpus(self, amap):
+        """Non-owner GPUs use the same designated GPM index."""
+        owner = NodeId(3, 0)
+        gpms = {amap.gpu_home(55, g, owner).gpm for g in (0, 1, 2)}
+        assert len(gpms) == 1
+
+    def test_home_spread(self, amap, cfg):
+        """The hash should not collapse onto one GPM."""
+        homes = [amap.home_gpm_index(4 * s) for s in range(256)]
+        assert len(set(homes)) == cfg.gpms_per_gpu
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            AddressMap(line_size=100, page_size=1000, gpms_per_gpu=4,
+                       dir_lines_per_entry=4)
+        with pytest.raises(ValueError):
+            AddressMap(line_size=128, page_size=1000, gpms_per_gpu=4,
+                       dir_lines_per_entry=4)
+
+
+class TestAddressSpace:
+    def test_allocations_page_aligned(self, cfg):
+        space = AddressSpace(cfg.page_size)
+        a = space.allocate("a", 100)
+        b = space.allocate("b", cfg.page_size + 1)
+        c = space.allocate("c", 10)
+        for region in (a, b, c):
+            assert region.base % cfg.page_size == 0
+        assert b.base >= a.end
+        assert c.base >= b.end
+
+    def test_no_overlap(self, cfg):
+        space = AddressSpace(cfg.page_size)
+        regions = [space.allocate(f"r{i}", 5000) for i in range(10)]
+        for r1, r2 in zip(regions, regions[1:]):
+            assert r1.end <= r2.base
+
+    def test_duplicate_name_rejected(self, cfg):
+        space = AddressSpace(cfg.page_size)
+        space.allocate("x", 10)
+        with pytest.raises(ValueError):
+            space.allocate("x", 10)
+
+    def test_lookup(self, cfg):
+        space = AddressSpace(cfg.page_size)
+        region = space.allocate("data", 4096)
+        assert space.region("data") is region
+        assert "data" in space.regions
+
+    def test_footprint(self, cfg):
+        space = AddressSpace(cfg.page_size)
+        space.allocate("a", 1)
+        assert space.footprint == cfg.page_size
+
+    def test_invalid_sizes(self, cfg):
+        space = AddressSpace(cfg.page_size)
+        with pytest.raises(ValueError):
+            space.allocate("bad", 0)
+        with pytest.raises(ValueError):
+            AddressSpace(0)
+
+
+class TestRegion:
+    def test_contains(self):
+        r = Region("r", 1000, 500)
+        assert r.contains(1000)
+        assert r.contains(1499)
+        assert not r.contains(1500)
+        assert not r.contains(999)
+
+    def test_offset(self):
+        r = Region("r", 1000, 500)
+        assert r.offset(0) == 1000
+        assert r.offset(499) == 1499
+        with pytest.raises(IndexError):
+            r.offset(500)
+        with pytest.raises(IndexError):
+            r.offset(-1)

@@ -1,0 +1,166 @@
+"""Analysis: metrics, locality, cost model, report rendering."""
+
+import math
+
+import pytest
+
+from repro.analysis.cost import flat_directory_cost, hmg_directory_cost
+from repro.analysis.locality import analyze_locality
+from repro.analysis.metrics import (
+    SpeedupTable,
+    geomean,
+    mean_abs_relative_error,
+    normalized_speedups,
+    pearson,
+)
+from repro.analysis.report import (
+    format_bars,
+    format_speedup_table,
+    format_table,
+)
+from repro.config import SystemConfig
+from repro.core.types import NodeId
+from tests.conftest import N00, N01, N10, N11, ld, st
+
+
+class TestGeomean:
+    def test_basic(self):
+        assert geomean([2, 8]) == pytest.approx(4.0)
+        assert geomean([3]) == pytest.approx(3.0)
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            geomean([])
+        with pytest.raises(ValueError):
+            geomean([1, 0])
+
+
+class TestPearson:
+    def test_perfect(self):
+        assert pearson([1, 2, 3], [2, 4, 6]) == pytest.approx(1.0)
+        assert pearson([1, 2, 3], [6, 4, 2]) == pytest.approx(-1.0)
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            pearson([1], [1])
+        with pytest.raises(ValueError):
+            pearson([1, 1], [2, 3])
+
+
+class TestMare:
+    def test_values(self):
+        assert mean_abs_relative_error([1.1, 0.9], [1.0, 1.0]) == (
+            pytest.approx(0.1)
+        )
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            mean_abs_relative_error([], [])
+
+
+class TestSpeedupTable:
+    def test_series_and_geomeans(self):
+        t = SpeedupTable(["a", "b"])
+        t.add("w1", {"a": 2.0, "b": 4.0})
+        t.add("w2", {"a": 2.0, "b": 1.0})
+        assert t.series("b") == [4.0, 1.0]
+        assert t.geomeans()["a"] == pytest.approx(2.0)
+        assert t.geomeans()["b"] == pytest.approx(2.0)
+        assert t.relative("b", "a") == pytest.approx(1.0)
+        assert t.workloads() == ["w1", "w2"]
+
+    def test_missing_protocol_rejected(self):
+        t = SpeedupTable(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add("w", {"a": 1.0})
+
+
+class TestLocality:
+    def test_shared_remote_counts(self, cfg):
+        """Two GPMs of GPU1 read a line homed on GPU0: both inter-GPU
+        loads are 'shareable' (Fig 3's numerator)."""
+        trace = [st(N00, 0), ld(N10, 0), ld(N11, 0)]
+        report = analyze_locality(trace, cfg, workload="t")
+        assert report.inter_gpu_loads == 2
+        assert report.shareable_loads == 2
+        assert report.shareable_fraction == 1.0
+
+    def test_private_remote_not_shareable(self, cfg):
+        trace = [st(N00, 0), ld(N10, 0)]
+        report = analyze_locality(trace, cfg)
+        assert report.inter_gpu_loads == 1
+        assert report.shareable_loads == 0
+
+    def test_intra_gpu_loads_excluded(self, cfg):
+        trace = [st(N00, 0), ld(N01, 0)]
+        report = analyze_locality(trace, cfg)
+        assert report.inter_gpu_loads == 0
+        assert report.shareable_fraction == 0.0
+        assert report.total_loads == 1
+
+    def test_fraction_of_loads(self, cfg):
+        trace = [st(N00, 0), ld(N10, 0), ld(N00, 0)]
+        report = analyze_locality(trace, cfg)
+        assert report.inter_gpu_fraction == pytest.approx(0.5)
+
+
+class TestCostModel:
+    def test_paper_numbers(self):
+        """Section VII-C: 6 sharers, 55 bits/entry, ~84 KB, 2.7% of L2."""
+        cfg = SystemConfig.paper()
+        cost = hmg_directory_cost(cfg)
+        assert cost.sharer_bits == 6
+        assert cost.bits_per_entry == 55
+        assert cost.total_bytes == pytest.approx(84 * 1000, rel=0.01)
+        assert cost.fraction_of(cfg.l2_bytes_per_gpm) == pytest.approx(
+            0.027, abs=0.002
+        )
+
+    def test_flat_costs_more(self):
+        cfg = SystemConfig.paper()
+        assert (flat_directory_cost(cfg).bits_per_entry
+                > hmg_directory_cost(cfg).bits_per_entry)
+
+    def test_describe(self):
+        cfg = SystemConfig.paper()
+        text = hmg_directory_cost(cfg).describe(cfg.l2_bytes_per_gpm)
+        assert "55 bits/entry" in text
+        assert "2.7%" in text
+
+    def test_scales_with_topology(self):
+        cfg = SystemConfig.paper().replace(num_gpus=8)
+        assert hmg_directory_cost(cfg).sharer_bits == 3 + 7
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        text = format_table(["name", "v"], [["aa", 1.5], ["b", 10.25]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "10.25" in text and "1.50" in text
+
+    def test_format_bars(self):
+        text = format_bars({"x": 2.0, "y": 1.0}, width=10)
+        assert text.splitlines()[0].count("#") == 10
+        assert text.splitlines()[1].count("#") == 5
+
+    def test_format_bars_empty(self):
+        assert format_bars({}) == "(empty)"
+
+    def test_format_speedup_table(self):
+        t = SpeedupTable(["hmg"])
+        t.add("w1", {"hmg": 2.0})
+        t.add("w2", {"hmg": 3.0})
+        text = format_speedup_table(t, {"hmg": "HMG"})
+        assert "GeoMean" in text and "HMG" in text
+
+
+class TestNormalizedSpeedups:
+    def test_against_baseline(self, cfg):
+        class R:
+            def __init__(self, c):
+                self.cycles = c
+
+        results = {"noremote": R(100), "hmg": R(50), "sw": R(80)}
+        sp = normalized_speedups(results)
+        assert sp == {"hmg": 2.0, "sw": 1.25}

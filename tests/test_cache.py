@@ -1,0 +1,173 @@
+"""Set-associative cache model."""
+
+import pytest
+
+from repro.memsys.cache import CacheLine, NullCache, SetAssociativeCache
+
+
+def small_cache(ways=4, sets=8):
+    return SetAssociativeCache(128 * ways * sets, 128, ways, name="t")
+
+
+class TestBasics:
+    def test_capacity(self):
+        c = small_cache()
+        assert c.capacity_lines == 32
+        assert c.num_sets == 8
+
+    def test_miss_then_hit(self):
+        c = small_cache()
+        assert c.lookup(5) is None
+        c.fill(5, version=3)
+        entry = c.lookup(5)
+        assert entry is not None and entry.version == 3
+        assert c.stats.hits == 1 and c.stats.misses == 1
+
+    def test_contains_and_len(self):
+        c = small_cache()
+        c.fill(1, 0)
+        c.fill(2, 0)
+        assert 1 in c and 2 in c and 3 not in c
+        assert len(c) == 2
+
+    def test_peek_does_not_count(self):
+        c = small_cache()
+        c.fill(9, 1)
+        c.peek(9)
+        c.peek(10)
+        assert c.stats.accesses == 0
+
+    def test_fill_refreshes_metadata(self):
+        c = small_cache()
+        c.fill(7, version=1)
+        victim = c.fill(7, version=5, dirty=True)
+        assert victim is None
+        entry = c.peek(7)
+        assert entry.version == 5 and entry.dirty
+
+    def test_fill_never_lowers_version(self):
+        c = small_cache()
+        c.fill(7, version=9)
+        c.fill(7, version=2)
+        assert c.peek(7).version == 9
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(64, 128, 1)
+        with pytest.raises(ValueError):
+            SetAssociativeCache(128 * 3, 128, 2)
+
+
+class TestLRU:
+    def _same_set_lines(self, c, count):
+        """Find `count` distinct lines mapping to one set (hashed)."""
+        target = None
+        found = []
+        for line in range(100000):
+            s = c._set_for(line)
+            if target is None:
+                target = id(s)
+            if id(s) == target:
+                found.append(line)
+                if len(found) == count:
+                    return found
+        raise AssertionError("not enough colliding lines")
+
+    def test_eviction_is_lru(self):
+        c = small_cache(ways=2)
+        a, b, d = self._same_set_lines(c, 3)
+        c.fill(a, 0)
+        c.fill(b, 0)
+        c.lookup(a)  # a becomes MRU
+        victim = c.fill(d, 0)
+        assert victim is not None and victim.line == b
+        assert a in c and d in c and b not in c
+
+    def test_eviction_counts(self):
+        c = small_cache(ways=2)
+        lines = self._same_set_lines(c, 4)
+        for ln in lines:
+            c.fill(ln, 0)
+        assert c.stats.evictions == 2
+
+    def test_dirty_eviction_counted(self):
+        c = small_cache(ways=2)
+        a, b, d = self._same_set_lines(c, 3)
+        c.fill(a, 0, dirty=True)
+        c.fill(b, 0)
+        victim = c.fill(d, 0)
+        assert victim.line == a and victim.dirty
+        assert c.stats.dirty_evictions == 1
+
+
+class TestInvalidation:
+    def test_invalidate_single(self):
+        c = small_cache()
+        c.fill(3, 0)
+        dropped = c.invalidate(3)
+        assert dropped.line == 3
+        assert 3 not in c
+        assert c.invalidate(3) is None
+        assert c.stats.invalidated_lines == 1
+
+    def test_invalidate_where(self):
+        c = small_cache()
+        for ln in range(10):
+            c.fill(ln, 0, remote=ln % 2 == 0)
+        dropped = c.invalidate_where(lambda e: e.remote)
+        assert len(dropped) == 5
+        assert all(not e.remote for e in c.lines())
+        assert c.stats.bulk_invalidations == 1
+
+    def test_invalidate_all(self):
+        c = small_cache()
+        for ln in range(7):
+            c.fill(ln, 0)
+        assert len(c.invalidate_all()) == 7
+        assert len(c) == 0
+
+
+class TestHashing:
+    def test_strided_pattern_spreads(self):
+        """Fibonacci set hashing must spread strided line streams."""
+        c = small_cache(ways=4, sets=64)
+        sets = {}
+        for k in range(256):
+            line = k * 4  # stride-4 stream
+            s = (line * 0x9E3779B97F4A7C15 & 0xFFFFFFFFFFFFFFFF) >> 33
+            sets[s % 64] = sets.get(s % 64, 0) + 1
+        # No set should receive more than ~4x its fair share.
+        assert max(sets.values()) <= 16
+
+    def test_hit_rate_property(self):
+        c = small_cache()
+        for ln in range(4):
+            c.fill(ln, 0)
+        for ln in range(4):
+            c.lookup(ln)       # hits
+        for ln in range(4, 8):
+            c.lookup(ln)       # misses
+        assert c.stats.hit_rate == pytest.approx(4 / 8)
+
+
+class TestNullCache:
+    def test_never_holds(self):
+        c = NullCache()
+        c.fill(1, 0)
+        c.write(2, 0)
+        assert c.lookup(1) is None
+        assert c.peek(2) is None
+        assert c.stats.misses == 1
+
+    def test_clear_stats(self):
+        c = small_cache()
+        c.lookup(0)
+        c.clear_stats()
+        assert c.stats.accesses == 0
+
+
+class TestCacheLine:
+    def test_repr(self):
+        entry = CacheLine(5, version=2, dirty=True, remote=True)
+        text = repr(entry)
+        assert "5" in text and "v2" in text

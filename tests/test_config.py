@@ -1,0 +1,208 @@
+"""Configuration: Table II defaults, scaling, validation."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import (
+    GB,
+    KB,
+    MB,
+    ConfigError,
+    LatencyConfig,
+    MessageSizeConfig,
+    SystemConfig,
+    TimingConfig,
+    _scale_pow2,
+)
+
+
+class TestTableIIDefaults:
+    def test_gpus_and_gpms(self):
+        cfg = SystemConfig.paper()
+        assert cfg.num_gpus == 4
+        assert cfg.gpms_per_gpu == 4
+        assert cfg.total_gpms == 16
+
+    def test_sm_counts(self):
+        cfg = SystemConfig.paper()
+        assert cfg.sms_per_gpm * cfg.gpms_per_gpu == 128  # per GPU
+        assert cfg.total_sms == 512
+
+    def test_frequency_and_warps(self):
+        cfg = SystemConfig.paper()
+        assert cfg.frequency_ghz == 1.3
+        assert cfg.max_warps_per_sm == 64
+
+    def test_page_and_line(self):
+        cfg = SystemConfig.paper()
+        assert cfg.page_size == 2 * MB
+        assert cfg.line_size == 128
+
+    def test_l1(self):
+        cfg = SystemConfig.paper()
+        assert cfg.l1_bytes_per_sm == 128 * KB
+
+    def test_l2(self):
+        cfg = SystemConfig.paper()
+        assert cfg.l2_bytes_per_gpu == 12 * MB
+        assert cfg.l2_ways == 16
+        assert cfg.l2_bytes_per_gpm == 3 * MB
+
+    def test_directory(self):
+        cfg = SystemConfig.paper()
+        assert cfg.dir_entries_per_gpm == 12 * 1024
+        assert cfg.dir_lines_per_entry == 4
+        # Section VI: 12K x 4 x 128B = 6MB of coverage per GPM.
+        assert cfg.dir_coverage_bytes_per_gpm == 6 * MB
+
+    def test_bandwidths(self):
+        cfg = SystemConfig.paper()
+        assert cfg.inter_gpm_bw_gbps == 2000.0
+        assert cfg.inter_gpu_bw_gbps == 200.0
+        assert cfg.dram_bw_per_gpu_gbps == 1000.0
+
+    def test_dram_capacity(self):
+        assert SystemConfig.paper().dram_bytes_per_gpu == 32 * GB
+
+    def test_describe_mentions_key_values(self):
+        text = SystemConfig.paper().describe()
+        assert "12MB per GPU" in text
+        assert "200GB/s per link" in text
+        assert "2TB/s per GPU" in text
+        assert "12288 entries" in text
+
+
+class TestDerived:
+    def test_bytes_per_cycle(self):
+        cfg = SystemConfig.paper()
+        # 200 GB/s at 1.3 GHz ~ 153.8 B/cycle.
+        assert cfg.inter_gpu_bytes_per_cycle == pytest.approx(153.85, rel=1e-3)
+
+    def test_dram_bytes_per_cycle_per_gpm(self):
+        cfg = SystemConfig.paper()
+        assert cfg.dram_bytes_per_cycle_per_gpm == pytest.approx(
+            cfg.bytes_per_cycle(1000.0) / 4
+        )
+
+    def test_lines_per_page(self):
+        cfg = SystemConfig.paper()
+        assert cfg.lines_per_page == 2 * MB // 128
+
+    def test_l1_slice_capacity_is_one_sm(self):
+        cfg = SystemConfig.paper()
+        assert cfg.l1_bytes_per_slice == cfg.l1_bytes_per_sm
+
+
+class TestScaling:
+    def test_scale_preserves_structure(self):
+        cfg = SystemConfig.paper_scaled(1 / 16)
+        assert cfg.num_gpus == 4
+        assert cfg.gpms_per_gpu == 4
+        assert cfg.l2_ways == 16
+        assert cfg.inter_gpu_bw_gbps == 200.0
+
+    def test_scale_shrinks_capacities(self):
+        base = SystemConfig.paper()
+        cfg = SystemConfig.paper_scaled(1 / 16)
+        assert cfg.l2_bytes_per_gpu < base.l2_bytes_per_gpu
+        assert cfg.page_size < base.page_size
+        assert cfg.dram_bytes_per_gpu < base.dram_bytes_per_gpu
+
+    def test_scaled_sizes_are_powers_of_two(self):
+        cfg = SystemConfig.paper_scaled(1 / 16)
+        for v in (cfg.page_size, cfg.l2_bytes_per_gpu,
+                  cfg.l1_bytes_per_sm):
+            assert v & (v - 1) == 0
+
+    def test_directory_scales_harder(self):
+        # dir_scale defaults to scale/4 (see DESIGN.md).
+        cfg = SystemConfig.paper_scaled(1 / 16)
+        assert cfg.dir_entries_per_gpm <= 12 * 1024 // 32
+
+    def test_dir_scale_override(self):
+        cfg = SystemConfig.paper_scaled(1 / 16, dir_scale=1 / 16)
+        assert cfg.dir_entries_per_gpm > SystemConfig.paper_scaled(
+            1 / 16
+        ).dir_entries_per_gpm
+
+    def test_scale_records_factor(self):
+        assert SystemConfig.paper_scaled(1 / 8).scale == 1 / 8
+
+    def test_invalid_scale(self):
+        with pytest.raises(ConfigError):
+            SystemConfig.paper_scaled(0)
+        with pytest.raises(ConfigError):
+            SystemConfig.paper_scaled(2.0)
+
+    def test_overrides_pass_through(self):
+        cfg = SystemConfig.paper_scaled(1 / 16, num_gpus=2)
+        assert cfg.num_gpus == 2
+
+
+class TestValidation:
+    def test_replace_validates(self):
+        cfg = SystemConfig.paper()
+        with pytest.raises(ConfigError):
+            cfg.replace(num_gpus=0)
+
+    def test_replace_returns_new(self):
+        cfg = SystemConfig.paper()
+        cfg2 = cfg.replace(inter_gpu_bw_gbps=100.0)
+        assert cfg2.inter_gpu_bw_gbps == 100.0
+        assert cfg.inter_gpu_bw_gbps == 200.0
+
+    def test_line_size_power_of_two(self):
+        with pytest.raises(ConfigError):
+            SystemConfig.paper().replace(line_size=100)
+
+    def test_page_multiple_of_line(self):
+        with pytest.raises(ConfigError):
+            SystemConfig.paper().replace(page_size=2 * MB + 1)
+
+    def test_dir_entries_divide_ways(self):
+        with pytest.raises(ConfigError):
+            SystemConfig.paper().replace(dir_entries_per_gpm=12 * 1024 + 1)
+
+    def test_dir_lines_per_entry_power_of_two(self):
+        with pytest.raises(ConfigError):
+            SystemConfig.paper().replace(dir_lines_per_entry=3)
+
+    def test_negative_bandwidth(self):
+        with pytest.raises(ConfigError):
+            SystemConfig.paper().replace(inter_gpu_bw_gbps=-1.0)
+
+    def test_latency_validation(self):
+        with pytest.raises(ConfigError):
+            LatencyConfig(l1_hit=0).validate()
+        with pytest.raises(ConfigError):
+            LatencyConfig(inter_gpu_hop=50, inter_gpm_hop=100).validate()
+
+    def test_message_sizes_validation(self):
+        with pytest.raises(ConfigError):
+            MessageSizeConfig(invalidation=0).validate()
+
+    def test_timing_validation(self):
+        with pytest.raises(ConfigError):
+            TimingConfig(latency_tolerance=0.5).validate()
+        with pytest.raises(ConfigError):
+            TimingConfig(overlap_tax=1.5).validate()
+        with pytest.raises(ConfigError):
+            TimingConfig(issue_rate_per_gpm=0).validate()
+
+    def test_frozen(self):
+        cfg = SystemConfig.paper()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            cfg.num_gpus = 8
+
+
+class TestScalePow2:
+    def test_rounds_to_power_of_two(self):
+        assert _scale_pow2(1024, 0.5) == 512
+        assert _scale_pow2(1000, 1.0) == 1024  # nearest
+
+    def test_minimum_respected(self):
+        assert _scale_pow2(1024, 1 / 1024, minimum=16) == 16
+
+    def test_exact_power(self):
+        assert _scale_pow2(2 * MB, 1 / 16) == 128 * KB

@@ -1,0 +1,72 @@
+"""Fig 7 substitute: correlation machinery and microbenchmark suite."""
+
+import math
+
+import pytest
+
+from repro.analysis.correlation import (
+    CorrelationPoint,
+    CorrelationReport,
+    microbenchmark_suite,
+    run_correlation,
+)
+from repro.config import SystemConfig
+from repro.trace.generator import PATTERNS
+
+
+class TestSuite:
+    def test_covers_pattern_families(self):
+        suite = microbenchmark_suite()
+        patterns = {spec.pattern for spec in suite}
+        assert {"dense_ml", "stencil", "wavefront", "graph",
+                "solver"} <= patterns
+
+    def test_unique_names(self):
+        suite = microbenchmark_suite()
+        names = [spec.abbrev for spec in suite]
+        assert len(names) == len(set(names))
+
+    def test_all_patterns_registered(self):
+        for spec in microbenchmark_suite():
+            assert spec.pattern in PATTERNS
+
+    def test_spans_remote_intensity(self):
+        fracs = [spec.params.get("remote_frac", 0)
+                 for spec in microbenchmark_suite()]
+        assert min(fracs) <= 0.02 and max(fracs) >= 0.25
+
+
+class TestReportMath:
+    def _report(self, pairs):
+        report = CorrelationReport()
+        for i, (fast, detailed) in enumerate(pairs):
+            report.points.append(
+                CorrelationPoint(f"p{i}", "hmg", detailed, fast)
+            )
+        return report
+
+    def test_perfect_correlation(self):
+        report = self._report([(10, 20), (100, 200), (1000, 2000)])
+        assert report.correlation == pytest.approx(1.0)
+
+    def test_error_metric(self):
+        report = self._report([(math.e, math.e ** 2)])
+        # log-cycles: |1 - 2| / 2 = 0.5
+        assert report.mean_abs_error == pytest.approx(0.5)
+
+    def test_rows(self):
+        report = self._report([(10, 20)])
+        assert report.rows() == [("p0", "hmg", 10, 20)]
+
+
+class TestRunCorrelation:
+    def test_small_run(self):
+        """Both backends run on a couple of microbenchmarks and the
+        report carries one point per (bench, protocol)."""
+        cfg = SystemConfig.paper_scaled(1 / 64)
+        suite = microbenchmark_suite(ops_per_kernel=300)[:2]
+        report = run_correlation(cfg, protocols=("noremote",),
+                                 suite=suite, ops_scale=1.0)
+        assert len(report.points) == 2
+        assert all(p.fast_cycles > 0 and p.detailed_cycles > 0
+                   for p in report.points)

@@ -1,0 +1,137 @@
+"""Coherence directory structure."""
+
+import pytest
+
+from repro.core.directory import (
+    CoherenceDirectory,
+    DirectoryEntry,
+    Sharer,
+    SharerKind,
+)
+
+
+class TestSharer:
+    def test_kinds(self):
+        assert Sharer.gpm(2).is_gpm
+        assert Sharer.gpu(1).is_gpu
+        assert not Sharer.gpm(2).is_gpu
+
+    def test_equality_and_hash(self):
+        assert Sharer.gpm(1) == Sharer.gpm(1)
+        assert Sharer.gpm(1) != Sharer.gpu(1)
+        assert len({Sharer.gpm(1), Sharer.gpm(1), Sharer.gpu(1)}) == 2
+
+    def test_ordering_stable(self):
+        sharers = [Sharer.gpu(2), Sharer.gpm(3), Sharer.gpm(0)]
+        assert sorted(sharers) == [Sharer.gpm(0), Sharer.gpm(3),
+                                   Sharer.gpu(2)]
+
+    def test_str(self):
+        assert str(Sharer.gpm(3)) == "GPM3"
+        assert str(Sharer.gpu(1)) == "GPU1"
+
+
+class TestEntry:
+    def test_add_discard(self):
+        e = DirectoryEntry(7)
+        e.add(Sharer.gpm(1))
+        e.add(Sharer.gpm(1))
+        e.add(Sharer.gpu(2))
+        assert len(e.sharers) == 2
+        e.discard(Sharer.gpm(1))
+        assert e.sharers == {Sharer.gpu(2)}
+        e.discard(Sharer.gpm(9))  # no-op
+
+    def test_others(self):
+        e = DirectoryEntry(0)
+        e.add(Sharer.gpm(1))
+        e.add(Sharer.gpm(2))
+        assert e.others(Sharer.gpm(1)) == {Sharer.gpm(2)}
+        assert e.others(Sharer.gpu(0)) == e.sharers
+
+    def test_repr(self):
+        e = DirectoryEntry(4)
+        e.add(Sharer.gpm(0))
+        assert "sector4" in repr(e)
+
+
+class TestDirectory:
+    def test_geometry(self):
+        d = CoherenceDirectory(64, 4)
+        assert d.capacity == 64
+        assert d.num_sets == 16
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            CoherenceDirectory(0, 4)
+        with pytest.raises(ValueError):
+            CoherenceDirectory(63, 4)
+
+    def test_lookup_absent_is_invalid(self):
+        d = CoherenceDirectory(64, 4)
+        assert d.lookup(5) is None
+        assert 5 not in d
+
+    def test_allocate_get_or_create(self):
+        d = CoherenceDirectory(64, 4)
+        e1, victim = d.allocate(5)
+        assert victim is None
+        e1.add(Sharer.gpm(0))
+        e2, victim = d.allocate(5)
+        assert e2 is e1 and victim is None
+        assert d.stats.allocations == 1
+
+    def test_invalidate(self):
+        d = CoherenceDirectory(64, 4)
+        d.allocate(5)
+        assert d.invalidate(5) is not None
+        assert d.invalidate(5) is None
+        assert len(d) == 0
+
+    def _same_set_sectors(self, d, count):
+        target = None
+        found = []
+        for sector in range(100000):
+            s = d._set_for(sector)
+            if target is None:
+                target = id(s)
+            if id(s) == target:
+                found.append(sector)
+                if len(found) == count:
+                    return found
+        raise AssertionError("not enough colliding sectors")
+
+    def test_capacity_eviction_returns_victim(self):
+        d = CoherenceDirectory(16, 2)
+        sectors = self._same_set_sectors(d, 3)
+        e0, _ = d.allocate(sectors[0])
+        e0.add(Sharer.gpm(1))
+        d.allocate(sectors[1])
+        _, victim = d.allocate(sectors[2])
+        assert victim is e0
+        assert d.stats.evictions == 1
+        assert d.stats.evictions_with_sharers == 1
+
+    def test_lru_on_lookup(self):
+        d = CoherenceDirectory(16, 2)
+        a, b, c = self._same_set_sectors(d, 3)
+        d.allocate(a)
+        d.allocate(b)
+        d.lookup(a)
+        _, victim = d.allocate(c)
+        assert victim.sector == b
+
+    def test_sharer_histogram(self):
+        d = CoherenceDirectory(64, 4)
+        e, _ = d.allocate(0)
+        e.add(Sharer.gpm(1))
+        e.add(Sharer.gpu(2))
+        e2, _ = d.allocate(1)
+        e2.add(Sharer.gpm(1))
+        assert d.sharer_histogram() == {2: 1, 1: 1}
+
+    def test_entries_iteration(self):
+        d = CoherenceDirectory(64, 4)
+        for s in range(5):
+            d.allocate(s)
+        assert {e.sector for e in d.entries()} == set(range(5))

@@ -1,0 +1,45 @@
+"""DRAM partition backing store."""
+
+from repro.memsys.dram import DramPartition
+
+
+class TestDram:
+    def test_unwritten_reads_zero(self):
+        d = DramPartition(128)
+        assert d.read(5) == 0
+
+    def test_write_then_read(self):
+        d = DramPartition(128)
+        d.write(5, 7)
+        assert d.read(5) == 7
+
+    def test_versions_never_regress(self):
+        d = DramPartition(128)
+        d.write(5, 9)
+        d.write(5, 3)
+        assert d.read(5) == 9
+
+    def test_stats(self):
+        d = DramPartition(128)
+        d.write(1, 1)
+        d.read(1)
+        d.read(2)
+        assert d.stats.reads == 2
+        assert d.stats.writes == 1
+        assert d.stats.bytes_read == 256
+        assert d.stats.bytes_written == 128
+        assert d.stats.total_bytes == 384
+        assert d.stats.accesses == 3
+
+    def test_peek_untracked(self):
+        d = DramPartition(128)
+        d.write(1, 4)
+        assert d.peek(1) == 4
+        assert d.peek(2) == 0
+        assert d.stats.reads == 0
+
+    def test_resident_lines(self):
+        d = DramPartition(128)
+        for ln in range(5):
+            d.write(ln, 1)
+        assert d.resident_lines == 5

@@ -1,0 +1,118 @@
+"""Edge paths: hierarchical directory eviction, placement variants,
+CLI expansion, buffering sink accounting."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.core.directory import Sharer
+from repro.core.types import MsgType, NodeId
+from repro.engine.detailed import BufferingSink
+from repro.experiments.cli import build_parser
+from repro.experiments.registry import experiment_ids
+from tests.conftest import N00, N10, N11, bind_home, ld, make, st
+
+
+class TestHMGHierarchicalEviction:
+    def test_evicting_entry_with_gpu_sharers_invalidates_hierarchically(
+        self, recording
+    ):
+        """A system-home directory eviction whose victim tracks a peer
+        GPU must reach that GPU's GPM sharers through its GPU home."""
+        cfg = SystemConfig.paper_scaled(
+            1 / 64, dir_entries_per_gpm=8, dir_ways=2
+        )
+        proto = make(cfg, "hmg", sink=recording)
+        # Line 0 homed at N00, shared by two GPMs of GPU1.
+        line = bind_home(proto, N00, 0)
+        proto.process(ld(N10, 0))
+        proto.process(ld(N11, 0))
+        recording.clear()
+        # Hammer the tiny home directory with other remotely-read
+        # sectors until line 0's entry is displaced.
+        span = cfg.dir_lines_per_entry * cfg.line_size
+        for k in range(1, 64):
+            addr = k * span
+            proto.process(st(N00, addr))
+            proto.process(ld(N10, addr))
+            if proto.l2_of(N10).peek(line) is None:
+                break
+        assert proto.l2_of(N10).peek(line) is None
+        assert proto.l2_of(N11).peek(line) is None
+        assert proto.stats.dir_evictions >= 1
+        # At least one invalidation crossed to GPU1 and was forwarded.
+        invs = recording.of_type(MsgType.INVALIDATION)
+        assert any(m.crosses_gpu and m.dst.gpu == 1 for m in invs)
+
+    def test_eviction_stats_attribution(self):
+        cfg = SystemConfig.paper_scaled(
+            1 / 64, dir_entries_per_gpm=8, dir_ways=2
+        )
+        proto = make(cfg, "hmg")
+        bind_home(proto, N00, 0)
+        proto.process(ld(N10, 0))
+        span = cfg.dir_lines_per_entry * cfg.line_size
+        for k in range(1, 64):
+            proto.process(st(N00, k * span))
+            proto.process(ld(N10, k * span))
+        assert proto.stats.lines_inv_by_dir_evict >= 1
+        assert proto.stats.lines_inv_per_dir_eviction > 0
+
+
+class TestPlacementVariants:
+    @pytest.mark.parametrize("placement", ["interleave", "single:1"])
+    def test_protocols_run_under_static_placements(self, cfg, placement):
+        proto = make(cfg, "hmg", placement=placement)
+        for k in range(8):
+            proto.process(st(N00, k * cfg.page_size))
+            proto.process(ld(N10, k * cfg.page_size))
+        assert proto.stats.loads == 8
+
+    def test_single_node_placement_concentrates_homes(self, cfg):
+        proto = make(cfg, "nhcc", placement="single:1")
+        for k in range(8):
+            proto.process(ld(N00, k * cfg.page_size))
+        owners = {
+            proto.sys_home(proto.amap.line_of(k * cfg.page_size), N00).gpu
+            for k in range(8)
+        }
+        assert owners == {1}
+
+
+class TestCLIAll:
+    def test_all_expands_to_registry(self):
+        parser = build_parser()
+        args = parser.parse_args(["all"])
+        assert args.experiment == ["all"]
+        # 'all' expansion is the registry order.
+        assert len(experiment_ids()) >= 18
+
+    def test_multiple_ids(self):
+        args = build_parser().parse_args(["fig8", "fig9"])
+        assert args.experiment == ["fig8", "fig9"]
+
+
+class TestBufferingSink:
+    def test_counts_and_drains(self):
+        sink = BufferingSink()
+        sink.send(MsgType.LOAD_REQ, N00, N10, 0, 16)
+        sink.send(MsgType.DATA_RESP, N10, N00, 0, 144)
+        assert sink.total_messages == 2
+        msgs = sink.drain()
+        assert len(msgs) == 2
+        assert sink.drain() == []
+        assert sink.total_messages == 2  # lifetime counter survives
+
+
+class TestNoRemoteUnderPressure:
+    def test_home_l2_eviction_falls_back_to_dram(self, cfg):
+        """Evicting the home's own dirty line must not lose the value
+        (write-back on eviction)."""
+        proto = make(cfg, "noremote")
+        line = bind_home(proto, N00, 0)
+        proto.process(st(N10, 0))  # dirty at home
+        version = proto.l2_of(N00).peek(line).version
+        victim = proto.l2_of(N00).invalidate(line)
+        proto._handle_l2_victim(N00, victim)
+        assert proto.dram_of(N00).peek(line) == version
+        out = proto.process(ld(N10, 0))
+        assert out.version == version

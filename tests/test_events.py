@@ -1,0 +1,82 @@
+"""Discrete-event core."""
+
+import pytest
+
+from repro.engine.events import EventQueue, SimulationClock
+
+
+class TestClock:
+    def test_monotonic(self):
+        clock = SimulationClock()
+        clock.advance_to(5.0)
+        assert clock.now == 5.0
+        with pytest.raises(ValueError):
+            clock.advance_to(4.0)
+
+
+class TestEventQueue:
+    def test_time_ordering(self):
+        q = EventQueue()
+        q.schedule(3.0, "c")
+        q.schedule(1.0, "a")
+        q.schedule(2.0, "b")
+        assert [q.pop()[1] for _ in range(3)] == ["a", "b", "c"]
+
+    def test_fifo_tie_break(self):
+        q = EventQueue()
+        for label in "abc":
+            q.schedule(1.0, label)
+        assert [q.pop()[1] for _ in range(3)] == ["a", "b", "c"]
+
+    def test_clock_advances_on_pop(self):
+        q = EventQueue()
+        q.schedule(7.0, None)
+        q.pop()
+        assert q.clock.now == 7.0
+
+    def test_cannot_schedule_in_past(self):
+        q = EventQueue()
+        q.schedule(5.0, None)
+        q.pop()
+        with pytest.raises(ValueError):
+            q.schedule(4.0, None)
+
+    def test_pop_empty(self):
+        with pytest.raises(IndexError):
+            EventQueue().pop()
+
+    def test_peek(self):
+        q = EventQueue()
+        assert q.peek_time() is None
+        q.schedule(2.5, None)
+        assert q.peek_time() == 2.5
+        assert len(q) == 1
+
+    def test_run_until(self):
+        q = EventQueue()
+        seen = []
+        for t in (1.0, 2.0, 3.0):
+            q.schedule(t, t)
+        q.run(lambda t, p: seen.append(p), until=2.0)
+        assert seen == [1.0, 2.0]
+        assert len(q) == 1
+
+    def test_run_max_events(self):
+        q = EventQueue()
+        for t in range(5):
+            q.schedule(float(t), t)
+        q.run(lambda t, p: None, max_events=3)
+        assert q.processed == 3
+
+    def test_handler_can_schedule(self):
+        q = EventQueue()
+        seen = []
+
+        def handler(t, p):
+            seen.append(p)
+            if p < 3:
+                q.schedule(t + 1.0, p + 1)
+
+        q.schedule(0.0, 0)
+        q.run(handler)
+        assert seen == [0, 1, 2, 3]

@@ -1,0 +1,112 @@
+"""CTA scheduling, SM issue model, structural views."""
+
+import pytest
+
+from repro.core.types import NodeId
+from repro.gpu.cta import ContiguousCTAScheduler, RoundRobinCTAScheduler
+from repro.gpu.sm import SMCluster
+from repro.gpu.system import MultiGPUSystem
+from tests.conftest import N00, N10, bind_home, ld, st
+
+
+class TestContiguousScheduler:
+    def test_contiguous_blocks(self, cfg):
+        sched = ContiguousCTAScheduler(cfg)
+        grid = 64  # 4 per GPM
+        nodes = [sched.node_of(i, grid) for i in range(grid)]
+        # Consecutive CTAs share a GPM.
+        assert nodes[0] == nodes[3] == NodeId(0, 0)
+        assert nodes[4] == NodeId(0, 1)
+        assert nodes[63] == NodeId(3, 3)
+
+    def test_ranges_partition_grid(self, cfg):
+        sched = ContiguousCTAScheduler(cfg)
+        grid = 50  # not divisible
+        seen = []
+        for gpu in range(cfg.num_gpus):
+            for gpm in range(cfg.gpms_per_gpu):
+                seen.extend(sched.ctas_of(NodeId(gpu, gpm), grid))
+        assert sorted(seen) == list(range(grid))
+
+    def test_bounds(self, cfg):
+        sched = ContiguousCTAScheduler(cfg)
+        with pytest.raises(IndexError):
+            sched.node_of(10, 10)
+
+    def test_slice_mapping(self, cfg):
+        sched = ContiguousCTAScheduler(cfg)
+        assert sched.slice_of(5) == 5 % cfg.l1_slices_per_gpm
+
+
+class TestRoundRobinScheduler:
+    def test_round_robin(self, cfg):
+        sched = RoundRobinCTAScheduler(cfg)
+        nodes = [sched.node_of(i, 32) for i in range(32)]
+        assert nodes[0] == NodeId(0, 0)
+        assert nodes[1] == NodeId(0, 1)
+        assert nodes[16] == NodeId(0, 0)
+
+    def test_ranges_partition(self, cfg):
+        sched = RoundRobinCTAScheduler(cfg)
+        seen = []
+        for gpu in range(cfg.num_gpus):
+            for gpm in range(cfg.gpms_per_gpu):
+                seen.extend(sched.ctas_of(NodeId(gpu, gpm), 37))
+        assert sorted(seen) == list(range(37))
+
+
+class TestSMCluster:
+    def test_issue_rate(self, cfg):
+        sm = SMCluster(N00, cfg, max_outstanding=1000)
+        times = [sm.issue(0.0, lambda t: t + 1.0) for _ in range(10)]
+        assert times == sorted(times)
+        assert times[1] - times[0] == pytest.approx(
+            1.0 / cfg.timing.issue_rate_per_gpm
+        )
+
+    def test_window_throttles(self, cfg):
+        sm = SMCluster(N00, cfg, max_outstanding=4)
+        for _ in range(4):
+            sm.issue(0.0, lambda t: t + 100.0)
+        t5 = sm.issue(0.0, lambda t: t + 100.0)
+        assert t5 >= 100.0
+        assert sm.stats.window_full_cycles > 0
+
+    def test_barrier_blocks_issue(self, cfg):
+        sm = SMCluster(N00, cfg)
+        t = sm.issue(0.0, lambda t: t + 10.0)
+        sm.barrier(t, 500.0)
+        assert sm.issue(0.0, lambda t: t) >= 500.0
+        assert sm.stats.sync_stalls == 1
+
+    def test_invalid_window(self, cfg):
+        with pytest.raises(ValueError):
+            SMCluster(N00, cfg, max_outstanding=0)
+
+
+class TestViews:
+    def test_system_shape(self, cfg):
+        system = MultiGPUSystem(cfg, protocol="hmg")
+        assert len(system.gpus) == cfg.num_gpus
+        assert len(system.gpus[0].gpms) == cfg.gpms_per_gpu
+        assert "hmg" in system.describe()
+
+    def test_gpm_view_navigation(self, cfg):
+        system = MultiGPUSystem(cfg, protocol="hmg")
+        gpm = system.gpm(1, 2)
+        assert gpm.l2 is system.protocol.l2[6]
+        assert gpm.directory is not None
+        assert gpm.dram is system.protocol.dram[6]
+
+    def test_sw_has_no_directory_view(self, cfg):
+        system = MultiGPUSystem(cfg, protocol="sw")
+        assert system.gpm(0, 0).directory is None
+
+    def test_run_and_occupancy(self, cfg):
+        system = MultiGPUSystem(cfg, protocol="hmg")
+        stats = system.run([st(N00, 0), ld(N10, 0)])
+        assert stats.loads == 1 and stats.stores == 1
+        assert system.gpus[1].l2_resident_lines() >= 1
+        remote = system.gpm(1, 0).resident_remote_lines()
+        assert remote >= 0
+        assert "GPU1" in system.gpus[1].describe()

@@ -1,0 +1,87 @@
+"""GPU-VI: multi-copy-atomic hardware baseline (Section III-B)."""
+
+import pytest
+
+from repro.core.registry import FIGURE2_PROTOCOLS, make_protocol
+from repro.core.types import MsgType, Scope
+from tests.conftest import N00, N10, N11, atom, bind_home, ld, make, st
+
+
+@pytest.fixture
+def proto(cfg, recording):
+    return make(cfg, "gpuvi", sink=recording)
+
+
+class TestAcks:
+    def test_store_collects_invalidation_acks(self, proto, recording):
+        bind_home(proto, N00)
+        proto.process(ld(N10, 0))
+        proto.process(ld(N11, 0))
+        recording.clear()
+        proto.process(st(N00, 0))
+        invs = recording.of_type(MsgType.INVALIDATION)
+        acks = recording.of_type(MsgType.INV_ACK)
+        assert len(acks) == len(invs) == 2
+        # Acks flow back to the home node.
+        assert all(m.dst == N00 for m in acks)
+
+    def test_unshared_store_needs_no_acks(self, proto, recording):
+        bind_home(proto, N00)
+        recording.clear()
+        out = proto.process(st(N00, 0))
+        assert not recording.of_type(MsgType.INV_ACK)
+        assert not out.exposed
+
+    def test_nhcc_never_sends_inv_acks(self, cfg, recording):
+        nhcc = make(cfg, "nhcc", sink=recording)
+        bind_home(nhcc, N00)
+        nhcc.process(ld(N10, 0))
+        recording.clear()
+        nhcc.process(st(N00, 0))
+        assert recording.of_type(MsgType.INVALIDATION)
+        assert not recording.of_type(MsgType.INV_ACK)
+
+
+class TestExposure:
+    def test_invalidating_store_is_exposed(self, proto):
+        bind_home(proto, N00)
+        proto.process(ld(N10, 0))
+        out = proto.process(st(N00, 0))
+        assert out.exposed
+        assert out.latency > 0
+
+    def test_exposure_scales_with_sharer_distance(self, proto, cfg):
+        # Sharer on a peer GPU: the ack round trip crosses the link.
+        addr_far = 0
+        bind_home(proto, N00, addr_far)
+        proto.process(ld(N10, addr_far))
+        far = proto.process(st(N00, addr_far))
+        # Sharer within the GPU only.
+        addr_near = 4 * cfg.page_size
+        bind_home(proto, N00, addr_near)
+        proto.process(ld(N00.__class__(0, 1), addr_near))
+        near = proto.process(st(N00, addr_near))
+        assert far.latency > near.latency
+
+    def test_atomic_with_sharers_exposed(self, proto):
+        bind_home(proto, N00)
+        proto.process(ld(N10, 0))
+        out = proto.process(atom(N11, 0, scope=Scope.GPU))
+        assert out.exposed
+
+
+class TestCoherence:
+    def test_same_functional_state_as_nhcc(self, cfg):
+        """MCA changes timing and traffic, not the VI state machine."""
+        ops = [st(N00, 0), ld(N10, 0), ld(N11, 0), st(N10, 0),
+               ld(N00, 0)]
+        a = make(cfg, "nhcc")
+        b = make(cfg, "gpuvi")
+        for op in ops:
+            va = a.process(op).version
+            vb = b.process(op).version
+            assert va == vb
+        assert a.caches_holding(0) == b.caches_holding(0)
+
+    def test_fig2_uses_gpuvi(self):
+        assert "gpuvi" in FIGURE2_PROTOCOLS

@@ -1,0 +1,231 @@
+"""HMG protocol flows (Section V): hierarchical routing, hierarchical
+sharer tracking, hierarchical invalidation, scoped sync costs."""
+
+import pytest
+
+from repro.core.directory import Sharer
+from repro.core.types import MsgType, NodeId, OpType, Scope
+from repro.experiments.tables import verify_transition_table
+from tests.conftest import (
+    N00, N01, N10, N11,
+    acq, atom, bind_home, boundary, ld, make, rel, st,
+)
+
+
+@pytest.fixture
+def proto(cfg, recording):
+    return make(cfg, "hmg", sink=recording)
+
+
+def dir_entry(proto, node, addr=0):
+    sector = proto.amap.sector_of_line(proto.amap.line_of(addr))
+    return proto.dirs[proto.flat(node)].lookup(sector, touch=False)
+
+
+class TestTransitionTable:
+    def test_table_i_with_hierarchical_inv(self):
+        checks = verify_transition_table("hmg")
+        failures = [c for c in checks if not c.passed]
+        assert not failures, failures
+
+
+class TestHierarchicalLoads:
+    def test_remote_load_routes_via_gpu_home(self, proto, recording):
+        bind_home(proto, N00)
+        line = proto.amap.line_of(0)
+        ghome1 = proto.gpu_home(line, 1, N00)
+        requester = NodeId(1, (ghome1.gpm + 1) % 4)
+        recording.clear()
+        proto.process(ld(requester, 0))
+        reqs = recording.of_type(MsgType.LOAD_REQ)
+        # Two request hops: requester -> GPU home -> system home.
+        assert [(m.src, m.dst) for m in reqs] == [
+            (requester, ghome1), (ghome1, N00)
+        ]
+        # Response fills the GPU home on the way back (Fig 6b).
+        assert proto.l2_of(ghome1).peek(line) is not None
+        assert proto.l2_of(requester).peek(line) is not None
+
+    def test_sys_home_tracks_gpu_not_gpm(self, proto):
+        bind_home(proto, N00)
+        proto.process(ld(N11, 0))
+        entry = dir_entry(proto, N00)
+        assert Sharer.gpu(1) in entry.sharers
+        assert not any(s.is_gpm and s.index == N11.gpm
+                       for s in entry.sharers if s.is_gpm)
+
+    def test_gpu_home_tracks_requesting_gpm(self, proto):
+        bind_home(proto, N00)
+        line = proto.amap.line_of(0)
+        ghome1 = proto.gpu_home(line, 1, N00)
+        requester = NodeId(1, (ghome1.gpm + 1) % 4)
+        proto.process(ld(requester, 0))
+        gentry = dir_entry(proto, ghome1)
+        assert Sharer.gpm(requester.gpm) in gentry.sharers
+
+    def test_second_gpm_hits_gpu_home_no_link_crossing(self, proto,
+                                                       recording):
+        bind_home(proto, N00)
+        line = proto.amap.line_of(0)
+        ghome1 = proto.gpu_home(line, 1, N00)
+        r1 = NodeId(1, (ghome1.gpm + 1) % 4)
+        r2 = NodeId(1, (ghome1.gpm + 2) % 4)
+        proto.process(ld(r1, 0))
+        recording.clear()
+        out = proto.process(ld(r2, 0))
+        assert out.hit_level == "gpu_home"
+        assert not any(m.crosses_gpu for m in recording.messages)
+
+    def test_same_gpu_intra_load(self, proto):
+        bind_home(proto, N00)
+        out = proto.process(ld(N01, 0))
+        assert out.hit_level in ("sys_home", "dram")
+        # Within the owning GPU, the system home doubles as GPU home:
+        # the directory tracks the GPM directly.
+        entry = dir_entry(proto, N00)
+        assert Sharer.gpm(N01.gpm) in entry.sharers
+
+
+class TestScopedHitRules:
+    def test_gpu_scope_hits_at_gpu_home(self, proto):
+        bind_home(proto, N00)
+        line = proto.amap.line_of(0)
+        ghome1 = proto.gpu_home(line, 1, N00)
+        r1 = NodeId(1, (ghome1.gpm + 1) % 4)
+        proto.process(ld(r1, 0))  # fills ghome1 + r1
+        out = proto.process(ld(r1, 0, scope=Scope.GPU))
+        assert out.hit_level == "gpu_home"
+
+    def test_sys_scope_misses_gpu_home(self, proto, recording):
+        bind_home(proto, N00)
+        line = proto.amap.line_of(0)
+        ghome1 = proto.gpu_home(line, 1, N00)
+        r1 = NodeId(1, (ghome1.gpm + 1) % 4)
+        proto.process(ld(r1, 0))
+        recording.clear()
+        out = proto.process(ld(r1, 0, scope=Scope.SYS))
+        assert out.hit_level in ("sys_home", "dram")
+        assert any(m.crosses_gpu for m in recording.messages)
+
+
+class TestHierarchicalStores:
+    def test_write_through_two_levels(self, proto, recording):
+        bind_home(proto, N00)
+        line = proto.amap.line_of(0)
+        ghome1 = proto.gpu_home(line, 1, N00)
+        requester = NodeId(1, (ghome1.gpm + 1) % 4)
+        recording.clear()
+        proto.process(st(requester, 0))
+        reqs = recording.of_type(MsgType.STORE_REQ)
+        assert [(m.src, m.dst) for m in reqs] == [
+            (requester, ghome1), (ghome1, N00)
+        ]
+
+    def test_store_invalidates_peer_gpu_hierarchically(self, proto,
+                                                       recording):
+        bind_home(proto, N00)
+        line = proto.amap.line_of(0)
+        ghome1 = proto.gpu_home(line, 1, N00)
+        r1 = NodeId(1, (ghome1.gpm + 1) % 4)
+        r2 = NodeId(1, (ghome1.gpm + 2) % 4)
+        proto.process(ld(r1, 0))
+        proto.process(ld(r2, 0))
+        recording.clear()
+        proto.process(st(N00, 0))
+        invs = recording.of_type(MsgType.INVALIDATION)
+        # One invalidation crosses to GPU1's home, which forwards to its
+        # two GPM sharers: exactly one link crossing.
+        crossing = [m for m in invs if m.crosses_gpu]
+        forwarded = [m for m in invs if not m.crosses_gpu]
+        assert len(crossing) == 1 and crossing[0].dst == ghome1
+        assert {m.dst for m in forwarded} == {r1, r2}
+        for node in (ghome1, r1, r2):
+            assert proto.l2_of(node).peek(line) is None
+        assert dir_entry(proto, ghome1) is None
+        assert dir_entry(proto, N00) is None  # local store -> I
+
+    def test_only_gpu_id_crosses_network(self, proto):
+        """After a peer-GPU store, the system home records the GPU, not
+        the GPM that issued the store."""
+        bind_home(proto, N00)
+        proto.process(st(N11, 0))
+        entry = dir_entry(proto, N00)
+        assert entry.sharers == {Sharer.gpu(1)}
+
+
+class TestAtomics:
+    def test_gpu_scope_atomic_at_gpu_home(self, proto, recording):
+        bind_home(proto, N00)
+        line = proto.amap.line_of(0)
+        ghome1 = proto.gpu_home(line, 1, N00)
+        requester = NodeId(1, (ghome1.gpm + 1) % 4)
+        recording.clear()
+        out = proto.process(atom(requester, 0, scope=Scope.GPU))
+        # Performed at the GPU home, written through to the sys home.
+        reqs = recording.of_type(MsgType.STORE_REQ)
+        assert any(m.dst == N00 for m in reqs)
+        resp = recording.of_type(MsgType.ATOMIC_RESP)
+        assert resp and resp[0].src == ghome1
+
+
+class TestScopedSync:
+    def test_gpu_release_fences_only_own_gpu(self, proto, cfg, recording):
+        bind_home(proto, N10, 0)
+        recording.clear()
+        proto.process(rel(N10, 0, scope=Scope.GPU))
+        fences = recording.of_type(MsgType.RELEASE_FENCE)
+        assert len(fences) == cfg.gpms_per_gpu - 1
+        assert all(m.dst.gpu == 1 for m in fences)
+        assert not any(m.crosses_gpu for m in fences)
+
+    def test_sys_release_fences_hierarchically(self, proto, cfg,
+                                               recording):
+        bind_home(proto, N10, 0)
+        recording.clear()
+        proto.process(rel(N10, 0, scope=Scope.SYS))
+        fences = recording.of_type(MsgType.RELEASE_FENCE)
+        crossing = [m for m in fences if m.crosses_gpu]
+        assert len(crossing) == cfg.num_gpus - 1  # one per peer GPU
+
+    def test_gpu_release_cheaper_than_sys(self, proto):
+        bind_home(proto, N10, 0)
+        gpu_rel = proto.process(rel(N10, 0, scope=Scope.GPU))
+        sys_rel = proto.process(rel(N10, 0, scope=Scope.SYS))
+        assert gpu_rel.latency < sys_rel.latency
+
+    def test_acquire_keeps_l2(self, proto, cfg):
+        bind_home(proto, N00)
+        proto.process(ld(N10, 0))
+        proto.process(acq(N10, 4 * cfg.page_size, scope=Scope.SYS))
+        assert proto.l2_of(N10).peek(0) is not None
+
+    def test_boundary_keeps_l2(self, proto):
+        bind_home(proto, N00)
+        proto.process(ld(N10, 0))
+        proto.process(boundary(N10))
+        assert proto.l2_of(N10).peek(0) is not None
+
+
+class TestNoTransientState:
+    def test_two_stable_states_only(self, proto):
+        """Directory entries are either present (V) or absent (I);
+        nothing else exists to observe, even mid-protocol."""
+        bind_home(proto, N00)
+        proto.process(ld(N10, 0))
+        proto.process(st(N11, 0))
+        proto.process(ld(N01, 0))
+        for d in proto.dirs:
+            for entry in d.entries():
+                assert entry.sharers is not None  # structural only
+
+    def test_max_sharers_bounded(self, proto, cfg):
+        """An entry tracks at most (M-1) + (N-1) sharers (Section VII-C)."""
+        bind_home(proto, N00)
+        for gpu in range(cfg.num_gpus):
+            for gpm in range(cfg.gpms_per_gpu):
+                node = NodeId(gpu, gpm)
+                if node != N00:
+                    proto.process(ld(node, 0))
+        entry = dir_entry(proto, N00)
+        limit = (cfg.gpms_per_gpu - 1) + (cfg.num_gpus - 1)
+        assert len(entry.sharers) <= limit

@@ -1,0 +1,153 @@
+"""End-to-end integration: the paper's qualitative claims must hold on
+scaled-down runs of the actual workload suite."""
+
+import pytest
+
+from repro.analysis.metrics import geomean
+from repro.config import SystemConfig
+from repro.engine.simulator import compare, speedups
+from repro.experiments.runner import ExperimentContext
+from repro.trace.workloads import WORKLOADS
+
+#: Representative subset spanning the pattern families.
+SUBSET = ["CoMD", "snap", "RNN_FW", "mst", "GoogLeNet", "namd2.10"]
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return ExperimentContext(
+        SystemConfig.paper_scaled(),
+        seed=1,
+        ops_scale=0.3,
+        workloads=SUBSET,
+    )
+
+
+@pytest.fixture(scope="module")
+def table(ctx):
+    return ctx.speedup_table(("sw", "nhcc", "hsw", "hmg", "ideal"))
+
+
+class TestHeadlineOrdering:
+    """The paper's central claims, as orderings of geomean speedups."""
+
+    def test_caching_beats_no_caching(self, table):
+        gm = table.geomeans()
+        assert all(v > 1.0 for v in gm.values())
+
+    def test_hmg_beats_non_hierarchical_sw(self, table):
+        gm = table.geomeans()
+        assert gm["hmg"] > gm["sw"]
+
+    def test_hmg_beats_nhcc(self, table):
+        gm = table.geomeans()
+        assert gm["hmg"] > gm["nhcc"]
+
+    def test_hierarchy_helps_both_sw_and_hw(self, table):
+        gm = table.geomeans()
+        assert gm["hsw"] > gm["sw"]
+        assert gm["hmg"] > gm["nhcc"]
+
+    def test_hmg_close_to_ideal(self, table):
+        """Paper: 97% of idealized caching on the full suite (we
+        measure ~95% there; see EXPERIMENTS.md).  This subset is biased
+        toward the highest-sharing workloads where the gap is widest,
+        so require >= 80%."""
+        gm = table.geomeans()
+        assert gm["hmg"] / gm["ideal"] >= 0.80
+
+    def test_no_protocol_beats_ideal_meaningfully(self, table):
+        for workload in table.workloads():
+            row = table.row(workload)
+            for name in ("sw", "nhcc", "hsw", "hmg"):
+                assert row[name] <= row["ideal"] * 1.05
+
+
+class TestPerWorkloadShape:
+    def test_snap_needs_hierarchy(self, table):
+        """snap: non-hierarchical protocols are far from the
+        hierarchical ones (3.3/3.4 vs 7.0/7.2 in the paper)."""
+        row = table.row("snap")
+        assert row["hsw"] > 1.5 * row["sw"]
+        assert row["hmg"] > 1.5 * row["nhcc"]
+
+    def test_rnn_benefits_from_caching(self, table):
+        row = table.row("RNN_FW")
+        assert row["hmg"] > 2.0
+
+    def test_gpu_synced_apps_prefer_hierarchy(self, table):
+        """cuSolver/namd/mst-style .gpu-scope sync favours protocols
+        with an intra-GPU coherence point."""
+        row = table.row("namd2.10")
+        assert row["hsw"] > row["sw"]
+        assert row["hmg"] > row["nhcc"]
+
+
+class TestSensitivityDirections:
+    def test_more_inter_gpu_bandwidth_lifts_baseline(self, ctx):
+        """Fig 12's x-axis direction: with faster links the baseline
+        recovers, so normalized speedups shrink."""
+        slow = ctx.cfg.replace(inter_gpu_bw_gbps=100.0)
+        fast = ctx.cfg.replace(inter_gpu_bw_gbps=400.0)
+        trace = ctx.trace("snap")
+        sp_slow = speedups(compare(trace, slow, ["noremote", "hmg"]))
+        sp_fast = speedups(compare(trace, fast, ["noremote", "hmg"]))
+        assert sp_slow["hmg"] > sp_fast["hmg"]
+
+    def test_hmg_gains_from_bigger_l2(self, ctx):
+        """Fig 13: HMG keeps improving with L2 capacity."""
+        small = ctx.cfg.replace(l2_bytes_per_gpu=ctx.cfg.l2_bytes_per_gpu
+                                // 2)
+        trace = ctx.trace("GoogLeNet")
+        base_small = compare(trace, small, ["noremote", "hmg"])
+        base_big = compare(trace, ctx.cfg, ["noremote", "hmg"])
+        assert (speedups(base_big)["hmg"]
+                >= speedups(base_small)["hmg"] * 0.95)
+
+    def test_smaller_directory_hurts_hmg(self, ctx):
+        """Fig 14: shrinking the directory forces extra invalidations."""
+        cfg = ctx.cfg
+        tiny = cfg.replace(
+            dir_entries_per_gpm=max(cfg.dir_ways,
+                                    cfg.dir_entries_per_gpm // 4)
+        )
+        trace = ctx.trace("snap")
+        full = compare(trace, cfg, ["noremote", "hmg"])
+        small = compare(trace, tiny, ["noremote", "hmg"])
+        assert small["hmg"].stats.dir_evictions >= (
+            full["hmg"].stats.dir_evictions
+        )
+        assert speedups(small)["hmg"] <= speedups(full)["hmg"] * 1.02
+
+
+class TestInvalidationEconomics:
+    def test_few_lines_per_shared_store(self, ctx):
+        """Fig 9: invalidations per shared store stay small (the paper
+        sees ~1.5-4; sharer counts are low)."""
+        result = ctx.run("mst", "hmg")
+        assert 0 < result.stats.lines_inv_per_shared_store < 8
+
+    def test_invalidation_bandwidth_small_vs_link(self, ctx):
+        """Fig 11: invalidation traffic is a small fraction of link
+        bandwidth (a few GB/s against 200 GB/s links)."""
+        result = ctx.run("snap", "hmg")
+        assert result.inv_bandwidth_gbps < 0.5 * ctx.cfg.inter_gpu_bw_gbps
+
+    def test_sw_has_zero_inv_traffic(self, ctx):
+        result = ctx.run("snap", "hsw")
+        assert result.stats.inv_messages == 0
+
+
+class TestSingleGpu:
+    def test_protocols_converge_on_one_gpu(self):
+        """Section VII-A: within one GPU, SW and HW coherence both sit
+        close to idealized caching."""
+        cfg = SystemConfig.paper_scaled(num_gpus=1)
+        ctx = ExperimentContext(cfg, seed=1, ops_scale=0.3,
+                                workloads=["CoMD", "RNN_FW"])
+        table = ctx.speedup_table(("sw", "nhcc", "ideal"))
+        gm = table.geomeans()
+        # "Close" within one GPU (Section VII-A gives no numbers); the
+        # residual gap is kernel-boundary refetch over the (fast) xbar.
+        assert gm["sw"] / gm["ideal"] > 0.65
+        assert gm["nhcc"] / gm["ideal"] > 0.75

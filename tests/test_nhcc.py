@@ -1,0 +1,222 @@
+"""NHCC protocol flows (Section IV, Table I)."""
+
+import pytest
+
+from repro.core.directory import Sharer
+from repro.core.types import MsgType, NodeId, OpType, Scope
+from repro.experiments.tables import verify_transition_table
+from tests.conftest import (
+    N00, N01, N10, N11,
+    acq, atom, bind_home, boundary, ld, make, rel, st,
+)
+
+
+@pytest.fixture
+def proto(cfg, recording):
+    return make(cfg, "nhcc", sink=recording)
+
+
+def entry_for(proto, addr=0):
+    line = proto.amap.line_of(addr)
+    home = proto.sys_home(line, N00)
+    return proto.dirs[proto.flat(home)].lookup(
+        proto.amap.sector_of_line(line), touch=False
+    )
+
+
+class TestTransitionTable:
+    def test_table_i(self):
+        checks = verify_transition_table("nhcc")
+        failures = [c for c in checks if not c.passed]
+        assert not failures, failures
+
+
+class TestLoads:
+    def test_local_load_fills_local_caches(self, proto):
+        bind_home(proto, N00)
+        out = proto.process(ld(N00, 0))
+        assert out.hit_level in ("local_l2", "l1")
+        assert proto.l2_of(N00).peek(0) is not None
+
+    def test_remote_load_fills_and_tracks(self, proto, recording):
+        bind_home(proto, N00)
+        recording.clear()
+        proto.process(ld(N10, 0))
+        assert proto.l2_of(N10).peek(0) is not None
+        entry = entry_for(proto)
+        assert Sharer.gpm(proto.flat(N10)) in entry.sharers
+        assert len(recording.of_type(MsgType.LOAD_REQ)) == 1
+        assert len(recording.of_type(MsgType.DATA_RESP)) == 1
+
+    def test_second_load_hits_locally_no_messages(self, proto, recording):
+        bind_home(proto, N00)
+        proto.process(ld(N10, 0))
+        recording.clear()
+        out = proto.process(ld(N10, 0))
+        assert out.hit_level in ("l1", "local_l2")
+        assert not recording.messages
+
+    def test_scoped_load_must_miss_non_home(self, proto):
+        bind_home(proto, N00)
+        proto.process(ld(N10, 0))  # cached at N10
+        out = proto.process(ld(N10, 0, scope=Scope.GPU))
+        # Must bypass L1 and the non-home L2 and reach the home.
+        assert out.hit_level in ("home_l2", "dram")
+
+    def test_scoped_load_may_hit_at_home(self, proto):
+        bind_home(proto, N00)
+        proto.process(ld(N00, 0))
+        out = proto.process(ld(N00, 0, scope=Scope.SYS))
+        assert out.hit_level == "local_l2"
+
+    def test_remote_gpu_load_counted(self, proto):
+        bind_home(proto, N00)
+        proto.process(ld(N10, 0))
+        assert proto.stats.remote_gpu_loads == 1
+        proto.process(ld(N01, 128))  # same-GPU remote: not counted
+        assert proto.stats.remote_gpu_loads == 1
+
+
+class TestStores:
+    def test_local_store_invalidates_all_sharers(self, proto, recording):
+        line = bind_home(proto, N00)
+        proto.process(ld(N10, 0))
+        proto.process(ld(N11, 0))
+        recording.clear()
+        proto.process(st(N00, 0))
+        invs = recording.of_type(MsgType.INVALIDATION)
+        assert len(invs) == 2
+        assert entry_for(proto) is None  # -> I
+        assert proto.l2_of(N10).peek(line) is None
+        assert proto.l2_of(N11).peek(line) is None
+        assert proto.stats.stores_on_shared == 1
+        assert proto.stats.lines_inv_by_store == 2
+
+    def test_remote_store_keeps_sender_only(self, proto, recording):
+        bind_home(proto, N00)
+        proto.process(ld(N10, 0))
+        proto.process(ld(N11, 0))
+        recording.clear()
+        proto.process(st(N10, 0))
+        entry = entry_for(proto)
+        assert entry.sharers == {Sharer.gpm(proto.flat(N10))}
+        assert proto.l2_of(N11).peek(0) is None
+        assert proto.l2_of(N10).peek(0) is not None
+
+    def test_store_writes_through_to_home(self, proto, recording):
+        bind_home(proto, N00)
+        recording.clear()
+        proto.process(st(N10, 0, size=64))
+        reqs = recording.of_type(MsgType.STORE_REQ)
+        assert len(reqs) == 1
+        assert reqs[0].dst == N00
+        # Home L2 holds the new (dirty) authoritative copy.
+        home_copy = proto.l2_of(N00).peek(0)
+        assert home_copy is not None and home_copy.dirty
+
+    def test_no_invalidation_acks_ever(self, proto, recording):
+        bind_home(proto, N00)
+        proto.process(ld(N10, 0))
+        recording.clear()
+        proto.process(st(N00, 0))
+        assert not recording.of_type(MsgType.RELEASE_ACK)
+
+    def test_store_with_no_sharers_sends_no_invs(self, proto, recording):
+        bind_home(proto, N00)
+        recording.clear()
+        proto.process(st(N00, 0))
+        assert not recording.of_type(MsgType.INVALIDATION)
+        assert proto.stats.stores_on_shared == 0
+
+    def test_sector_granular_invalidation(self, proto, cfg):
+        """An invalidation drops every line of the 4-line sector the
+        directory entry covers (the false-sharing grain)."""
+        bind_home(proto, N00)
+        for k in range(cfg.dir_lines_per_entry):
+            proto.process(ld(N10, k * cfg.line_size))
+        proto.process(st(N00, 0))
+        for k in range(cfg.dir_lines_per_entry):
+            assert proto.l2_of(N10).peek(k) is None
+        assert proto.stats.lines_inv_by_store == cfg.dir_lines_per_entry
+
+
+class TestAtomics:
+    def test_cta_atomic_stays_local(self, proto, recording):
+        bind_home(proto, N00)
+        recording.clear()
+        proto.process(atom(N00, 0, scope=Scope.CTA))
+        assert not recording.messages
+
+    def test_scoped_atomic_at_home(self, proto, recording):
+        bind_home(proto, N00)
+        recording.clear()
+        proto.process(atom(N10, 0, scope=Scope.GPU))
+        assert len(recording.of_type(MsgType.ATOMIC_REQ)) == 1
+        assert len(recording.of_type(MsgType.ATOMIC_RESP)) == 1
+        # Treated as a store: requester becomes the sole sharer.
+        entry = entry_for(proto)
+        assert entry.sharers == {Sharer.gpm(proto.flat(N10))}
+
+
+class TestSync:
+    def test_acquire_invalidates_l1_only(self, proto, cfg):
+        bind_home(proto, N00)
+        proto.process(ld(N10, 0))        # L1 + L2 filled at N10
+        proto.process(ld(N10, cfg.line_size))
+        assert proto.l2_of(N10).peek(0) is not None
+        sync_addr = 4 * cfg.page_size
+        proto.process(acq(N10, sync_addr, scope=Scope.GPU))
+        # L2 keeps the lines (hardware-coherent); the old L1 contents
+        # were flash-invalidated (only the sync line itself may remain).
+        assert proto.l2_of(N10).peek(0) is not None
+        assert proto.l2_of(N10).peek(1) is not None
+        slice0 = proto.l1[proto.flat(N10)][0]
+        assert slice0.peek(0) is None and slice0.peek(1) is None
+
+    def test_release_fences_all_remote_l2s(self, proto, cfg, recording):
+        bind_home(proto, N00)
+        recording.clear()
+        proto.process(rel(N00, 0, scope=Scope.GPU))
+        fences = recording.of_type(MsgType.RELEASE_FENCE)
+        acks = recording.of_type(MsgType.RELEASE_ACK)
+        assert len(fences) == cfg.total_gpms - 1
+        assert len(acks) == cfg.total_gpms - 1
+
+    def test_release_is_exposed(self, proto):
+        bind_home(proto, N00)
+        out = proto.process(rel(N00, 0, scope=Scope.GPU))
+        assert out.exposed
+        assert out.latency >= 2 * proto.cfg.latency.inter_gpu_hop
+
+    def test_kernel_boundary_flashes_l1s_keeps_l2(self, proto):
+        bind_home(proto, N00)
+        proto.process(ld(N10, 0))
+        proto.process(boundary(N10))
+        assert proto.l2_of(N10).peek(0) is not None
+        assert all(len(s) == 0 for s in proto.l1[proto.flat(N10)])
+
+
+class TestEvictionOptions:
+    def test_downgrade_removes_sharer(self, cfg, recording):
+        cfg = cfg.replace(downgrade_on_clean_eviction=True)
+        proto = make(cfg, "nhcc", sink=recording)
+        bind_home(proto, N00)
+        proto.process(ld(N10, 0))
+        l2 = proto.l2_of(N10)
+        # Evict the remote line directly (as capacity pressure would).
+        victim = l2.invalidate(0)
+        assert victim is not None
+        proto._handle_l2_victim(N10, victim)
+        assert recording.of_type(MsgType.DOWNGRADE)
+        entry = entry_for(proto)
+        assert entry is None or Sharer.gpm(proto.flat(N10)) not in entry.sharers
+
+    def test_silent_eviction_keeps_sharer(self, cfg, recording):
+        proto = make(cfg, "nhcc", sink=recording)
+        bind_home(proto, N00)
+        proto.process(ld(N10, 0))
+        victim = proto.l2_of(N10).invalidate(0)
+        proto._handle_l2_victim(N10, victim)
+        assert not recording.of_type(MsgType.DOWNGRADE)
+        entry = entry_for(proto)
+        assert Sharer.gpm(proto.flat(N10)) in entry.sharers

@@ -1,0 +1,92 @@
+"""No-remote-caching baseline."""
+
+import pytest
+
+from repro.core.types import MsgType, Scope
+from tests.conftest import (
+    N00, N01, N10,
+    acq, atom, bind_home, boundary, ld, make, rel, st,
+)
+
+
+@pytest.fixture
+def proto(cfg, recording):
+    return make(cfg, "noremote", sink=recording)
+
+
+class TestNeverCachesRemote:
+    def test_remote_gpu_line_never_cached(self, proto):
+        bind_home(proto, N00)
+        for _ in range(3):
+            proto.process(ld(N10, 0))
+        assert proto.l2_of(N10).peek(0) is None
+        assert all(s.peek(0) is None for s in proto.l1[proto.flat(N10)])
+
+    def test_every_remote_read_crosses(self, proto, recording):
+        bind_home(proto, N00)
+        recording.clear()
+        for _ in range(3):
+            proto.process(ld(N10, 0))
+        assert len(recording.of_type(MsgType.LOAD_REQ)) == 3
+        assert len(recording.of_type(MsgType.DATA_RESP)) == 3
+
+    def test_home_l2_still_serves(self, proto):
+        bind_home(proto, N00)
+        proto.process(ld(N10, 0))
+        out = proto.process(ld(N10, 0))
+        assert out.hit_level == "home_l2"
+
+
+class TestIntraGpuCaching:
+    def test_same_gpu_remote_gpm_cached(self, proto):
+        bind_home(proto, N00)
+        proto.process(ld(N01, 0))
+        assert proto.l2_of(N01).peek(0) is not None
+
+    def test_local_lines_cached(self, proto):
+        line = bind_home(proto, N10, 0)
+        proto.process(ld(N10, 0))
+        assert proto.l2_of(N10).peek(line) is not None
+
+    def test_acquire_drops_intra_gpu_remote(self, proto, cfg):
+        bind_home(proto, N00)
+        proto.process(ld(N01, 0))
+        proto.process(acq(N01, 4 * cfg.page_size, scope=Scope.GPU))
+        assert proto.l2_of(N01).peek(0) is None
+
+
+class TestStores:
+    def test_remote_store_writes_through_only(self, proto, recording):
+        bind_home(proto, N00)
+        recording.clear()
+        proto.process(st(N10, 0))
+        assert recording.of_type(MsgType.STORE_REQ)
+        assert proto.l2_of(N10).peek(0) is None
+        home_copy = proto.l2_of(N00).peek(0)
+        assert home_copy is not None and home_copy.dirty
+
+    def test_no_invalidations(self, proto, recording):
+        bind_home(proto, N00)
+        proto.process(ld(N01, 0))
+        recording.clear()
+        proto.process(st(N00, 0))
+        assert not recording.of_type(MsgType.INVALIDATION)
+
+
+class TestSync:
+    def test_release_exposed(self, proto):
+        bind_home(proto, N00)
+        out = proto.process(rel(N00, 0, scope=Scope.GPU))
+        assert out.exposed
+
+    def test_boundary_drops_intra_remote(self, proto):
+        bind_home(proto, N00)
+        proto.process(ld(N01, 0))
+        proto.process(boundary(N01))
+        assert proto.l2_of(N01).peek(0) is None
+
+    def test_atomic_at_home(self, proto, recording):
+        bind_home(proto, N00)
+        recording.clear()
+        proto.process(atom(N10, 0, scope=Scope.SYS))
+        assert recording.of_type(MsgType.ATOMIC_REQ)[0].dst == N00

@@ -1,0 +1,86 @@
+"""NUMA page placement policies."""
+
+import pytest
+
+from repro.core.types import NodeId
+from repro.memsys.page_table import (
+    FirstTouchPlacement,
+    InterleavedPlacement,
+    PageTable,
+    SingleNodePlacement,
+    make_placement,
+)
+
+
+class TestFirstTouch:
+    def test_binds_to_first_toucher(self):
+        p = FirstTouchPlacement(4, 4)
+        assert p.owner(0, NodeId(2, 1)) == NodeId(2, 1)
+        # Subsequent touches do not move the page.
+        assert p.owner(0, NodeId(3, 0)) == NodeId(2, 1)
+        assert p.lookup(0) == NodeId(2, 1)
+
+    def test_lookup_unplaced_raises(self):
+        with pytest.raises(KeyError):
+            FirstTouchPlacement(4, 4).lookup(99)
+
+    def test_distribution(self):
+        p = FirstTouchPlacement(4, 4)
+        for page in range(8):
+            p.owner(page, NodeId(page % 4, 0))
+        assert p.gpu_distribution() == [2, 2, 2, 2]
+        assert p.placed_pages == 8
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            FirstTouchPlacement(0, 4)
+
+
+class TestInterleaved:
+    def test_round_robin_gpus(self):
+        p = InterleavedPlacement(4, 4)
+        assert [p.lookup(k).gpu for k in range(8)] == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_gpms_rotate(self):
+        p = InterleavedPlacement(4, 4)
+        gpms = {p.lookup(k).gpm for k in range(32)}
+        assert gpms == {0, 1, 2, 3}
+
+    def test_toucher_ignored(self):
+        p = InterleavedPlacement(2, 4)
+        assert p.owner(5, NodeId(0, 0)) == p.owner(5, NodeId(1, 3))
+
+
+class TestSingleNode:
+    def test_all_on_one_gpu(self):
+        p = SingleNodePlacement(2, 4)
+        assert all(p.lookup(k).gpu == 2 for k in range(16))
+
+    def test_gpms_spread(self):
+        p = SingleNodePlacement(0, 4)
+        assert {p.lookup(k).gpm for k in range(8)} == {0, 1, 2, 3}
+
+
+class TestFactory:
+    def test_names(self):
+        assert isinstance(make_placement("first_touch", 4, 4),
+                          FirstTouchPlacement)
+        assert isinstance(make_placement("interleave", 4, 4),
+                          InterleavedPlacement)
+        single = make_placement("single:2", 4, 4)
+        assert isinstance(single, SingleNodePlacement)
+        assert single.gpu == 2
+        assert make_placement("single", 4, 4).gpu == 0
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            make_placement("nope", 4, 4)
+
+
+class TestPageTable:
+    def test_address_to_owner(self):
+        table = PageTable(4096, FirstTouchPlacement(4, 4))
+        owner = table.owner_of_address(4096 * 3 + 17, NodeId(1, 2))
+        assert owner == NodeId(1, 2)
+        assert table.owner_of_page(3, NodeId(0, 0)) == NodeId(1, 2)
+        assert table.touches == 2

@@ -1,0 +1,165 @@
+"""Protocol framework: registry, base helpers, message accounting."""
+
+import pytest
+
+from repro.core.protocol import NullSink, RecordingSink
+from repro.core.registry import (
+    FIGURE2_PROTOCOLS,
+    FIGURE8_PROTOCOLS,
+    PROTOCOLS,
+    make_protocol,
+    protocol_names,
+)
+from repro.core.types import MemOp, MsgType, NodeId, OpType
+from tests.conftest import N00, N01, N10, ld, make, st
+
+
+class TestRegistry:
+    def test_all_protocols_registered(self):
+        assert set(protocol_names()) == {
+            "noremote", "sw", "hsw", "nhcc", "gpuvi", "hmg", "ideal"
+        }
+
+    def test_figure_sets(self):
+        assert set(FIGURE8_PROTOCOLS) <= set(PROTOCOLS)
+        assert set(FIGURE2_PROTOCOLS) <= set(PROTOCOLS)
+        assert "hmg" in FIGURE8_PROTOCOLS
+        assert "hmg" not in FIGURE2_PROTOCOLS
+
+    def test_unknown_name(self, cfg):
+        with pytest.raises(ValueError, match="unknown protocol"):
+            make_protocol("mesi", cfg)
+
+    def test_labels_unique(self):
+        labels = [cls.label for cls in PROTOCOLS.values()]
+        assert len(labels) == len(set(labels))
+
+    def test_directory_only_on_hw(self, cfg):
+        for name in protocol_names():
+            proto = make(cfg, name)
+            assert proto.has_directory == (
+                name in ("nhcc", "gpuvi", "hmg")
+            )
+
+
+class TestStructure:
+    def test_per_gpm_structures(self, cfg):
+        proto = make(cfg, "hmg")
+        assert len(proto.l2) == cfg.total_gpms
+        assert len(proto.dram) == cfg.total_gpms
+        assert len(proto.l1) == cfg.total_gpms
+        assert all(len(s) == cfg.l1_slices_per_gpm for s in proto.l1)
+        assert len(proto.dirs) == cfg.total_gpms
+
+    def test_flat_node_roundtrip(self, cfg):
+        proto = make(cfg, "nhcc")
+        for i in range(cfg.total_gpms):
+            assert proto.flat(proto.node(i)) == i
+
+    def test_dir_of_requires_directory(self, cfg):
+        with pytest.raises(AttributeError):
+            make(cfg, "sw").dir_of(N00)
+
+
+class TestHomeMapping:
+    def test_first_touch_binds_home(self, cfg):
+        proto = make(cfg, "nhcc")
+        proto.process(st(N10, 0))
+        assert proto.sys_home(0, N00) == N10  # sticky
+
+    def test_homes_within_owner_gpu(self, cfg):
+        proto = make(cfg, "hmg")
+        proto.process(st(N10, 0))
+        ghome, syshome = proto.homes(0, NodeId(1, 3))
+        assert syshome == N10
+        assert ghome == N10  # owner GPU's home is the page's GPM
+
+    def test_homes_elsewhere(self, cfg):
+        proto = make(cfg, "hmg")
+        proto.process(st(N10, 0))
+        ghome, syshome = proto.homes(0, N00)
+        assert syshome == N10
+        assert ghome.gpu == 0
+
+
+class TestLatencies:
+    def test_hop_latency_tiers(self, cfg):
+        proto = make(cfg, "hmg")
+        assert proto.hop_latency(N00, N00) == 0
+        assert proto.hop_latency(N00, N01) == cfg.latency.inter_gpm_hop
+        assert proto.hop_latency(N00, N10) == cfg.latency.inter_gpu_hop
+        assert proto.rtt(N00, N10) == 2 * cfg.latency.inter_gpu_hop
+
+
+class TestMessageAccounting:
+    def test_sizes(self, cfg):
+        proto = make(cfg, "nhcc")
+        sizes = cfg.message_sizes
+        assert proto._msg_size(MsgType.LOAD_REQ) == sizes.request_header
+        assert proto._msg_size(MsgType.DATA_RESP) == (
+            sizes.data_payload_extra + cfg.line_size
+        )
+        assert proto._msg_size(MsgType.INVALIDATION) == sizes.invalidation
+        assert proto._msg_size(MsgType.RELEASE_ACK) == sizes.acknowledgment
+        assert proto._msg_size(MsgType.STORE_REQ, payload=64) == (
+            sizes.request_header + 64
+        )
+
+    def test_send_counts_both_stats_and_sink(self, cfg, recording):
+        proto = make(cfg, "nhcc", sink=recording)
+        proto.send(MsgType.LOAD_REQ, N00, N10, 0)
+        assert proto.stats.msg_counts[MsgType.LOAD_REQ] == 1
+        assert len(recording.messages) == 1
+        assert recording.messages[0].dst == N10
+
+    def test_null_sink_default(self, cfg):
+        proto = make(cfg, "nhcc")
+        assert isinstance(proto.sink, NullSink)
+
+
+class TestProcessDispatch:
+    @pytest.mark.parametrize("name", sorted(PROTOCOLS))
+    def test_op_counters(self, cfg, name):
+        proto = make(cfg, name)
+        proto.process(ld(N00, 0))
+        proto.process(st(N00, 128))
+        assert proto.stats.loads == 1
+        assert proto.stats.stores == 1
+        assert proto.ops_per_gpm[0] == 2
+
+    def test_unknown_op_type_raises(self, cfg):
+        proto = make(cfg, "nhcc")
+        bad = MemOp(OpType.LOAD, 0, N00)
+        object.__setattr__(bad, "op", 99)
+        with pytest.raises(ValueError):
+            proto.process(bad)
+
+    def test_versions_monotone(self, cfg):
+        proto = make(cfg, "nhcc")
+        versions = []
+        for k in range(5):
+            proto.process(st(N00, k * 128))
+            versions.append(proto._next_version)
+        assert versions == sorted(versions)
+        assert len(set(versions)) == 5
+
+
+class TestRecordingSink:
+    def test_of_type_and_clear(self, cfg):
+        sink = RecordingSink()
+        proto = make(cfg, "nhcc", sink=sink)
+        proto.process(st(N00, 0))        # bind home locally
+        proto.process(ld(N10, 0))        # remote load -> req + resp
+        assert len(sink.of_type(MsgType.LOAD_REQ)) == 1
+        assert len(sink.of_type(MsgType.DATA_RESP)) == 1
+        sink.clear()
+        assert not sink.messages
+
+
+class TestCachesHolding:
+    def test_lists_holders(self, cfg):
+        proto = make(cfg, "nhcc")
+        proto.process(st(N00, 0))
+        proto.process(ld(N10, 0))
+        holders = proto.caches_holding(0)
+        assert N00 in holders and N10 in holders

@@ -1,0 +1,107 @@
+"""Deterministic scoped release/acquire (RAW) semantics across protocols.
+
+The contract of the scoped memory model (Section II-C): after a
+store-release at scope s by thread A and a matching load-acquire at
+scope s by thread B within that scope, B's subsequent loads return a
+version at least as new as the released one.
+"""
+
+import pytest
+
+from repro.core.registry import protocol_names
+from repro.core.types import NodeId, Scope
+from tests.conftest import N00, N01, N10, N11, acq, bind_home, boundary, ld, make, rel, st
+
+
+def latest_version(proto, addr):
+    line = proto.amap.line_of(addr)
+    owner = proto.page_table.policy.lookup(proto.amap.page_of_line(line))
+    home_copy = proto.l2_of(owner).peek(line)
+    if home_copy is not None:
+        return home_copy.version
+    return proto.dram_of(owner).peek(line)
+
+
+COHERENT = ["sw", "hsw", "nhcc", "gpuvi", "hmg", "noremote", "ideal"]
+
+
+@pytest.mark.parametrize("name", COHERENT)
+class TestGpuScopeRAW:
+    def test_same_gpu_release_acquire(self, cfg, name):
+        proto = make(cfg, name)
+        sync_addr = 4 * cfg.page_size
+        data_addr = 8 * cfg.page_size
+        bind_home(proto, N10, sync_addr)
+        bind_home(proto, N10, data_addr)
+        # Reader warms a (soon stale) copy.
+        proto.process(ld(N11, data_addr))
+        # Writer: data store, then .gpu release.
+        proto.process(st(N10, data_addr))
+        released = latest_version(proto, data_addr)
+        proto.process(rel(N10, sync_addr, scope=Scope.GPU))
+        # Reader: .gpu acquire, then load.
+        proto.process(acq(N11, sync_addr, scope=Scope.GPU))
+        seen = proto.process(ld(N11, data_addr)).version
+        assert seen >= released
+
+
+@pytest.mark.parametrize("name", COHERENT)
+class TestSysScopeRAW:
+    def test_cross_gpu_release_acquire(self, cfg, name):
+        proto = make(cfg, name)
+        sync_addr = 4 * cfg.page_size
+        data_addr = 8 * cfg.page_size
+        bind_home(proto, N00, sync_addr)
+        bind_home(proto, N00, data_addr)
+        proto.process(ld(N10, data_addr))       # stale copy on GPU1
+        proto.process(st(N00, data_addr))
+        released = latest_version(proto, data_addr)
+        proto.process(rel(N00, sync_addr, scope=Scope.SYS))
+        proto.process(acq(N10, sync_addr, scope=Scope.SYS))
+        seen = proto.process(ld(N10, data_addr)).version
+        assert seen >= released
+
+    def test_kernel_boundary_orders_dependent_kernels(self, cfg, name):
+        """Bulk-synchronous contract: data written in kernel k is
+        visible to every GPM in kernel k+1."""
+        proto = make(cfg, name)
+        data_addr = 8 * cfg.page_size
+        bind_home(proto, N00, data_addr)
+        proto.process(ld(N10, data_addr))
+        proto.process(st(N00, data_addr))
+        released = latest_version(proto, data_addr)
+        for gpu in range(cfg.num_gpus):
+            for gpm in range(cfg.gpms_per_gpu):
+                proto.process(boundary(NodeId(gpu, gpm)))
+        seen = proto.process(ld(N10, data_addr)).version
+        assert seen >= released
+
+
+@pytest.mark.parametrize("name", ["sw", "hsw"])
+class TestRelaxedStaleness:
+    def test_plain_loads_may_be_stale_under_sw(self, cfg, name):
+        """Conversely: without an acquire, software coherence is allowed
+        to (and does) return stale data — that is its whole bargain."""
+        proto = make(cfg, name)
+        data_addr = 8 * cfg.page_size
+        bind_home(proto, N00, data_addr)
+        v0 = proto.process(ld(N10, data_addr)).version
+        proto.process(st(N00, data_addr))
+        assert proto.process(ld(N10, data_addr)).version == v0
+
+
+@pytest.mark.parametrize("name", ["nhcc", "hmg"])
+class TestHardwarePromptVisibility:
+    def test_l2_reads_fresh_without_acquire(self, cfg, name):
+        """Hardware coherence invalidates stale L2 copies at store time;
+        a reader whose L1 misses sees the new value immediately."""
+        proto = make(cfg, name)
+        data_addr = 8 * cfg.page_size
+        bind_home(proto, N00, data_addr)
+        proto.process(ld(N10, data_addr, cta=0))
+        proto.process(st(N00, data_addr))
+        latest = latest_version(proto, data_addr)
+        # A different CTA (different L1 slice) on the same GPM: its L1
+        # misses, its L2 was invalidated -> fresh value.
+        seen = proto.process(ld(N10, data_addr, cta=1)).version
+        assert seen == latest

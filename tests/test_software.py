@@ -1,0 +1,158 @@
+"""Software coherence protocols: bulk invalidation, scoped staleness."""
+
+import pytest
+
+from repro.core.types import MsgType, NodeId, Scope
+from tests.conftest import (
+    N00, N01, N10, N11,
+    acq, atom, bind_home, boundary, ld, make, rel, st,
+)
+
+
+class TestNonHierarchical:
+    @pytest.fixture
+    def proto(self, cfg, recording):
+        return make(cfg, "sw", sink=recording)
+
+    def test_no_directory(self, proto):
+        assert not proto.has_directory
+
+    def test_no_invalidation_messages_ever(self, proto, recording):
+        bind_home(proto, N00)
+        proto.process(ld(N10, 0))
+        proto.process(st(N00, 0))
+        proto.process(boundary(N10))
+        assert not recording.of_type(MsgType.INVALIDATION)
+
+    def test_stale_read_until_acquire(self, proto, cfg):
+        """The defining SW behaviour: a store leaves stale copies that
+        survive until the reader's acquire."""
+        line = bind_home(proto, N00)
+        v_old = proto.process(ld(N10, 0)).version
+        proto.process(st(N00, 0))  # new version at home
+        stale = proto.process(ld(N10, 0)).version
+        assert stale == v_old  # still the cached stale copy
+        proto.process(acq(N10, 4 * cfg.page_size, scope=Scope.GPU))
+        fresh = proto.process(ld(N10, 0)).version
+        assert fresh > v_old
+
+    def test_acquire_drops_remote_lines_only(self, proto, cfg):
+        home_local = bind_home(proto, N10, 0)
+        remote_addr = cfg.page_size
+        bind_home(proto, N00, remote_addr)
+        proto.process(ld(N10, 0))            # locally-homed
+        proto.process(ld(N10, remote_addr))  # remotely-homed
+        proto.process(acq(N10, 4 * cfg.page_size, scope=Scope.GPU))
+        assert proto.l2_of(N10).peek(home_local) is not None
+        assert proto.l2_of(N10).peek(
+            proto.amap.line_of(remote_addr)) is None
+
+    def test_kernel_boundary_refetch(self, proto):
+        bind_home(proto, N00)
+        proto.process(ld(N10, 0))
+        proto.process(boundary(N10))
+        assert proto.l2_of(N10).peek(0) is None
+
+    def test_atomics_go_to_system_home(self, proto, recording):
+        bind_home(proto, N00)
+        recording.clear()
+        proto.process(atom(N10, 0, scope=Scope.GPU))
+        reqs = recording.of_type(MsgType.ATOMIC_REQ)
+        assert reqs and reqs[0].dst == N00
+
+    def test_release_has_no_fence_messages(self, proto, recording):
+        bind_home(proto, N00)
+        recording.clear()
+        out = proto.process(rel(N00, 0, scope=Scope.SYS))
+        assert not recording.of_type(MsgType.RELEASE_FENCE)
+        assert out.exposed and out.latency > 0
+
+
+class TestHierarchical:
+    @pytest.fixture
+    def proto(self, cfg, recording):
+        return make(cfg, "hsw", sink=recording)
+
+    def test_routes_via_gpu_home(self, proto, recording):
+        bind_home(proto, N00)
+        line = proto.amap.line_of(0)
+        ghome1 = proto.amap.gpu_home(line, 1, N00)
+        requester = NodeId(1, (ghome1.gpm + 1) % 4)
+        recording.clear()
+        proto.process(ld(requester, 0))
+        reqs = recording.of_type(MsgType.LOAD_REQ)
+        assert [(m.src, m.dst) for m in reqs] == [
+            (requester, ghome1), (ghome1, N00)
+        ]
+
+    def test_second_gpm_served_within_gpu(self, proto, recording):
+        bind_home(proto, N00)
+        line = proto.amap.line_of(0)
+        ghome1 = proto.amap.gpu_home(line, 1, N00)
+        r1 = NodeId(1, (ghome1.gpm + 1) % 4)
+        r2 = NodeId(1, (ghome1.gpm + 2) % 4)
+        proto.process(ld(r1, 0))
+        recording.clear()
+        proto.process(ld(r2, 0))
+        assert not any(m.crosses_gpu for m in recording.messages)
+
+    def test_gpu_acquire_preserves_gpu_home_copies(self, proto, cfg):
+        """A .gpu acquire drops lines GPU-homed elsewhere but keeps
+        peer-GPU lines cached at their designated GPU home (same-GPU
+        writers write through it, so it cannot be stale for .gpu)."""
+        bind_home(proto, N00)
+        line = proto.amap.line_of(0)
+        ghome1 = proto.amap.gpu_home(line, 1, N00)
+        proto.process(ld(ghome1, 0))  # ghome caches peer-GPU line
+        proto.process(acq(ghome1, 4 * cfg.page_size, scope=Scope.GPU))
+        assert proto.l2_of(ghome1).peek(line) is not None
+
+    def test_sys_boundary_drops_peer_lines_at_gpu_home(self, proto):
+        bind_home(proto, N00)
+        line = proto.amap.line_of(0)
+        ghome1 = proto.amap.gpu_home(line, 1, N00)
+        proto.process(ld(ghome1, 0))
+        proto.process(boundary(ghome1))
+        assert proto.l2_of(ghome1).peek(line) is None
+
+    def test_sys_acquire_cleans_whole_gpu(self, proto, cfg):
+        bind_home(proto, N00)
+        line = proto.amap.line_of(0)
+        for gpm in range(cfg.gpms_per_gpu):
+            proto.process(ld(NodeId(1, gpm), 0))
+        proto.process(acq(N10, 4 * cfg.page_size, scope=Scope.SYS))
+        for gpm in range(cfg.gpms_per_gpu):
+            assert proto.l2_of(NodeId(1, gpm)).peek(line) is None
+
+    def test_scoped_raw_via_gpu_home(self, proto, cfg):
+        """Same-GPU release/acquire pair at .gpu scope: the reader sees
+        the writer's value without any inter-GPU round trip."""
+        sync_addr = 4 * cfg.page_size
+        bind_home(proto, N10, sync_addr)
+        data_addr = 8 * cfg.page_size
+        bind_home(proto, N10, data_addr)
+        proto.process(ld(N11, data_addr))      # stale copy at reader
+        proto.process(st(N10, data_addr))      # writer updates
+        proto.process(rel(N10, sync_addr, scope=Scope.GPU))
+        proto.process(acq(N11, sync_addr, scope=Scope.GPU))
+        fresh = proto.process(ld(N11, data_addr)).version
+        at_home = proto.dram_of(N10).peek(proto.amap.line_of(data_addr))
+        home_l2 = proto.l2_of(N10).peek(proto.amap.line_of(data_addr))
+        latest = home_l2.version if home_l2 else at_home
+        assert fresh == latest
+
+    def test_gpu_release_stall_cheaper_than_sys(self, proto, cfg):
+        bind_home(proto, N10, 0)
+        gpu_rel = proto.process(rel(N10, 0, scope=Scope.GPU))
+        sys_rel = proto.process(rel(N10, 0, scope=Scope.SYS))
+        assert gpu_rel.latency < sys_rel.latency
+
+    def test_gpu_scope_atomic_at_gpu_home(self, proto, recording):
+        bind_home(proto, N00)
+        line = proto.amap.line_of(0)
+        ghome1 = proto.amap.gpu_home(line, 1, N00)
+        requester = NodeId(1, (ghome1.gpm + 1) % 4)
+        recording.clear()
+        proto.process(atom(requester, 0, scope=Scope.GPU))
+        resp = recording.of_type(MsgType.ATOMIC_RESP)
+        assert resp and resp[0].src == ghome1

@@ -1,0 +1,94 @@
+"""SimResult details, stats aggregation, report sweep formatting."""
+
+import pytest
+
+from repro.analysis.report import format_sweep
+from repro.config import SystemConfig
+from repro.core.registry import make_protocol
+from repro.core.types import MsgType
+from repro.engine.simulator import simulate
+from repro.engine.stats import (
+    aggregate_l1_stats,
+    aggregate_l2_stats,
+    message_byte_breakdown,
+    total_dram_bytes,
+)
+from repro.trace.workloads import WORKLOADS
+from tests.conftest import N00, N10, ld, st
+
+
+@pytest.fixture(scope="module")
+def run():
+    cfg = SystemConfig.paper_scaled(1 / 64)
+    trace = list(WORKLOADS["snap"].generate(cfg, seed=1, ops_scale=0.05))
+    return simulate(trace, cfg, protocol="hmg", workload_name="snap")
+
+
+class TestSimResult:
+    def test_seconds_consistent_with_frequency(self, run):
+        assert run.seconds == pytest.approx(
+            run.cycles / (run.cfg.frequency_ghz * 1e9)
+        )
+
+    def test_inv_bandwidth_definition(self, run):
+        expected = run.stats.inv_bytes / run.seconds / 1e9
+        assert run.inv_bandwidth_gbps == pytest.approx(expected)
+
+    def test_inter_gpu_bytes_sums_directions(self, run):
+        assert run.inter_gpu_bytes == sum(
+            a + b for a, b in run.link_bytes
+        )
+
+    def test_speedup_over_self_is_one(self, run):
+        assert run.speedup_over(run) == pytest.approx(1.0)
+
+    def test_summary_mentions_key_fields(self, run):
+        text = run.summary()
+        assert "snap" in text and "hmg" in text and "bottleneck" in text
+
+
+class TestAggregation:
+    def test_aggregates_cover_all_structures(self):
+        cfg = SystemConfig.paper_scaled(1 / 64)
+        proto = make_protocol("hmg", cfg)
+        proto.process(st(N00, 0))
+        proto.process(ld(N10, 0))
+        l1 = aggregate_l1_stats(proto)
+        l2 = aggregate_l2_stats(proto)
+        assert l2.accesses > 0
+        assert l1.accesses >= 0
+        # A cold load of a never-written page reads its home's DRAM.
+        proto.process(ld(N10, cfg.page_size))
+        assert total_dram_bytes(proto) > 0
+
+    def test_message_byte_breakdown_keys(self):
+        cfg = SystemConfig.paper_scaled(1 / 64)
+        proto = make_protocol("hmg", cfg)
+        proto.process(st(N00, 0))
+        proto.process(ld(N10, 0))
+        breakdown = message_byte_breakdown(proto.stats)
+        assert set(breakdown) == {m.name for m in MsgType}
+        assert breakdown["LOAD_REQ"] > 0
+
+
+class TestProtocolStatsProperties:
+    def test_ratios_guard_zero_division(self):
+        from repro.core.protocol import ProtocolStats
+
+        stats = ProtocolStats()
+        assert stats.lines_inv_per_shared_store == 0.0
+        assert stats.lines_inv_per_dir_eviction == 0.0
+        assert stats.inv_messages == 0
+        assert stats.total_message_bytes == 0
+
+
+class TestFormatSweep:
+    def test_rows_are_sweep_points(self):
+        series = {
+            "hmg": {"100GB/s": 2.0, "200GB/s": 1.5},
+            "sw": {"100GB/s": 1.5, "200GB/s": 1.2},
+        }
+        text = format_sweep(series, "BW", {"hmg": "HMG", "sw": "SW"})
+        lines = text.splitlines()
+        assert "100GB/s" in lines[2]
+        assert "HMG" in lines[0] and "SW" in lines[0]

@@ -1,0 +1,90 @@
+"""Trace serialization."""
+
+import io
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.core.types import OpType, Scope
+from repro.trace.io import (
+    TraceFormatError,
+    dump_trace,
+    iter_trace_ops,
+    load_trace,
+    roundtrip,
+)
+from repro.trace.stream import Trace
+from repro.trace.workloads import WORKLOADS
+
+
+@pytest.fixture(scope="module")
+def trace():
+    cfg = SystemConfig.paper_scaled(1 / 64)
+    return WORKLOADS["mst"].generate(cfg, seed=2, ops_scale=0.03)
+
+
+class TestRoundtrip:
+    def test_ops_identical(self, trace):
+        loaded = roundtrip(trace)
+        assert loaded.ops == trace.ops
+
+    def test_metadata_preserved(self, trace):
+        loaded = roundtrip(trace)
+        assert loaded.name == trace.name
+        assert loaded.footprint_bytes == trace.footprint_bytes
+        assert loaded.kernels == trace.kernels
+        assert loaded.meta == trace.meta
+
+    def test_scopes_and_sizes_preserved(self, trace):
+        loaded = roundtrip(trace)
+        assert loaded.scoped_op_counts() == trace.scoped_op_counts()
+
+
+class TestFiles:
+    def test_file_roundtrip(self, trace, tmp_path):
+        path = tmp_path / "mst.trace"
+        written = dump_trace(trace, path)
+        assert written == len(trace)
+        loaded = load_trace(path)
+        assert loaded.ops == trace.ops
+
+    def test_streaming_iteration(self, trace, tmp_path):
+        path = tmp_path / "mst.trace"
+        dump_trace(trace, path)
+        streamed = list(iter_trace_ops(path))
+        assert streamed == trace.ops
+
+
+class TestErrors:
+    def test_empty_file(self):
+        with pytest.raises(TraceFormatError, match="empty"):
+            load_trace(io.StringIO(""))
+
+    def test_wrong_format(self):
+        with pytest.raises(TraceFormatError, match="not a repro trace"):
+            load_trace(io.StringIO('{"format": "other"}\n'))
+
+    def test_bad_header_json(self):
+        with pytest.raises(TraceFormatError, match="bad header"):
+            load_trace(io.StringIO("not json\n"))
+
+    def test_wrong_version(self):
+        with pytest.raises(TraceFormatError, match="version"):
+            load_trace(io.StringIO(
+                '{"format": "repro-trace", "version": 99}\n'
+            ))
+
+    def test_malformed_op(self):
+        buf = io.StringIO(
+            '{"format": "repro-trace", "version": 1}\n[1, 2]\n'
+        )
+        with pytest.raises(TraceFormatError, match="malformed"):
+            load_trace(buf)
+
+    def test_op_count_mismatch(self):
+        buf = io.StringIO(
+            '{"format": "repro-trace", "version": 1, "ops": 5}\n'
+            "[0, 0, 0, 0, 0, 0, 4]\n"
+        )
+        with pytest.raises(TraceFormatError, match="ops"):
+            load_trace(buf)

@@ -1,0 +1,129 @@
+"""Core vocabulary: scopes, op types, node ids, messages."""
+
+import pytest
+
+from repro.core.types import (
+    DirState,
+    MemOp,
+    Message,
+    MsgType,
+    NodeId,
+    OpType,
+    Scope,
+)
+
+
+class TestScope:
+    def test_ordering(self):
+        assert Scope.CTA < Scope.GPU < Scope.SYS
+
+    def test_includes(self):
+        assert Scope.SYS.includes(Scope.CTA)
+        assert Scope.SYS.includes(Scope.GPU)
+        assert Scope.GPU.includes(Scope.CTA)
+        assert not Scope.CTA.includes(Scope.GPU)
+        assert Scope.GPU.includes(Scope.GPU)
+
+    def test_ptx_names(self):
+        assert Scope.CTA.ptx_name == ".cta"
+        assert Scope.GPU.ptx_name == ".gpu"
+        assert Scope.SYS.ptx_name == ".sys"
+
+
+class TestOpType:
+    def test_reads(self):
+        assert OpType.LOAD.is_read
+        assert OpType.ACQUIRE.is_read
+        assert not OpType.STORE.is_read
+
+    def test_writes(self):
+        assert OpType.STORE.is_write
+        assert OpType.ATOMIC.is_write
+        assert OpType.RELEASE.is_write
+        assert not OpType.LOAD.is_write
+
+    def test_synchronizing(self):
+        assert OpType.ACQUIRE.is_synchronizing
+        assert OpType.RELEASE.is_synchronizing
+        assert OpType.KERNEL_BOUNDARY.is_synchronizing
+        assert not OpType.LOAD.is_synchronizing
+        assert not OpType.ATOMIC.is_synchronizing
+
+
+class TestNodeId:
+    def test_flat_roundtrip(self):
+        for gpu in range(4):
+            for gpm in range(4):
+                node = NodeId(gpu, gpm)
+                assert NodeId.from_flat(node.flat(4), 4) == node
+
+    def test_flat_values(self):
+        assert NodeId(0, 0).flat(4) == 0
+        assert NodeId(1, 0).flat(4) == 4
+        assert NodeId(3, 3).flat(4) == 15
+
+    def test_same_gpu(self):
+        assert NodeId(1, 0).same_gpu(NodeId(1, 3))
+        assert not NodeId(1, 0).same_gpu(NodeId(2, 0))
+
+    def test_ordering_and_hash(self):
+        assert NodeId(0, 1) < NodeId(1, 0)
+        assert len({NodeId(0, 0), NodeId(0, 0), NodeId(0, 1)}) == 2
+
+    def test_str(self):
+        assert str(NodeId(2, 3)) == "GPU2:GPM3"
+
+
+class TestMemOp:
+    def test_defaults(self):
+        op = MemOp(OpType.LOAD, 0x1000, NodeId(0, 0))
+        assert op.scope == Scope.CTA
+        assert op.size == 4
+        assert op.cta == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MemOp(OpType.LOAD, -1, NodeId(0, 0))
+        with pytest.raises(ValueError):
+            MemOp(OpType.LOAD, 0, NodeId(0, 0), size=0)
+
+    def test_with_scope(self):
+        op = MemOp(OpType.RELEASE, 64, NodeId(1, 2), cta=7, size=8)
+        op2 = op.with_scope(Scope.SYS)
+        assert op2.scope == Scope.SYS
+        assert (op2.op, op2.address, op2.node, op2.cta, op2.size) == (
+            op.op, op.address, op.node, op.cta, op.size
+        )
+
+    def test_frozen(self):
+        op = MemOp(OpType.LOAD, 0, NodeId(0, 0))
+        with pytest.raises(Exception):
+            op.address = 5
+
+
+class TestMessage:
+    def test_crosses_gpu(self):
+        m = Message(MsgType.LOAD_REQ, NodeId(0, 0), NodeId(1, 0))
+        assert m.crosses_gpu
+        m2 = Message(MsgType.LOAD_REQ, NodeId(0, 0), NodeId(0, 1))
+        assert not m2.crosses_gpu
+
+    def test_str(self):
+        m = Message(MsgType.DATA_RESP, NodeId(0, 0), NodeId(1, 1),
+                    address=0x80, size_bytes=144)
+        assert "DATA_RESP" in str(m)
+        assert "144B" in str(m)
+
+
+class TestMsgType:
+    def test_carries_data(self):
+        assert MsgType.DATA_RESP.carries_data
+        assert MsgType.STORE_REQ.carries_data
+        assert MsgType.WRITEBACK.carries_data
+        assert not MsgType.INVALIDATION.carries_data
+        assert not MsgType.RELEASE_ACK.carries_data
+
+
+class TestDirState:
+    def test_two_stable_states_only(self):
+        assert len(list(DirState)) == 2

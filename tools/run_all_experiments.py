@@ -1,0 +1,33 @@
+#!/usr/bin/env python
+"""Run every experiment at reporting scale; save outputs for EXPERIMENTS.md."""
+
+import sys
+import time
+
+from repro.config import SystemConfig
+from repro.experiments.registry import EXPERIMENTS
+from repro.experiments.runner import ExperimentContext
+
+FULL = ["table1", "table2", "table3", "hwcost", "fig3", "fig2", "fig8",
+        "fig9", "fig10", "fig11", "fig7", "singlegpu"]
+SWEEP = ["fig12", "fig13", "fig14", "granularity", "placement",
+         "downgrade"]
+SWEEP_WORKLOADS = ["CoMD", "namd2.10", "snap", "RNN_FW", "mst",
+                   "GoogLeNet"]
+
+
+def main():
+    cfg = SystemConfig.paper_scaled()
+    full_ctx = ExperimentContext(cfg, seed=1, ops_scale=1.0)
+    sweep_ctx = ExperimentContext(cfg, seed=1, ops_scale=0.5,
+                                  workloads=SWEEP_WORKLOADS)
+    for name in FULL + SWEEP:
+        ctx = sweep_ctx if name in SWEEP else full_ctx
+        start = time.time()
+        result = EXPERIMENTS[name](ctx)
+        print(str(result))
+        print(f"\n[{name}: {time.time() - start:.1f}s]\n", flush=True)
+
+
+if __name__ == "__main__":
+    main()
