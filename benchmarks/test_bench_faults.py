@@ -1,0 +1,18 @@
+"""Faults: coherence protocol value on a degraded inter-GPU fabric."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import faults as faults_experiment
+
+
+def test_bench_faults(benchmark, sweep_ctx):
+    result = run_once(benchmark, faults_experiment.faults, sweep_ctx)
+    series = result.data["series"]
+    benchmark.extra_info["hmg"] = {k: round(v, 2)
+                                   for k, v in series["hmg"].items()}
+    # HMG stays the best non-ideal option under every fault plan.
+    for plan in result.data["plans"]:
+        assert series["hmg"][plan] >= series["nhcc"][plan]
+        assert series["ideal"][plan] >= series["hmg"][plan]
+    # Remote caching grows MORE valuable as the fabric degrades: the
+    # no-remote baseline pays the faulty links on every remote access.
+    assert series["hmg"]["degraded"] >= series["hmg"]["none"]

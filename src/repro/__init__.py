@@ -13,17 +13,22 @@ from repro.core.registry import (
     make_protocol,
     protocol_names,
 )
+from repro.core.sanitizer import CoherenceSanitizer, CoherenceViolation
 from repro.core.types import MemOp, NodeId, OpType, Scope
+from repro.engine.detailed import SimulationStalled
 from repro.engine.simulator import compare, simulate, speedups
 from repro.engine.stats import SimResult
+from repro.faults import FAULT_PLANS, FaultPlan, make_fault_plan
 from repro.trace.stream import Trace
 from repro.trace.workloads import FIGURE_ORDER, WORKLOADS, get_workload
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
-    "FIGURE2_PROTOCOLS", "FIGURE8_PROTOCOLS", "FIGURE_ORDER", "MemOp",
-    "NodeId", "OpType", "PROTOCOLS", "Scope", "SimResult", "SystemConfig",
-    "Trace", "WORKLOADS", "compare", "get_workload", "make_protocol",
-    "protocol_names", "simulate", "speedups", "__version__",
+    "CoherenceSanitizer", "CoherenceViolation", "FAULT_PLANS",
+    "FIGURE2_PROTOCOLS", "FIGURE8_PROTOCOLS", "FIGURE_ORDER", "FaultPlan",
+    "MemOp", "NodeId", "OpType", "PROTOCOLS", "Scope", "SimResult",
+    "SimulationStalled", "SystemConfig", "Trace", "WORKLOADS", "compare",
+    "get_workload", "make_fault_plan", "make_protocol", "protocol_names",
+    "simulate", "speedups", "__version__",
 ]

@@ -1,0 +1,338 @@
+"""Runtime coherence sanitizer: DESIGN.md §6 invariants, checked in-flight.
+
+The offline property tests drive random op sequences through every
+protocol and assert the §6 invariants after each op — thorough, but only
+over the tiny sequences hypothesis can afford.  NHCC/HMG deliberately
+drop invalidation acks and transient states, so their correctness rests
+entirely on those invariants; this module checks them *against the
+executing simulation*, sampled so long sweeps can leave it on:
+
+* **scoped RAW** (invariant 3) — O(1) bookkeeping per op, checked on
+  every load;
+* **post-store exclusivity** (invariant 2) — checked on every
+  store/atomic at the hardware protocols.  A copy of a line can only
+  sit in the L1 slice of a node that issued an op on it (or a home
+  node, which is exempt), so the check peeks just the tracked accessor
+  set of the line, not every cache;
+* **directory over-approximation** (invariant 1) — O(tracked lines x
+  accessors) sweeps, run every ``interval`` ops over a bounded LRU
+  window of recently-touched lines;
+* **hierarchical sharer encoding** (invariant 4) — each sweep walks a
+  rotating batch of directories, covering all of them across
+  consecutive sweeps.
+
+Violations raise :class:`CoherenceViolation` carrying the offending op,
+its trace index, the cache line and a snapshot of the relevant
+directory state — or are collected when ``collect=True`` so a sweep can
+report every violation instead of dying on the first.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.core.directory import Sharer
+from repro.core.types import MemOp, OpType, Scope
+
+#: Protocols whose directories the structural invariants apply to.
+DIRECTORY_PROTOCOLS = ("nhcc", "gpuvi", "hmg")
+
+
+class CoherenceViolation(AssertionError):
+    """A DESIGN.md §6 invariant failed during simulation."""
+
+    def __init__(self, invariant: str, detail: str, *, op: MemOp = None,
+                 op_index: int = None, line: int = None,
+                 directory_state: str = None):
+        self.invariant = invariant
+        self.detail = detail
+        self.op = op
+        self.op_index = op_index
+        self.line = line
+        self.directory_state = directory_state
+        parts = [f"[{invariant}] {detail}"]
+        if op is not None:
+            parts.append(f"op #{op_index}: {op}")
+        if line is not None:
+            parts.append(f"line {line}")
+        if directory_state is not None:
+            parts.append(f"directory state: {directory_state}")
+        super().__init__("\n  ".join(parts))
+
+
+class CoherenceSanitizer:
+    """Opt-in, sampled, bounded-overhead runtime invariant checker.
+
+    One instance observes one run: the timing engines call
+    :meth:`after_op` for every processed trace op.  State is bounded —
+    the line window, release table and RAW expectations are all LRU
+    dicts with hard caps — so overhead does not grow with trace length.
+    """
+
+    def __init__(self, interval: int = 512, max_tracked_lines: int = 256,
+                 collect: bool = False):
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.interval = interval
+        self.max_tracked_lines = max_tracked_lines
+        self.collect = collect
+        #: Total per-op checks performed (any kind).
+        self.checks = 0
+        #: Full directory sweeps performed.
+        self.sweeps = 0
+        #: Violations found (only populated when ``collect=True``).
+        self.violations: list[CoherenceViolation] = []
+        #: LRU of touched lines -> set of flat accessor node ids.
+        self._lines: OrderedDict = OrderedDict()
+        self._released: OrderedDict = OrderedDict()  # line -> (v, scope, node)
+        self._expected: OrderedDict = OrderedDict()  # (flat,cta,line) -> v
+        self._seen_version = 1
+        self._dir_cursor = 0  # rotating start for encoding sweeps
+        self._last_line = None  # most-recently-touched line (LRU fast path)
+
+    # ------------------------------------------------------------------
+
+    def _fail(self, violation: CoherenceViolation) -> None:
+        if self.collect:
+            self.violations.append(violation)
+        else:
+            raise violation
+
+    @staticmethod
+    def _bound(table: OrderedDict, cap: int) -> None:
+        while len(table) > cap:
+            table.popitem(last=False)
+
+    def _track_line(self, line: int, flat: int) -> None:
+        accessors = self._lines.get(line)
+        if accessors is None:
+            self._lines[line] = {flat}
+            self._bound(self._lines, self.max_tracked_lines)
+            self._last_line = line
+        elif line == self._last_line:
+            accessors.add(flat)
+        else:
+            accessors.add(flat)
+            self._lines.move_to_end(line)
+            self._last_line = line
+
+    # ------------------------------------------------------------------
+
+    def after_op(self, proto, op: MemOp, outcome, index: int) -> None:
+        """Observe one processed op and check what it can violate."""
+        self.checks += 1
+        line = None
+        if op.op != OpType.KERNEL_BOUNDARY:
+            line = proto.amap.line_of(op.address)
+            self._track_line(line, proto.flat(op.node))
+
+        new_version = proto._next_version > self._seen_version
+        self._seen_version = proto._next_version
+
+        if op.op == OpType.RELEASE and new_version \
+                and op.scope >= Scope.GPU:
+            self._released[line] = (proto._next_version - 1, op.scope,
+                                    op.node)
+            self._bound(self._released, 4 * self.max_tracked_lines)
+
+        if op.op == OpType.ACQUIRE and op.scope >= Scope.GPU:
+            self._note_acquire(proto, op, line)
+
+        if op.op in (OpType.LOAD, OpType.ACQUIRE):
+            self._check_raw(proto, op, outcome, index, line)
+
+        if (op.op in (OpType.STORE, OpType.ATOMIC)
+                and proto.name in DIRECTORY_PROTOCOLS
+                and not (op.op == OpType.ATOMIC and op.scope == Scope.CTA)):
+            self._check_store_exclusivity(proto, op, index, line)
+
+        if index % self.interval == 0 and proto.name in DIRECTORY_PROTOCOLS:
+            self.sweeps += 1
+            self._check_directory_coverage(proto, op, index)
+            if proto.name == "hmg":
+                self._check_sharer_encoding(proto, op, index)
+
+    # ------------------------------------------------------------------
+    # Invariant 3: scoped RAW
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _synchronizes(rel_scope: Scope, rel_node, acq_node,
+                      acq_scope: Scope) -> bool:
+        """True when a release/acquire pair orders the two threads
+        under the scoped (HRF) model."""
+        if rel_node.gpu == acq_node.gpu:
+            return rel_scope >= Scope.GPU and acq_scope >= Scope.GPU
+        return rel_scope == Scope.SYS and acq_scope == Scope.SYS
+
+    def _note_acquire(self, proto, op: MemOp, line: int) -> None:
+        rel = self._released.get(line)
+        if rel is None:
+            return
+        version, rel_scope, rel_node = rel
+        if self._synchronizes(rel_scope, rel_node, op.node, op.scope):
+            key = (proto.flat(op.node), op.cta, line)
+            self._expected[key] = version
+            self._bound(self._expected, 4 * self.max_tracked_lines)
+
+    def _check_raw(self, proto, op: MemOp, outcome, index: int,
+                   line: int) -> None:
+        expected = self._expected.get((proto.flat(op.node), op.cta, line))
+        if expected is not None and outcome.version < expected:
+            self._fail(CoherenceViolation(
+                "scoped-raw",
+                f"{op.node} cta{op.cta} read v{outcome.version} of a "
+                f"line released at v{expected} and acquired since",
+                op=op, op_index=index, line=line,
+                directory_state=self._dir_snapshot(proto, line),
+            ))
+
+    # ------------------------------------------------------------------
+    # Invariant 2: post-store exclusivity
+    # ------------------------------------------------------------------
+
+    def _check_store_exclusivity(self, proto, op: MemOp, index: int,
+                                 line: int) -> None:
+        owner = proto.sys_home(line, op.node)
+        latest = proto._next_version - 1
+        allowed = {op.node, owner,
+                   proto.amap.gpu_home(line, op.node.gpu, owner)}
+        for i in self._lines.get(line, ()):
+            holder = proto.node(i)
+            if holder in allowed:
+                continue
+            entry = proto.l2[i].peek(line)
+            if entry is not None and entry.version < latest:
+                self._fail(CoherenceViolation(
+                    "post-store-exclusivity",
+                    f"{holder} still holds v{entry.version} "
+                    f"(latest v{latest}) after {op.op.name} by {op.node}",
+                    op=op, op_index=index, line=line,
+                    directory_state=self._dir_snapshot(proto, line),
+                ))
+
+    # ------------------------------------------------------------------
+    # Invariant 1: directory over-approximation
+    # ------------------------------------------------------------------
+
+    def _check_directory_coverage(self, proto, op: MemOp,
+                                  index: int) -> None:
+        for line, accessors in self._lines.items():
+            page = proto.amap.page_of_line(line)
+            try:
+                owner = proto.page_table.policy.lookup(page)
+            except KeyError:
+                continue
+            sector = proto.amap.sector_of_line(line)
+            for i in accessors:
+                holder = proto.node(i)
+                if holder == owner or proto.l2[i].peek(line) is None:
+                    continue
+                self._check_covered(proto, op, index, line, sector,
+                                    holder, i, owner)
+
+    def _check_covered(self, proto, op: MemOp, index: int, line: int,
+                       sector: int, holder, flat_holder: int,
+                       owner) -> None:
+        def uncovered(where, missing):
+            self._fail(CoherenceViolation(
+                "directory-coverage",
+                f"{holder} holds a valid copy but {where} directory "
+                f"has {missing}",
+                op=op, op_index=index, line=line,
+                directory_state=self._dir_snapshot(proto, line),
+            ))
+
+        home_dir = proto.dirs[proto.flat(owner)]
+        if proto.name in ("nhcc", "gpuvi"):
+            entry = home_dir.lookup(sector, touch=False)
+            if entry is None:
+                uncovered(f"home {owner}", "no entry")
+            elif Sharer.gpm(flat_holder) not in entry.sharers:
+                uncovered(f"home {owner}",
+                          f"no GPM{flat_holder} sharer ({entry!r})")
+            return
+        # HMG: hierarchical coverage.
+        if holder.gpu == owner.gpu:
+            entry = home_dir.lookup(sector, touch=False)
+            if entry is None:
+                uncovered(f"system home {owner}", "no entry")
+            elif Sharer.gpm(holder.gpm) not in entry.sharers:
+                uncovered(f"system home {owner}",
+                          f"no GPM{holder.gpm} sharer ({entry!r})")
+            return
+        sys_entry = home_dir.lookup(sector, touch=False)
+        if sys_entry is None:
+            uncovered(f"system home {owner}", "no entry")
+            return
+        if Sharer.gpu(holder.gpu) not in sys_entry.sharers:
+            uncovered(f"system home {owner}",
+                      f"no GPU{holder.gpu} sharer ({sys_entry!r})")
+            return
+        ghome = proto.amap.gpu_home(line, holder.gpu, owner)
+        if holder != ghome:
+            gentry = proto.dirs[proto.flat(ghome)].lookup(sector,
+                                                          touch=False)
+            if gentry is None:
+                uncovered(f"GPU home {ghome}", "no entry")
+            elif Sharer.gpm(holder.gpm) not in gentry.sharers:
+                uncovered(f"GPU home {ghome}",
+                          f"no GPM{holder.gpm} sharer ({gentry!r})")
+
+    # ------------------------------------------------------------------
+    # Invariant 4: hierarchical sharer encoding
+    # ------------------------------------------------------------------
+
+    #: Directories examined per sharer-encoding sweep; the cursor
+    #: rotates so consecutive sweeps cover the full set.
+    DIRS_PER_SWEEP = 8
+
+    def _check_sharer_encoding(self, proto, op: MemOp,
+                               index: int) -> None:
+        gpms = proto.cfg.gpms_per_gpu
+        total = len(proto.dirs)
+        batch = range(self._dir_cursor,
+                      self._dir_cursor + min(self.DIRS_PER_SWEEP, total))
+        self._dir_cursor = (self._dir_cursor
+                            + min(self.DIRS_PER_SWEEP, total)) % max(total, 1)
+        for i in batch:
+            i %= total
+            d = proto.dirs[i]
+            here = proto.node(i)
+            for entry in d.entries():
+                for sharer in entry.sharers:
+                    if sharer.is_gpm and not 0 <= sharer.index < gpms:
+                        self._fail(CoherenceViolation(
+                            "hierarchical-encoding",
+                            f"directory at {here} records out-of-GPU "
+                            f"GPM id {sharer.index} ({entry!r})",
+                            op=op, op_index=index,
+                        ))
+                    elif sharer.is_gpu and sharer.index == here.gpu:
+                        self._fail(CoherenceViolation(
+                            "hierarchical-encoding",
+                            f"directory at {here} records its own GPU "
+                            f"as a peer sharer ({entry!r})",
+                            op=op, op_index=index,
+                        ))
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _dir_snapshot(proto, line: int) -> str:
+        """Human-readable dump of every directory entry covering a line."""
+        if not getattr(proto, "has_directory", False):
+            return "(no directories)"
+        sector = proto.amap.sector_of_line(line)
+        parts = []
+        for i, d in enumerate(proto.dirs):
+            entry = d.lookup(sector, touch=False)
+            if entry is not None:
+                parts.append(f"{proto.node(i)}={entry!r}")
+        return "; ".join(parts) if parts else "(no valid entries)"
+
+    def summary(self) -> str:
+        """One-line report of what was checked and found."""
+        return (f"sanitizer: {self.checks} ops checked, "
+                f"{self.sweeps} directory sweeps, "
+                f"{len(self.violations)} violation(s) collected")

@@ -38,6 +38,40 @@ from repro.interconnect.link import Link
 from repro.interconnect.network import Network
 
 
+class SimulationStalled(RuntimeError):
+    """The detailed engine stopped making forward progress.
+
+    Raised instead of hanging (or silently dropping work) when the
+    event loop exhausts its watchdog budget — a livelock — or drains
+    its event queue with trace ops still unscheduled — a deadlock,
+    e.g. a kernel-boundary rendezvous that can never complete.  The
+    structured fields let experiment harnesses report *where* the run
+    stalled instead of a bare timeout.
+    """
+
+    def __init__(self, reason: str, *, processed: int, total_ops: int,
+                 sim_time: float, pending: dict, parked: list):
+        #: "livelock" or "deadlock".
+        self.reason = reason
+        #: Events processed before the stall was declared.
+        self.processed = processed
+        #: Ops in the trace being replayed.
+        self.total_ops = total_ops
+        #: Simulated time at the stall.
+        self.sim_time = sim_time
+        #: flat GPM index -> ops still queued there.
+        self.pending = dict(pending)
+        #: flat GPM indices parked at a kernel-boundary rendezvous.
+        self.parked = sorted(parked)
+        stuck = ", ".join(f"gpm{i}:{n}" for i, n in sorted(pending.items()))
+        super().__init__(
+            f"simulation stalled ({reason}): {processed} events processed "
+            f"of {total_ops} ops, sim time {sim_time:.0f}cy; "
+            f"pending [{stuck or 'none'}]; "
+            f"parked at rendezvous {self.parked or 'none'}"
+        )
+
+
 class BufferingSink(TrafficSink):
     """Collects the messages one op emits, for the engine to route."""
 
@@ -56,18 +90,31 @@ class BufferingSink(TrafficSink):
 
 
 class DetailedEngine:
-    """Event-driven replay with link queuing and issue windows."""
+    """Event-driven replay with link queuing and issue windows.
+
+    An optional :class:`repro.faults.FaultPlan` attaches degradation
+    windows to every matching link and jitters individual message
+    deliveries; a progress watchdog bounds the event budget so a
+    faulted (or buggy) schedule raises :class:`SimulationStalled`
+    instead of hanging the sweep.
+    """
 
     name = "detailed"
 
-    def __init__(self, cfg: SystemConfig, max_outstanding: int = 256):
+    def __init__(self, cfg: SystemConfig, max_outstanding: int = 256,
+                 fault_plan=None, watchdog_limit: int = None):
         self.cfg = cfg
         self.max_outstanding = max_outstanding
+        self.fault_plan = fault_plan
+        #: Maximum events the loop may process; defaults to a generous
+        #: multiple of the trace length (each op is one event today, but
+        #: fault-induced retries may re-enqueue work).
+        self.watchdog_limit = watchdog_limit
 
     # ------------------------------------------------------------------
 
     def simulate(self, trace, protocol: str, placement: str = "first_touch",
-                 workload_name: str = "trace") -> SimResult:
+                 workload_name: str = "trace", sanitizer=None) -> SimResult:
         """Replay a trace through simulated time under one protocol."""
         cfg = self.cfg
         sink = BufferingSink()
@@ -82,6 +129,10 @@ class DetailedEngine:
             Link(f"l2[{i}]", cfg.timing.l2_bytes_per_cycle)
             for i in range(cfg.total_gpms)
         ]
+        plan = self.fault_plan
+        if plan is not None:
+            for link in (*network.all_links(), *dram_links, *l2_links):
+                link.fault_profile = plan.profile_for(link.name)
         sms = [
             SMCluster(proto.node(i), cfg, self.max_outstanding)
             for i in range(cfg.total_gpms)
@@ -113,18 +164,38 @@ class DetailedEngine:
         rounds_done = [0] * cfg.total_gpms
         parked: dict = {}
 
+        processed = 0
+        msg_index = 0
+        watchdog = self.watchdog_limit
+        if watchdog is None:
+            watchdog = max(8 * ops, 10_000)
+
         end_time = 0.0
         while len(events):
+            if processed >= watchdog:
+                raise SimulationStalled(
+                    "livelock", processed=processed, total_ops=ops,
+                    sim_time=events.clock.now,
+                    pending={i: len(q) for i, q in enumerate(queues) if q},
+                    parked=list(parked),
+                )
             _t, flat = events.pop()
             op = queues[flat].popleft()
             outcome = proto.process(op)
+            if sanitizer is not None:
+                sanitizer.after_op(proto, op, outcome, processed)
+            processed += 1
             messages = sink.drain()
 
             def completion_of(issue_time: float) -> float:
+                nonlocal msg_index
                 arrival = issue_time
                 for _mtype, src, dst, size in messages:
-                    arrival = max(arrival,
-                                  network.deliver(issue_time, src, dst, size))
+                    at = network.deliver(issue_time, src, dst, size)
+                    if plan is not None:
+                        at += plan.message_delay(msg_index)
+                        msg_index += 1
+                    arrival = max(arrival, at)
                 # L2 port occupancy at the issuing GPM.
                 l2_links[flat].send(issue_time, cfg.line_size)
                 # DRAM occupancy wherever partitions were touched.
@@ -174,6 +245,18 @@ class DetailedEngine:
                 continue
             if queues[flat]:
                 events.schedule(max(sm.next_issue, events.clock.now), flat)
+
+        leftover = {i: len(q) for i, q in enumerate(queues) if q}
+        if leftover:
+            # The event queue drained with work still unscheduled: a
+            # rendezvous that can never complete.  Surface the stall as
+            # a structured diagnostic instead of reporting a result
+            # that silently dropped ops.
+            raise SimulationStalled(
+                "deadlock", processed=processed, total_ops=ops,
+                sim_time=events.clock.now, pending=leftover,
+                parked=list(parked),
+            )
 
         cycles = max(
             [end_time]

@@ -9,6 +9,14 @@ Typical use::
     trace = WORKLOADS["mst"].generate(cfg, seed=1)
     result = simulate(trace, cfg, protocol="hmg")
     print(result.summary())
+
+Two opt-in robustness layers thread through here:
+
+* ``fault_plan`` — a :class:`repro.faults.FaultPlan` degrading the
+  interconnect (bandwidth windows, outages, message jitter);
+* ``sanitize`` / ``sanitizer`` — a
+  :class:`repro.core.sanitizer.CoherenceSanitizer` validating the
+  DESIGN.md §6 invariants while the run executes.
 """
 
 from __future__ import annotations
@@ -25,30 +33,43 @@ ENGINES = ("throughput", "detailed")
 
 def simulate(trace, cfg: SystemConfig, protocol: str = "hmg",
              engine: str = "throughput", placement: str = "first_touch",
-             workload_name: str = "trace") -> SimResult:
+             workload_name: str = "trace", fault_plan=None,
+             sanitize: bool = False, sanitizer=None) -> SimResult:
     """Run one trace under one protocol and return its :class:`SimResult`.
 
     ``trace`` must be re-iterable (a list, or a
     :class:`repro.trace.stream.Trace`) if you plan to reuse it across
     protocols; a single run only needs one pass.
+
+    ``sanitize=True`` builds a default
+    :class:`~repro.core.sanitizer.CoherenceSanitizer`; pass your own
+    via ``sanitizer`` to control sampling or inspect its counters
+    afterwards.
     """
+    if sanitizer is None and sanitize:
+        from repro.core.sanitizer import CoherenceSanitizer
+
+        sanitizer = CoherenceSanitizer()
     if engine == "throughput":
         sink = ThroughputSink(cfg.num_gpus)
         proto = make_protocol(protocol, cfg, sink=sink, placement=placement)
-        return ThroughputEngine(cfg).run(proto, trace,
-                                         workload_name=workload_name)
+        return ThroughputEngine(cfg, fault_plan=fault_plan).run(
+            proto, trace, workload_name=workload_name, sanitizer=sanitizer
+        )
     if engine == "detailed":
         from repro.engine.detailed import DetailedEngine
 
-        return DetailedEngine(cfg).simulate(trace, protocol,
-                                            placement=placement,
-                                            workload_name=workload_name)
+        return DetailedEngine(cfg, fault_plan=fault_plan).simulate(
+            trace, protocol, placement=placement,
+            workload_name=workload_name, sanitizer=sanitizer
+        )
     raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
 
 
 def compare(trace, cfg: SystemConfig, protocols: Sequence[str],
             engine: str = "throughput", placement: str = "first_touch",
-            workload_name: str = "trace") -> dict:
+            workload_name: str = "trace", fault_plan=None,
+            sanitize: bool = False) -> dict:
     """Run the same trace under several protocols.
 
     Returns ``{protocol_name: SimResult}``.  ``trace`` is materialized
@@ -57,7 +78,8 @@ def compare(trace, cfg: SystemConfig, protocols: Sequence[str],
     ops = trace if isinstance(trace, (list, tuple)) else list(trace)
     return {
         name: simulate(ops, cfg, protocol=name, engine=engine,
-                       placement=placement, workload_name=workload_name)
+                       placement=placement, workload_name=workload_name,
+                       fault_plan=fault_plan, sanitize=sanitize)
         for name in protocols
     }
 

@@ -59,15 +59,22 @@ class ThroughputSink(TrafficSink):
 
 
 class ThroughputEngine:
-    """Runs a trace through a protocol and produces a :class:`SimResult`."""
+    """Runs a trace through a protocol and produces a :class:`SimResult`.
+
+    An optional :class:`repro.faults.FaultPlan` degrades interconnect
+    resources: the engine has no clock, so each affected resource class
+    is charged the plan's duty-cycle time-expansion factor (see
+    :meth:`repro.faults.FaultPlan.time_expansion`).
+    """
 
     name = "throughput"
 
-    def __init__(self, cfg: SystemConfig):
+    def __init__(self, cfg: SystemConfig, fault_plan=None):
         self.cfg = cfg
+        self.fault_plan = fault_plan
 
     def run(self, protocol: CoherenceProtocol, trace,
-            workload_name: str = "trace") -> SimResult:
+            workload_name: str = "trace", sanitizer=None) -> SimResult:
         """Process every op of ``trace`` (an iterable of MemOp)."""
         cfg = self.cfg
         sink = protocol.sink
@@ -81,6 +88,8 @@ class ThroughputEngine:
         ops = 0
         for op in trace:
             outcome = protocol.process(op)
+            if sanitizer is not None:
+                sanitizer.after_op(protocol, op, outcome, ops)
             ops += 1
             if outcome.exposed:
                 flat = op.node.gpu * cfg.gpms_per_gpu + op.node.gpm
@@ -131,5 +140,11 @@ class ThroughputEngine:
             max(sink.link_out_bytes[g], sink.link_in_bytes[g]) / link_bpc
             for g in range(cfg.num_gpus)
         ]
+        if self.fault_plan is not None and not self.fault_plan.is_noop:
+            plan = self.fault_plan
+            l2 = [t * plan.time_expansion("l2") for t in l2]
+            dram = [t * plan.time_expansion("dram") for t in dram]
+            xbar = [t * plan.time_expansion("xbar") for t in xbar]
+            link = [t * plan.time_expansion("link") for t in link]
         return ResourceTimes(issue=issue, l2=l2, dram=dram, xbar=xbar,
                              link=link)

@@ -1,14 +1,33 @@
-"""Command-line entry point: ``python -m repro.experiments <id> ...``."""
+"""Command-line entry point: ``python -m repro.experiments <id> ...``.
+
+Crash-safe by construction: a ``--journal`` directory records every
+completed experiment (and every simulated cell) as it finishes, so a
+sweep killed mid-run can be re-issued with ``--resume`` and only the
+missing experiments execute — the completed ones are replayed verbatim
+from the journal.  Per-experiment ``--timeout`` (with retry + backoff
+for transient failures) and collect-don't-abort error handling keep one
+bad workload from taking down ``all``.
+"""
 
 from __future__ import annotations
 
 import argparse
+import contextlib
+import signal
 import sys
 import time
 
 from repro.config import SystemConfig
+from repro.experiments.journal import RunJournal
 from repro.experiments.registry import EXPERIMENTS, experiment_ids
 from repro.experiments.runner import ExperimentContext
+
+#: Journal directory used when --resume is given without --journal.
+DEFAULT_JOURNAL = ".repro-journal"
+
+
+class ExperimentTimeout(RuntimeError):
+    """An experiment exceeded its --timeout budget."""
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -30,11 +49,87 @@ def build_parser() -> argparse.ArgumentParser:
                         help="restrict to these workloads")
     parser.add_argument("--quick", action="store_true",
                         help="shortcut for --ops-scale 0.25")
+    parser.add_argument("--sanitize", action="store_true",
+                        help="run the coherence sanitizer inside every "
+                             "simulation (DESIGN.md §6 invariants)")
+    parser.add_argument("--journal", default=None, metavar="DIR",
+                        help="record completed experiments/cells in DIR "
+                             f"(implied '{DEFAULT_JOURNAL}' by --resume)")
+    parser.add_argument("--resume", action="store_true",
+                        help="skip experiments already completed in the "
+                             "journal, replaying their stored output")
+    parser.add_argument("--timeout", type=float, default=0.0,
+                        metavar="SECONDS",
+                        help="per-experiment wall-clock budget "
+                             "(0 = unlimited)")
+    parser.add_argument("--retries", type=int, default=2,
+                        help="retry attempts per failed experiment "
+                             "(default 2)")
+    parser.add_argument("--retry-backoff", type=float, default=0.5,
+                        metavar="SECONDS",
+                        help="initial backoff between retries, doubling "
+                             "each attempt (default 0.5)")
     return parser
 
 
+@contextlib.contextmanager
+def _deadline(seconds: float, experiment_id: str):
+    """Raise :class:`ExperimentTimeout` after ``seconds`` of wall time.
+
+    Uses SIGALRM where available (CPython on POSIX); elsewhere — or for
+    ``seconds <= 0`` — it is a no-op.
+    """
+    if seconds <= 0 or not hasattr(signal, "SIGALRM"):
+        yield
+        return
+
+    def _expired(signum, frame):
+        raise ExperimentTimeout(
+            f"experiment {experiment_id!r} exceeded {seconds:g}s"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def run_with_retries(driver, ctx, experiment_id: str, *,
+                     timeout: float = 0.0, retries: int = 2,
+                     backoff: float = 0.5, sleep=time.sleep):
+    """Run one experiment driver with a deadline and retry-and-backoff.
+
+    Transient failures (anything but KeyboardInterrupt/SystemExit) are
+    retried up to ``retries`` times with exponentially growing pauses;
+    the last failure propagates.
+    """
+    attempt = 0
+    while True:
+        try:
+            with _deadline(timeout, experiment_id):
+                return driver(ctx)
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except Exception as exc:
+            attempt += 1
+            if attempt > retries:
+                raise
+            delay = backoff * (2 ** (attempt - 1))
+            print(f"experiment {experiment_id} failed "
+                  f"(attempt {attempt}/{retries + 1}): {exc}; "
+                  f"retrying in {delay:g}s", file=sys.stderr)
+            sleep(delay)
+
+
 def main(argv=None) -> int:
-    """Entry point; returns a process exit code."""
+    """Entry point; returns a process exit code.
+
+    0: everything ran; 1: at least one experiment failed (the others
+    still ran and printed); 2: bad usage (unknown experiment id).
+    """
     args = build_parser().parse_args(argv)
     ids = args.experiment
     if ids == ["all"]:
@@ -43,20 +138,78 @@ def main(argv=None) -> int:
     if unknown:
         print(f"unknown experiment(s): {', '.join(unknown)}",
               file=sys.stderr)
-        print(f"known: {', '.join(experiment_ids())}", file=sys.stderr)
+        print(f"valid ids: {', '.join(experiment_ids())}, or 'all'",
+              file=sys.stderr)
         return 2
     ops_scale = 0.25 if args.quick else args.ops_scale
+
+    journal = None
+    journal_dir = args.journal
+    if journal_dir is None and args.resume:
+        journal_dir = DEFAULT_JOURNAL
+    if journal_dir is not None:
+        journal = RunJournal(journal_dir, context_key={
+            "seed": args.seed,
+            "scale": args.scale,
+            "ops_scale": ops_scale,
+            "workloads": args.workloads,
+            "sanitize": args.sanitize,
+        })
+        if args.resume and not journal.compatible:
+            print(f"journal {journal_dir} was written under different "
+                  f"settings; ignoring its completed results",
+                  file=sys.stderr)
+
     ctx = ExperimentContext(
         SystemConfig.paper_scaled(args.scale),
         seed=args.seed,
         ops_scale=ops_scale,
         workloads=args.workloads,
+        sanitize=args.sanitize,
+        journal=journal,
     )
+
+    failures = []
     for experiment_id in ids:
+        if args.resume and journal is not None:
+            cached = journal.completed(experiment_id)
+            if cached is not None:
+                print(f"{cached['title']}\n"
+                      f"{'=' * max(len(cached['title']), 8)}\n"
+                      f"{cached['text']}")
+                print(f"\n[{experiment_id}: cached from journal]\n")
+                continue
+        if journal is not None:
+            journal.begin_experiment(experiment_id)
         start = time.time()
-        result = EXPERIMENTS[experiment_id](ctx)
+        try:
+            result = run_with_retries(
+                EXPERIMENTS[experiment_id], ctx, experiment_id,
+                timeout=args.timeout, retries=args.retries,
+                backoff=args.retry_backoff,
+            )
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except Exception as exc:
+            failures.append((experiment_id, exc))
+            print(f"experiment {experiment_id} FAILED: "
+                  f"{type(exc).__name__}: {exc}", file=sys.stderr)
+            continue
         print(str(result))
         print(f"\n[{experiment_id}: {time.time() - start:.1f}s]\n")
+        if journal is not None:
+            journal.record_experiment(result, time.time() - start)
+
+    if journal is not None:
+        journal.close()
+    if failures:
+        failed = ", ".join(experiment_id for experiment_id, _ in failures)
+        print(f"{len(failures)} of {len(ids)} experiment(s) failed: "
+              f"{failed}", file=sys.stderr)
+        print(f"{len(ids) - len(failures)} completed successfully"
+              + (f"; results journaled in {journal_dir}" if journal else ""),
+              file=sys.stderr)
+        return 1
     return 0
 
 

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from repro.experiments import figures, tables
+from repro.experiments import faults as faults_experiment
 
 EXPERIMENTS = {
     "fig2": figures.fig2,
@@ -21,6 +22,7 @@ EXPERIMENTS = {
     "singlegpu": figures.singlegpu,
     "placement": figures.placement,
     "downgrade": figures.downgrade,
+    "faults": faults_experiment.faults,
     "table1": tables.table1,
     "table2": tables.table2,
     "table3": tables.table3,

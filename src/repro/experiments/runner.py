@@ -36,14 +36,25 @@ class ExperimentResult:
 
 
 class ExperimentContext:
-    """Shared machinery: config, trace cache, run helpers."""
+    """Shared machinery: config, trace cache, run helpers.
+
+    ``fault_plan`` applies a default :class:`repro.faults.FaultPlan` to
+    every run (drivers may override per call); ``sanitize`` runs the
+    coherence sanitizer inside every simulation; ``journal`` is an
+    optional :class:`repro.experiments.journal.RunJournal` receiving a
+    record of every completed cell (crash-safe progress tracking).
+    """
 
     def __init__(self, cfg: SystemConfig = None, seed: int = 1,
-                 ops_scale: float = 1.0, workloads=None):
+                 ops_scale: float = 1.0, workloads=None,
+                 fault_plan=None, sanitize: bool = False, journal=None):
         self.cfg = cfg if cfg is not None else SystemConfig.paper_scaled()
         self.seed = seed
         self.ops_scale = ops_scale
         self.workloads = list(workloads) if workloads else list(FIGURE_ORDER)
+        self.fault_plan = fault_plan
+        self.sanitize = sanitize
+        self.journal = journal
         self._traces: dict = {}
 
     def trace(self, workload: str) -> list:
@@ -63,34 +74,47 @@ class ExperimentContext:
         return self._traces[workload]
 
     def run(self, workload: str, protocol: str,
-            cfg: SystemConfig = None, placement: str = "first_touch"):
+            cfg: SystemConfig = None, placement: str = "first_touch",
+            fault_plan=None):
         """Simulate one workload under one protocol (throughput engine)."""
-        return simulate(
+        plan = fault_plan if fault_plan is not None else self.fault_plan
+        run_cfg = cfg if cfg is not None else self.cfg
+        result = simulate(
             self.trace(workload),
-            cfg if cfg is not None else self.cfg,
+            run_cfg,
             protocol=protocol,
             placement=placement,
             workload_name=workload,
+            fault_plan=plan,
+            sanitize=self.sanitize,
         )
+        if self.journal is not None:
+            self.journal.record_cell(workload, protocol, run_cfg,
+                                     fault_plan=plan, result=result)
+        return result
 
     def speedups(self, workload: str, protocols,
                  cfg: SystemConfig = None,
-                 placement: str = "first_touch") -> dict:
+                 placement: str = "first_touch",
+                 fault_plan=None) -> dict:
         """Normalized speedups of ``protocols`` over no-remote-caching."""
         results = {
-            name: self.run(workload, name, cfg=cfg, placement=placement)
+            name: self.run(workload, name, cfg=cfg, placement=placement,
+                           fault_plan=fault_plan)
             for name in ["noremote", *protocols]
         }
         return normalized_speedups(results)
 
     def speedup_table(self, protocols, cfg: SystemConfig = None,
-                      placement: str = "first_touch") -> SpeedupTable:
+                      placement: str = "first_touch",
+                      fault_plan=None) -> SpeedupTable:
         """Fig 2/8-shaped table over this context's workload list."""
         table = SpeedupTable(list(protocols))
         for workload in self.workloads:
             table.add(workload,
                       self.speedups(workload, protocols, cfg=cfg,
-                                    placement=placement))
+                                    placement=placement,
+                                    fault_plan=fault_plan))
         return table
 
     def per_workload_results(self, protocol: str,

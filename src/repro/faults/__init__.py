@@ -1,0 +1,23 @@
+"""Fault injection: deterministic interconnect degradation plans.
+
+See :mod:`repro.faults.plan` for the model and
+:mod:`repro.experiments.faults` for the experiment built on it.
+"""
+
+from repro.faults.plan import (
+    FAULT_PLANS,
+    FaultPlan,
+    LinkFaultProfile,
+    LinkFaultSpec,
+    MessageJitterSpec,
+    make_fault_plan,
+)
+
+__all__ = [
+    "FAULT_PLANS",
+    "FaultPlan",
+    "LinkFaultProfile",
+    "LinkFaultSpec",
+    "MessageJitterSpec",
+    "make_fault_plan",
+]

@@ -1,0 +1,254 @@
+"""Deterministic interconnect fault plans.
+
+A :class:`FaultPlan` describes *when* and *how* the fabric degrades:
+periodic windows during which matching links lose bandwidth (possibly
+entirely, a transient outage) and gain latency, plus optional
+per-message delivery jitter that delays — and therefore reorders —
+individual coherence messages in the detailed engine.
+
+Plans are pure functions of ``(specs, seed)``: no wall clock, no global
+RNG.  Per-link window phases and per-message jitter come from a
+splitmix-style integer hash of the seed, so the same plan replayed over
+the same trace is byte-identical, which is what makes fault sweeps
+regressable and lets ``--resume`` reuse completed cells.
+
+Both engines consume the same plan:
+
+* the detailed engine applies windows in simulated time per link
+  (``Link.fault_profile``) and jitters message arrival times;
+* the throughput engine, which has no clock, charges each affected
+  resource class the time-expansion factor of the duty cycle: serving
+  bytes at rate factor ``f`` for fraction ``p`` of the time stretches
+  busy time by ``1 / ((1 - p) + p * f)`` (an outage, ``f = 0``, for
+  10% of the run stretches it by 1/0.9).
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Optional
+
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+
+def _mix(*parts: int) -> int:
+    """Stable splitmix64-style hash of a tuple of integers."""
+    h = 0x9E3779B97F4A7C15
+    for part in parts:
+        h = (h ^ (part & _MASK64)) * 0xBF58476D1CE4E5B9 & _MASK64
+        h = (h ^ (h >> 27)) * 0x94D049BB133111EB & _MASK64
+        h ^= h >> 31
+    return h
+
+
+def _unit(h: int) -> float:
+    """Map a hash to [0, 1)."""
+    return (h & 0xFFFFFFFF) / 4294967296.0
+
+
+def _class_of(target: str) -> str:
+    """Resource class of a link-name prefix: ``link_out`` -> ``link``."""
+    return target.split("[")[0].split("_")[0]
+
+
+@dataclass(frozen=True)
+class LinkFaultSpec:
+    """One periodic degradation applied to every matching link.
+
+    ``target`` is a link-name prefix: ``"link"`` matches both
+    ``link_out[g]`` and ``link_in[g]`` (the inter-GPU links), ``"xbar"``
+    the intra-GPU crossbars.  Within each ``period``-cycle interval the
+    link runs at ``bandwidth_factor`` of its nominal rate (0 = outage)
+    with ``extra_latency`` added per message, for ``duration`` cycles;
+    the window's phase within the period is seeded per link.
+    """
+
+    target: str = "link"
+    period: float = 40_000.0
+    duration: float = 8_000.0
+    bandwidth_factor: float = 0.5
+    extra_latency: float = 0.0
+
+    def __post_init__(self):
+        if self.period <= 0:
+            raise ValueError("period must be positive")
+        if not 0 < self.duration <= self.period:
+            raise ValueError("duration must be in (0, period]")
+        if self.bandwidth_factor < 0:
+            raise ValueError("bandwidth_factor must be non-negative")
+        if self.extra_latency < 0:
+            raise ValueError("extra_latency must be non-negative")
+        if self.bandwidth_factor == 0 and self.duration >= self.period:
+            raise ValueError("a permanent outage never delivers")
+
+    @property
+    def duty(self) -> float:
+        """Fraction of time the degradation is active."""
+        return self.duration / self.period
+
+    def time_expansion(self) -> float:
+        """Busy-time multiplier for the throughput engine."""
+        available = (1.0 - self.duty) + self.duty * self.bandwidth_factor
+        return 1.0 / available
+
+
+@dataclass(frozen=True)
+class MessageJitterSpec:
+    """Per-message delivery jitter (detailed engine only).
+
+    Each message independently (and deterministically, from the plan
+    seed and the message's index) suffers an extra delivery delay of up
+    to ``max_delay`` cycles with probability ``probability`` — enough to
+    reorder messages that would otherwise arrive in emission order.
+    """
+
+    probability: float = 0.05
+    max_delay: float = 400.0
+
+    def __post_init__(self):
+        if not 0 <= self.probability <= 1:
+            raise ValueError("probability must be in [0, 1]")
+        if self.max_delay < 0:
+            raise ValueError("max_delay must be non-negative")
+
+
+class LinkFaultProfile:
+    """The concrete window schedule of one link under one plan."""
+
+    def __init__(self, windows: list):
+        #: list of (LinkFaultSpec, phase) pairs; phase in [0, period).
+        self.windows = list(windows)
+
+    def state_at(self, t: float) -> tuple:
+        """(bandwidth factor, extra latency) in effect at time ``t``."""
+        factor, extra = 1.0, 0.0
+        for spec, phase in self.windows:
+            if (t + phase) % spec.period < spec.duration:
+                factor = min(factor, spec.bandwidth_factor)
+                extra += spec.extra_latency
+        return factor, extra
+
+    def next_available(self, t: float) -> float:
+        """Earliest time >= ``t`` at which the link is not in an outage."""
+        # Windows can abut; each pass clears at most one, so |windows|+1
+        # passes suffice (permanent outages are rejected at spec level).
+        for _ in range(len(self.windows) + 1):
+            moved = False
+            for spec, phase in self.windows:
+                if spec.bandwidth_factor > 0:
+                    continue
+                pos = (t + phase) % spec.period
+                if pos < spec.duration:
+                    t += spec.duration - pos
+                    moved = True
+            if not moved:
+                return t
+        return t
+
+
+class FaultPlan:
+    """A named, seeded set of link faults and message jitter."""
+
+    def __init__(self, name: str, link_faults=(),
+                 message_jitter: Optional[MessageJitterSpec] = None,
+                 seed: int = 0):
+        self.name = name
+        self.link_faults = tuple(link_faults)
+        self.message_jitter = message_jitter
+        self.seed = seed
+
+    def __repr__(self):
+        return (f"FaultPlan({self.name!r}, seed={self.seed}, "
+                f"{len(self.link_faults)} link fault(s), "
+                f"jitter={self.message_jitter})")
+
+    @property
+    def is_noop(self) -> bool:
+        return not self.link_faults and self.message_jitter is None
+
+    def profile_for(self, link_name: str) -> Optional[LinkFaultProfile]:
+        """The window schedule for one named link (None if unaffected)."""
+        windows = []
+        for i, spec in enumerate(self.link_faults):
+            if not link_name.startswith(spec.target):
+                continue
+            h = _mix(self.seed, i, zlib.crc32(link_name.encode()))
+            windows.append((spec, _unit(h) * spec.period))
+        return LinkFaultProfile(windows) if windows else None
+
+    def time_expansion(self, resource_class: str) -> float:
+        """Busy-time multiplier the throughput engine applies to one
+        resource class (``link``, ``xbar``, ``dram``, ``l2``)."""
+        factor = 1.0
+        for spec in self.link_faults:
+            if _class_of(spec.target) == resource_class:
+                factor *= spec.time_expansion()
+        return factor
+
+    def message_delay(self, index: int) -> float:
+        """Deterministic delivery jitter for the ``index``-th message."""
+        spec = self.message_jitter
+        if spec is None or spec.probability <= 0:
+            return 0.0
+        h = _mix(self.seed, 0x6A09E667, index)
+        if _unit(h) >= spec.probability:
+            return 0.0
+        return _unit(_mix(h, 0xBB67AE85)) * spec.max_delay
+
+
+# ----------------------------------------------------------------------
+# Built-in plans (the `faults` experiment's x-axis)
+# ----------------------------------------------------------------------
+
+def _plan_none(seed: int = 0) -> FaultPlan:
+    """Perfectly healthy fabric — the control arm."""
+    return FaultPlan("none", seed=seed)
+
+
+def _plan_degraded(seed: int = 0) -> FaultPlan:
+    """Sustained inter-GPU congestion: links at quarter rate half the
+    time, with added per-message latency and light jitter."""
+    return FaultPlan(
+        "degraded",
+        link_faults=(
+            LinkFaultSpec(target="link", period=40_000.0,
+                          duration=20_000.0, bandwidth_factor=0.25,
+                          extra_latency=200.0),
+        ),
+        message_jitter=MessageJitterSpec(probability=0.02, max_delay=200.0),
+        seed=seed,
+    )
+
+
+def _plan_flaky(seed: int = 0) -> FaultPlan:
+    """Transient inter-GPU outages: links fully down 10% of the time in
+    short bursts, with heavy message jitter while they recover."""
+    return FaultPlan(
+        "flaky",
+        link_faults=(
+            LinkFaultSpec(target="link", period=25_000.0,
+                          duration=2_500.0, bandwidth_factor=0.0),
+        ),
+        message_jitter=MessageJitterSpec(probability=0.08, max_delay=600.0),
+        seed=seed,
+    )
+
+
+FAULT_PLANS = {
+    "none": _plan_none,
+    "degraded": _plan_degraded,
+    "flaky": _plan_flaky,
+}
+
+
+def make_fault_plan(name: str, seed: int = 0) -> FaultPlan:
+    """Build a built-in fault plan by name."""
+    try:
+        builder = FAULT_PLANS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown fault plan {name!r}; "
+            f"known: {', '.join(FAULT_PLANS)}"
+        ) from None
+    return builder(seed=seed)

@@ -18,6 +18,9 @@ class LinkStats:
     bytes: int = 0
     busy_cycles: float = 0.0
     queue_cycles: float = 0.0
+    #: Cycles messages spent waiting out injected fault windows, plus
+    #: fault-added propagation latency (0 unless a fault plan is active).
+    fault_delay_cycles: float = 0.0
 
     def utilization(self, elapsed: float) -> float:
         """Busy fraction over an elapsed window."""
@@ -50,15 +53,28 @@ class Link:
         self._backlog = 0.0  # cycles of queued, unserved work
         self._last_time = 0.0
         self.stats = LinkStats()
+        #: Optional :class:`repro.faults.LinkFaultProfile`.  When set,
+        #: messages wait out outage windows, are served at the window's
+        #: degraded rate, and pay the window's extra latency.
+        self.fault_profile = None
 
     def send(self, now: float, size_bytes: int) -> float:
         """Enqueue a message at time ``now``; returns its arrival time."""
+        fault_wait = 0.0
+        extra_latency = 0.0
+        rate = self.bytes_per_cycle
+        if self.fault_profile is not None:
+            available = self.fault_profile.next_available(now)
+            fault_wait = available - now
+            factor, extra_latency = self.fault_profile.state_at(available)
+            rate *= factor
+            self.stats.fault_delay_cycles += fault_wait + extra_latency
         if now > self._last_time:
             elapsed = now - self._last_time
             self._backlog = max(0.0, self._backlog - elapsed)
             self._last_time = now
         wait = self._backlog
-        service = size_bytes / self.bytes_per_cycle
+        service = size_bytes / rate
         self._backlog += service
         self.stats.messages += 1
         self.stats.bytes += size_bytes
@@ -68,7 +84,7 @@ class Link:
         # out-of-order (earlier-timestamped) arrivals the backlog seen
         # is the one recorded as of the latest observation — a slight
         # pessimism that, unlike timestamp clamping, cannot ratchet.
-        return now + wait + service + self.latency
+        return now + fault_wait + wait + service + self.latency + extra_latency
 
     @property
     def free_at(self) -> float:

@@ -14,6 +14,7 @@ directory coverage) survive the global ``scale`` factor.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -76,8 +77,11 @@ class GenContext:
                  seed: int = 0, ops_scale: float = 1.0):
         self.cfg = cfg
         self.spec = spec
+        # zlib.crc32, not hash(): str hashes are randomized per process
+        # (PYTHONHASHSEED), which would make traces — and every number
+        # downstream of them — differ from run to run.
         self.rng = np.random.default_rng(
-            (hash(spec.abbrev) & 0xFFFF) * 65537 + seed
+            (zlib.crc32(spec.abbrev.encode()) & 0xFFFF) * 65537 + seed
         )
         self.space = AddressSpace(cfg.page_size)
         self.nodes = [

@@ -7,6 +7,14 @@ a multi-million-op trace never has to be held twice in memory.
     {"format": "repro-trace", "version": 1, "name": ..., ...}
     [0, 4096, 1, 2, 5, 0, 128]      # op, address, gpu, gpm, cta, scope, size
     ...
+
+Loading validates eagerly: header fields are type-checked, every op row
+is bounds-checked (valid op kind and scope, non-negative ids, positive
+size), and errors carry the offending line number — a malformed trace
+fails here with a :class:`TraceFormatError`, not hundreds of ops later
+with an ``IndexError`` deep inside the simulator.  Pass a
+:class:`~repro.config.SystemConfig` to additionally pin ``gpu``/``gpm``
+ids to the platform's topology.
 """
 
 from __future__ import annotations
@@ -22,6 +30,9 @@ from repro.trace.stream import Trace
 FORMAT_NAME = "repro-trace"
 FORMAT_VERSION = 1
 
+_OP_KINDS = {int(k) for k in OpType}
+_SCOPES = {int(s) for s in Scope}
+
 
 class TraceFormatError(ValueError):
     """Raised when a trace file is malformed or from the wrong format."""
@@ -32,12 +43,52 @@ def _encode_op(op: MemOp) -> list:
             int(op.scope), op.size]
 
 
-def _decode_op(row) -> MemOp:
+def _decode_op(row, lineno: int, cfg=None) -> MemOp:
     if not isinstance(row, list) or len(row) != 7:
-        raise TraceFormatError(f"malformed op row: {row!r}")
+        raise TraceFormatError(f"line {lineno}: malformed op row: {row!r}")
     kind, address, gpu, gpm, cta, scope, size = row
+    for field_name, value in (("op", kind), ("address", address),
+                              ("gpu", gpu), ("gpm", gpm), ("cta", cta),
+                              ("scope", scope), ("size", size)):
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise TraceFormatError(
+                f"line {lineno}: {field_name} must be an integer, "
+                f"got {value!r}"
+            )
+    if kind not in _OP_KINDS:
+        raise TraceFormatError(f"line {lineno}: unknown op kind {kind}")
+    if scope not in _SCOPES:
+        raise TraceFormatError(f"line {lineno}: unknown scope {scope}")
+    if address < 0:
+        raise TraceFormatError(f"line {lineno}: negative address {address}")
+    if gpu < 0 or gpm < 0 or cta < 0:
+        raise TraceFormatError(
+            f"line {lineno}: negative id (gpu={gpu}, gpm={gpm}, cta={cta})"
+        )
+    if size <= 0:
+        raise TraceFormatError(f"line {lineno}: size must be positive, "
+                               f"got {size}")
+    if cfg is not None:
+        if gpu >= cfg.num_gpus:
+            raise TraceFormatError(
+                f"line {lineno}: gpu {gpu} out of range for a "
+                f"{cfg.num_gpus}-GPU platform"
+            )
+        if gpm >= cfg.gpms_per_gpu:
+            raise TraceFormatError(
+                f"line {lineno}: gpm {gpm} out of range for "
+                f"{cfg.gpms_per_gpu} GPMs per GPU"
+            )
     return MemOp(OpType(kind), address, NodeId(gpu, gpm), cta=cta,
                  scope=Scope(scope), size=size)
+
+
+def _decode_line(line: str, lineno: int, cfg=None) -> MemOp:
+    try:
+        row = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise TraceFormatError(f"line {lineno}: bad JSON: {exc}") from exc
+    return _decode_op(row, lineno, cfg=cfg)
 
 
 def dump_trace(trace: Trace, target: Union[str, Path, TextIO]) -> int:
@@ -79,16 +130,42 @@ def _read_header(fh: TextIO) -> dict:
         raise TraceFormatError(
             f"unsupported trace version {header.get('version')}"
         )
+    declared = header.get("ops")
+    if declared is not None and (
+            not isinstance(declared, int) or isinstance(declared, bool)
+            or declared < 0):
+        raise TraceFormatError(
+            f"header ops count must be a non-negative integer, "
+            f"got {declared!r}"
+        )
+    for field_name in ("footprint_bytes", "kernels"):
+        value = header.get(field_name)
+        if value is not None and not isinstance(value, (int, float)):
+            raise TraceFormatError(
+                f"header {field_name} must be numeric, got {value!r}"
+            )
+    name = header.get("name")
+    if name is not None and not isinstance(name, str):
+        raise TraceFormatError(f"header name must be a string, "
+                               f"got {name!r}")
     return header
 
 
-def load_trace(source: Union[str, Path, TextIO]) -> Trace:
-    """Read a trace written by :func:`dump_trace`."""
+def load_trace(source: Union[str, Path, TextIO], cfg=None) -> Trace:
+    """Read a trace written by :func:`dump_trace`.
+
+    ``cfg`` (optional) bounds-checks every op's ``gpu``/``gpm`` against
+    the platform topology.
+    """
     own = isinstance(source, (str, Path))
     fh = open(source) if own else source
     try:
         header = _read_header(fh)
-        ops = [_decode_op(json.loads(line)) for line in fh if line.strip()]
+        ops = [
+            _decode_line(line, lineno, cfg=cfg)
+            for lineno, line in enumerate(fh, start=2)
+            if line.strip()
+        ]
         if header.get("ops") not in (None, len(ops)):
             raise TraceFormatError(
                 f"header says {header['ops']} ops, found {len(ops)}"
@@ -105,13 +182,13 @@ def load_trace(source: Union[str, Path, TextIO]) -> Trace:
             fh.close()
 
 
-def iter_trace_ops(source: Union[str, Path]) -> Iterator[MemOp]:
+def iter_trace_ops(source: Union[str, Path], cfg=None) -> Iterator[MemOp]:
     """Stream a trace file's ops without materializing the list."""
     with open(source) as fh:
         _read_header(fh)
-        for line in fh:
+        for lineno, line in enumerate(fh, start=2):
             if line.strip():
-                yield _decode_op(json.loads(line))
+                yield _decode_line(line, lineno, cfg=cfg)
 
 
 def roundtrip(trace: Trace) -> Trace:

@@ -1,0 +1,199 @@
+"""Fault-injection subsystem: plans, link windows, engine wiring."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.engine.detailed import DetailedEngine, SimulationStalled
+from repro.engine.simulator import simulate
+from repro.faults import (
+    FAULT_PLANS,
+    FaultPlan,
+    LinkFaultProfile,
+    LinkFaultSpec,
+    MessageJitterSpec,
+    make_fault_plan,
+)
+from repro.interconnect.link import Link
+from repro.trace.workloads import WORKLOADS
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return SystemConfig.paper_scaled(1 / 64)
+
+
+@pytest.fixture(scope="module")
+def trace(cfg):
+    return list(WORKLOADS["RNN_FW"].generate(cfg, seed=1, ops_scale=0.05))
+
+
+class TestSpecs:
+    def test_spec_validation(self):
+        with pytest.raises(ValueError, match="period"):
+            LinkFaultSpec(period=0)
+        with pytest.raises(ValueError, match="duration"):
+            LinkFaultSpec(period=100, duration=0)
+        with pytest.raises(ValueError, match="duration"):
+            LinkFaultSpec(period=100, duration=200)
+        with pytest.raises(ValueError, match="bandwidth_factor"):
+            LinkFaultSpec(bandwidth_factor=-0.1)
+        with pytest.raises(ValueError, match="never delivers"):
+            LinkFaultSpec(period=100, duration=100, bandwidth_factor=0.0)
+        with pytest.raises(ValueError, match="probability"):
+            MessageJitterSpec(probability=1.5)
+
+    def test_time_expansion_math(self):
+        # Quarter rate half the time: 1 / (0.5 + 0.5*0.25) = 1.6.
+        spec = LinkFaultSpec(period=100, duration=50, bandwidth_factor=0.25)
+        assert spec.duty == pytest.approx(0.5)
+        assert spec.time_expansion() == pytest.approx(1.6)
+        # Full outage 10% of the time: 1 / 0.9.
+        outage = LinkFaultSpec(period=100, duration=10, bandwidth_factor=0.0)
+        assert outage.time_expansion() == pytest.approx(1 / 0.9)
+
+
+class TestPlans:
+    def test_builtin_registry(self):
+        assert set(FAULT_PLANS) == {"none", "degraded", "flaky"}
+        assert make_fault_plan("none").is_noop
+        assert not make_fault_plan("degraded").is_noop
+
+    def test_unknown_plan_lists_known(self):
+        with pytest.raises(ValueError, match="degraded"):
+            make_fault_plan("catastrophic")
+
+    def test_profile_matches_target_prefix(self):
+        plan = make_fault_plan("degraded")
+        assert plan.profile_for("link_out[0]") is not None
+        assert plan.profile_for("link_in[3]") is not None
+        assert plan.profile_for("xbar[0]") is None
+        assert plan.profile_for("dram[2]") is None
+
+    def test_seeded_phases_are_deterministic(self):
+        a = make_fault_plan("flaky", seed=7).profile_for("link_out[1]")
+        b = make_fault_plan("flaky", seed=7).profile_for("link_out[1]")
+        assert [phase for _, phase in a.windows] \
+            == [phase for _, phase in b.windows]
+        other = make_fault_plan("flaky", seed=8).profile_for("link_out[1]")
+        assert [phase for _, phase in a.windows] \
+            != [phase for _, phase in other.windows]
+
+    def test_message_delay_deterministic_and_bounded(self):
+        plan = make_fault_plan("flaky", seed=3)
+        delays = [plan.message_delay(i) for i in range(2000)]
+        assert delays == [plan.message_delay(i) for i in range(2000)]
+        assert all(0 <= d <= 600.0 for d in delays)
+        hit = sum(1 for d in delays if d > 0)
+        assert 0 < hit < 2000  # ~8% jitter probability
+        assert make_fault_plan("none").message_delay(5) == 0.0
+
+    def test_time_expansion_by_resource_class(self):
+        plan = make_fault_plan("degraded")
+        assert plan.time_expansion("link") == pytest.approx(1.6)
+        assert plan.time_expansion("xbar") == 1.0
+        assert FaultPlan("empty").time_expansion("link") == 1.0
+
+
+class TestProfileWindows:
+    def test_state_inside_and_outside_window(self):
+        spec = LinkFaultSpec(period=100, duration=10,
+                             bandwidth_factor=0.5, extra_latency=7.0)
+        profile = LinkFaultProfile([(spec, 0.0)])
+        assert profile.state_at(5.0) == (0.5, 7.0)
+        assert profile.state_at(50.0) == (1.0, 0.0)
+        assert profile.state_at(105.0) == (0.5, 7.0)  # periodic
+
+    def test_next_available_skips_outage(self):
+        spec = LinkFaultSpec(period=100, duration=10, bandwidth_factor=0.0)
+        profile = LinkFaultProfile([(spec, 0.0)])
+        assert profile.next_available(5.0) == pytest.approx(10.0)
+        assert profile.next_available(50.0) == pytest.approx(50.0)
+        # Degraded (non-outage) windows never block availability.
+        soft = LinkFaultProfile([(LinkFaultSpec(period=100, duration=10,
+                                                bandwidth_factor=0.5), 0.0)])
+        assert soft.next_available(5.0) == pytest.approx(5.0)
+
+
+class TestFaultedLink:
+    def test_outage_defers_service(self):
+        link = Link("link_out[0]", bytes_per_cycle=10.0, latency=2.0)
+        spec = LinkFaultSpec(period=100, duration=10, bandwidth_factor=0.0)
+        link.fault_profile = LinkFaultProfile([(spec, 0.0)])
+        # Sent mid-outage: waits until t=10, then 10 cycles service + 2.
+        assert link.send(5.0, 100) == pytest.approx(10 + 10 + 2)
+        assert link.stats.fault_delay_cycles == pytest.approx(5.0)
+
+    def test_degraded_rate_and_extra_latency(self):
+        link = Link("link_out[0]", bytes_per_cycle=10.0)
+        spec = LinkFaultSpec(period=100, duration=100,
+                             bandwidth_factor=0.5, extra_latency=3.0)
+        link.fault_profile = LinkFaultProfile([(spec, 0.0)])
+        # Half rate doubles service time; extra latency rides on top.
+        assert link.send(0.0, 100) == pytest.approx(20 + 3)
+
+    def test_healthy_link_unchanged(self):
+        link = Link("link_out[0]", bytes_per_cycle=10.0, latency=2.0)
+        assert link.send(0.0, 100) == pytest.approx(10 + 2)
+        assert link.stats.fault_delay_cycles == 0.0
+
+
+class TestEngineIntegration:
+    def test_throughput_degraded_slower_than_healthy(self, cfg, trace):
+        healthy = simulate(list(trace), cfg, "hmg")
+        degraded = simulate(list(trace), cfg, "hmg",
+                            fault_plan=make_fault_plan("degraded"))
+        assert degraded.cycles >= healthy.cycles
+        # Link busy time is scaled by exactly the duty-cycle expansion.
+        assert max(degraded.resources.link) == pytest.approx(
+            1.6 * max(healthy.resources.link))
+
+    def test_throughput_replay_is_deterministic(self, cfg, trace):
+        plan = make_fault_plan("flaky", seed=11)
+        a = simulate(list(trace), cfg, "hmg", fault_plan=plan)
+        b = simulate(list(trace), cfg, "hmg",
+                     fault_plan=make_fault_plan("flaky", seed=11))
+        assert a.cycles == b.cycles
+        assert a.link_bytes == b.link_bytes
+
+    def test_detailed_replay_is_deterministic(self, cfg, trace):
+        runs = [
+            simulate(list(trace), cfg, "hmg", engine="detailed",
+                     fault_plan=make_fault_plan("flaky", seed=5))
+            for _ in range(2)
+        ]
+        assert runs[0].cycles == runs[1].cycles
+        assert runs[0].link_bytes == runs[1].link_bytes
+        assert runs[0].xbar_bytes == runs[1].xbar_bytes
+
+    def test_detailed_outages_cost_cycles(self, cfg, trace):
+        healthy = simulate(list(trace), cfg, "hmg", engine="detailed")
+        flaky = simulate(list(trace), cfg, "hmg", engine="detailed",
+                         fault_plan=make_fault_plan("flaky", seed=1))
+        assert flaky.cycles > healthy.cycles
+
+    def test_detailed_degradation_shows_in_link_occupancy(self, cfg, trace):
+        # A degraded link serves the same bytes at a lower rate — the
+        # occupancy rises even when the workload is issue-bound and the
+        # end-to-end cycle count barely moves.
+        healthy = simulate(list(trace), cfg, "hmg", engine="detailed")
+        degraded = simulate(list(trace), cfg, "hmg", engine="detailed",
+                            fault_plan=make_fault_plan("degraded", seed=1))
+        assert max(degraded.resources.link) > max(healthy.resources.link)
+        assert degraded.cycles >= healthy.cycles
+
+
+class TestWatchdog:
+    def test_livelock_raises_structured_stall(self, cfg, trace):
+        engine = DetailedEngine(cfg, watchdog_limit=10)
+        with pytest.raises(SimulationStalled) as excinfo:
+            engine.simulate(list(trace), "hmg")
+        stall = excinfo.value
+        assert stall.reason == "livelock"
+        assert stall.processed == 10
+        assert stall.total_ops == len(trace)
+        assert stall.pending  # ops still queued somewhere
+        assert "livelock" in str(stall)
+
+    def test_healthy_run_never_trips_default_watchdog(self, cfg, trace):
+        result = DetailedEngine(cfg).simulate(list(trace), "hmg")
+        assert result.ops == len(trace)

@@ -1,0 +1,144 @@
+"""Runtime coherence sanitizer: catches mutations, stays silent on
+correct protocols, and keeps its state bounded."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.core.directory import Sharer
+from repro.core.hmg import HMGProtocol
+from repro.core.registry import make_protocol, protocol_names
+from repro.core.sanitizer import CoherenceSanitizer, CoherenceViolation
+from repro.engine.simulator import simulate
+from repro.trace.workloads import WORKLOADS
+from tests.conftest import N00, N10, ld, st
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return SystemConfig.paper_scaled(1 / 64)
+
+
+def _mutation_trace():
+    """Store at the home, remote read, then a second store — the second
+    store must invalidate the remote copy."""
+    return [
+        st(N00, 0x1000),  # first touch: page homes at GPU0:GPM0
+        ld(N10, 0x1000),  # GPU1 caches a copy
+        st(N00, 0x1000),  # must invalidate it
+    ]
+
+
+class TestMutationDetection:
+    def test_skipped_invalidation_raises(self, cfg, monkeypatch):
+        """Disable HMG's sharer invalidation: the sanitizer must flag
+        the stale remote copy the very op that makes it stale."""
+        monkeypatch.setattr(HMGProtocol, "_inv_sharers",
+                            lambda self, *a, **k: None)
+        with pytest.raises(CoherenceViolation) as excinfo:
+            simulate(_mutation_trace(), cfg, "hmg",
+                     sanitizer=CoherenceSanitizer())
+        v = excinfo.value
+        assert v.invariant == "post-store-exclusivity"
+        assert v.op is not None and v.op.node == N00
+        assert v.op_index == 2
+        assert v.line is not None
+        assert "GPU1:GPM0" in v.detail
+
+    def test_collect_mode_reports_instead_of_raising(self, cfg,
+                                                     monkeypatch):
+        monkeypatch.setattr(HMGProtocol, "_inv_sharers",
+                            lambda self, *a, **k: None)
+        san = CoherenceSanitizer(collect=True)
+        simulate(_mutation_trace(), cfg, "hmg", sanitizer=san)
+        assert len(san.violations) == 1
+        assert "1 violation(s)" in san.summary()
+
+    def test_unmutated_run_is_clean(self, cfg):
+        san = CoherenceSanitizer(collect=True)
+        simulate(_mutation_trace(), cfg, "hmg", sanitizer=san)
+        assert san.violations == []
+
+
+class TestDirectoryCorruption:
+    def test_dropped_sharer_fails_coverage_sweep(self, cfg):
+        proto = make_protocol("hmg", cfg)
+        san = CoherenceSanitizer(interval=1, collect=True)
+        for i, op in enumerate(_mutation_trace()[:2]):
+            san.after_op(proto, op, proto.process(op), i)
+        assert san.violations == []
+        # Wipe every directory: the remote copy is now untracked.
+        for d in proto.dirs:
+            for entry in list(d.entries()):
+                entry.sharers.clear()
+        op = ld(N10, 0x1000)
+        with pytest.raises(CoherenceViolation) as excinfo:
+            CoherenceSanitizer(interval=1).after_op(
+                *(proto, op, proto.process(op), 2))
+        assert excinfo.value.invariant == "directory-coverage"
+
+    def test_bogus_gpu_self_sharer_fails_encoding_sweep(self, cfg):
+        proto = make_protocol("hmg", cfg)
+        san = CoherenceSanitizer(interval=1, collect=True)
+        for i, op in enumerate(_mutation_trace()[:2]):
+            san.after_op(proto, op, proto.process(op), i)
+        assert san.violations == []
+        # A directory must never list its own GPU as a peer sharer.
+        home = proto.dirs[proto.flat(N00)]
+        entry = next(iter(home.entries()))
+        entry.sharers.add(Sharer.gpu(N00.gpu))
+        san2 = CoherenceSanitizer(interval=1)
+        op = ld(N00, 0x1000)
+        with pytest.raises(CoherenceViolation) as excinfo:
+            san2.after_op(proto, op, proto.process(op), 0)
+        assert excinfo.value.invariant == "hierarchical-encoding"
+
+
+class TestCleanRuns:
+    @pytest.mark.parametrize("protocol", protocol_names())
+    def test_every_protocol_runs_clean(self, cfg, protocol):
+        trace = list(WORKLOADS["CoMD"].generate(cfg, seed=2,
+                                                ops_scale=0.03))
+        san = CoherenceSanitizer(interval=64, collect=True)
+        simulate(trace, cfg, protocol, sanitizer=san)
+        assert san.violations == []
+        assert san.checks == len(trace)
+
+    def test_detailed_engine_wiring(self, cfg):
+        trace = list(WORKLOADS["RNN_FW"].generate(cfg, seed=1,
+                                                  ops_scale=0.03))
+        san = CoherenceSanitizer(collect=True)
+        simulate(list(trace), cfg, "hmg", engine="detailed",
+                 sanitizer=san)
+        assert san.checks == len(trace)
+        assert san.violations == []
+
+    def test_sanitize_flag_builds_default_sanitizer(self, cfg):
+        trace = list(WORKLOADS["RNN_FW"].generate(cfg, seed=1,
+                                                  ops_scale=0.03))
+        base = simulate(list(trace), cfg, "hmg")
+        checked = simulate(list(trace), cfg, "hmg", sanitize=True)
+        # Checking is observation only — timing must be unaffected.
+        assert checked.cycles == base.cycles
+
+
+class TestBoundedState:
+    def test_tracked_state_is_capped(self, cfg):
+        proto = make_protocol("hmg", cfg)
+        san = CoherenceSanitizer(interval=10_000, max_tracked_lines=32)
+        for i in range(512):
+            op = st(N00, 0x1000 + 0x400 * i)
+            san.after_op(proto, op, proto.process(op), i)
+        assert len(san._lines) <= 32
+        assert san.checks == 512
+
+    def test_interval_must_be_positive(self):
+        with pytest.raises(ValueError):
+            CoherenceSanitizer(interval=0)
+
+    def test_sweeps_are_sampled(self, cfg):
+        proto = make_protocol("hmg", cfg)
+        san = CoherenceSanitizer(interval=100)
+        for i in range(250):
+            op = ld(N00, 0x1000)
+            san.after_op(proto, op, proto.process(op), i)
+        assert san.sweeps == 3  # indices 0, 100, 200
