@@ -13,6 +13,10 @@ the interesting output is the experiment's data, attached to
 
 from __future__ import annotations
 
+import json
+import time
+from pathlib import Path
+
 import pytest
 
 from repro.config import SystemConfig
@@ -25,20 +29,67 @@ OPS_SCALE = 0.15
 SWEEP_WORKLOADS = ["CoMD", "namd2.10", "snap", "RNN_FW", "mst",
                    "GoogLeNet"]
 
+#: Committed perf record (see tools/check_perf.py for the CI gate).
+BENCH_FILE = Path(__file__).resolve().parent.parent / "BENCH_perf.json"
+
+#: Contexts whose simulated cells feed the session perf record.
+_CONTEXTS: list = []
+_SESSION_START = [0.0]
+
+
+def _tracked(ctx: ExperimentContext) -> ExperimentContext:
+    _CONTEXTS.append(ctx)
+    return ctx
+
 
 @pytest.fixture(scope="session")
 def full_ctx():
     """All 20 workloads at benchmark scale."""
-    return ExperimentContext(SystemConfig.paper_scaled(), seed=1,
-                             ops_scale=OPS_SCALE)
+    return _tracked(ExperimentContext(SystemConfig.paper_scaled(),
+                                      seed=1, ops_scale=OPS_SCALE))
 
 
 @pytest.fixture(scope="session")
 def sweep_ctx():
     """Pattern-family-representative subset for parameter sweeps."""
-    return ExperimentContext(SystemConfig.paper_scaled(), seed=1,
-                             ops_scale=OPS_SCALE,
-                             workloads=SWEEP_WORKLOADS)
+    return _tracked(ExperimentContext(SystemConfig.paper_scaled(),
+                                      seed=1, ops_scale=OPS_SCALE,
+                                      workloads=SWEEP_WORKLOADS))
+
+
+def pytest_sessionstart(session):
+    _SESSION_START[0] = time.perf_counter()
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Record this benchmark session's simulator throughput.
+
+    Aggregates engine ops/sec (loop time only, via
+    ``SimResult.wall_seconds``) over every cell the session simulated
+    and refreshes the ``latest_benchmark_session`` entry of
+    ``BENCH_perf.json``.  The committed ``baseline`` sections are never
+    touched — the regression gate is ``tools/check_perf.py``.
+    """
+    results = [r for ctx in _CONTEXTS for r in ctx._results.values()]
+    wall = sum(r.wall_seconds for r in results)
+    if not results or wall <= 0 or not BENCH_FILE.exists():
+        return
+    try:
+        bench = json.loads(BENCH_FILE.read_text())
+    except (json.JSONDecodeError, OSError):
+        return
+    bench["latest_benchmark_session"] = {
+        "engine_ops_per_second": round(
+            sum(r.ops for r in results) / wall
+        ),
+        "cells": len(results),
+        "session_wall_seconds": round(
+            time.perf_counter() - _SESSION_START[0], 1
+        ),
+        "ops_scale": OPS_SCALE,
+        "recorded": time.strftime("%Y-%m-%d"),
+    }
+    BENCH_FILE.write_text(json.dumps(bench, indent=2) + "\n")
 
 
 def run_once(benchmark, fn, *args, **kwargs):

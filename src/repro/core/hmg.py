@@ -112,18 +112,23 @@ class HMGProtocol(CoherenceProtocol):
     # ------------------------------------------------------------------
 
     def _load(self, op: MemOp) -> AccessOutcome:
-        line = self.amap.line_of(op.address)
-        ghome, syshome = self._homes(line, op.node)
-        lat = self.cfg.latency
-        latency = float(lat.l1_hit)
+        line = op.address >> self._line_bits
+        ghome, syshome = self.homes(line, op.node)
+        lat = self._lat
+        latency = self._l1_hit_lat
 
-        hit = self._l1_load(op, line)
-        if hit is not None:
-            return AccessOutcome(hit.version, latency, hit_level="l1")
+        if op.scope is Scope.CTA:
+            node = op.node
+            slices = self.l1[node.gpu * self._gpms_per_gpu + node.gpm]
+            hit = slices[op.cta % len(slices)].lookup(line)
+            if hit is not None:
+                return AccessOutcome(hit.version, latency, hit_level="l1")
 
-        local = self.l2[self.flat(op.node)]
-        self._l2_touch(op.node, self.cfg.line_size)
-        latency += lat.l2_hit
+        node = op.node
+        nflat = node.gpu * self._gpms_per_gpu + node.gpm
+        local = self.l2[nflat]
+        self.l2_bytes_per_gpm[nflat] += self._line_size
+        latency += self._l2_hit_lat
         if self._may_hit(op.node, op, ghome, syshome):
             entry = local.lookup(line)
         else:
@@ -151,8 +156,8 @@ class HMGProtocol(CoherenceProtocol):
         if op.node != ghome:
             self.send(MsgType.LOAD_REQ, op.node, ghome, line)
             latency += 2 * self.hop_latency(op.node, ghome)
-            self._l2_touch(ghome, self.cfg.line_size)
-            latency += lat.l2_hit
+            self._l2_touch(ghome, self._line_size)
+            latency += self._l2_hit_lat
             ghome_l2 = self.l2[self.flat(ghome)]
             if self._may_hit(ghome, op, ghome, syshome):
                 gentry = ghome_l2.lookup(line)
@@ -173,8 +178,8 @@ class HMGProtocol(CoherenceProtocol):
             src = ghome
             self.send(MsgType.LOAD_REQ, src, syshome, line)
             latency += 2 * self.hop_latency(src, syshome)
-            self._l2_touch(syshome, self.cfg.line_size)
-            latency += lat.l2_hit
+            self._l2_touch(syshome, self._line_size)
+            latency += self._l2_hit_lat
             sentry = self.l2[self.flat(syshome)].lookup(line)
             if sentry is not None:
                 version = sentry.version
@@ -195,7 +200,7 @@ class HMGProtocol(CoherenceProtocol):
                     line, version, remote=True
                 )
                 self._handle_l2_victim(ghome, gvictim)
-                self._l2_touch(ghome, self.cfg.line_size)
+                self._l2_touch(ghome, self._line_size)
         elif version is None:
             # Owning GPU, requester is not the home: the home L2 missed,
             # so the home fetches from its DRAM and keeps a copy.
@@ -244,19 +249,21 @@ class HMGProtocol(CoherenceProtocol):
         entry.sharers = {me}
 
     def _store(self, op: MemOp) -> AccessOutcome:
-        line = self.amap.line_of(op.address)
-        ghome, syshome = self._homes(line, op.node)
+        line = op.address >> self._line_bits
+        ghome, syshome = self.homes(line, op.node)
         version = self._new_version()
-        lat = self.cfg.latency
-        payload = min(op.size, self.cfg.line_size)
-        latency = float(lat.l1_hit)
+        lat = self._lat
+        payload = min(op.size, self._line_size)
+        latency = self._l1_hit_lat
 
         self._l1_store(op, line, version, remote=op.node != syshome)
-        local = self.l2[self.flat(op.node)]
-        self._l2_touch(op.node, payload)
+        node = op.node
+        nflat = node.gpu * self._gpms_per_gpu + node.gpm
+        local = self.l2[nflat]
+        self.l2_bytes_per_gpm[nflat] += payload
         victim = local.write(line, version, remote=op.node != syshome)
         self._handle_l2_victim(op.node, victim)
-        latency += lat.l2_hit
+        latency += self._l2_hit_lat
         sector = self.amap.sector_of_line(line)
 
         # Layer 1: the GPU home node of the issuing GPU.
@@ -290,20 +297,20 @@ class HMGProtocol(CoherenceProtocol):
         return AccessOutcome(0, latency)
 
     def _atomic(self, op: MemOp) -> AccessOutcome:
-        line = self.amap.line_of(op.address)
+        line = op.address >> self._line_bits
         if op.scope == Scope.CTA:
             version = self._new_version()
             self._l1_store(op, line, version, remote=False)
-            return AccessOutcome(version, float(self.cfg.latency.l1_hit),
+            return AccessOutcome(version, self._l1_hit_lat,
                                  exposed=True, hit_level="l1")
-        ghome, syshome = self._homes(line, op.node)
+        ghome, syshome = self.homes(line, op.node)
         # The atomic executes at the home node for its scope and is then
         # written through to subsequent levels like a store.
         target = ghome if op.scope == Scope.GPU else syshome
         out = self._store(op)
         if op.node != target:
             self.send(MsgType.ATOMIC_RESP, target, op.node, line)
-        latency = float(self.cfg.latency.l2_hit) + self.rtt(op.node, target)
+        latency = self._l2_hit_lat + self.rtt(op.node, target)
         return AccessOutcome(self._next_version - 1, latency, exposed=False)
 
     # ------------------------------------------------------------------

@@ -24,33 +24,68 @@ class IdealProtocol(CoherenceProtocol):
     label = "Idealized Caching w/o Coherence"
     has_directory = False
 
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        # Conservative copy index for _magic_invalidate: line -> set of
+        # caches that *may* hold it.  Every fill path below registers
+        # the target cache; silent evictions leave stale entries behind,
+        # which is safe because invalidating an absent line is a free
+        # no-op (no state change, no counters).  The alternative —
+        # sweeping all L2s and L1 slices on every store — dominated the
+        # profile at scale.
+        self._copies: dict[int, set] = {}
+
     def _homes(self, line: int, node: NodeId):
         return self.homes(line, node)
+
+    def _track(self, cache, line: int) -> None:
+        copies = self._copies.get(line)
+        if copies is None:
+            self._copies[line] = {cache}
+        else:
+            copies.add(cache)
+
+    def _l1_fill(self, op, line, version, remote):
+        sl = self.l1_slice(op)
+        sl.fill(line, version, remote=remote)
+        self._track(sl, line)
+
+    def _l1_store(self, op, line, version, remote):
+        sl = self.l1_slice(op)
+        sl.write(line, version, dirty=False, remote=remote)
+        self._track(sl, line)
+
+    def _home_store(self, home: NodeId, line: int, version: int,
+                    payload: int) -> None:
+        super()._home_store(home, line, version, payload)
+        self._track(self.l2[self.flat(home)], line)
 
     def _magic_invalidate(self, line: int) -> None:
         """Drop every cached copy of a line, for free: no messages, no
         latency, no directory state.  Runs before the store's own fills
         so the writer's path ends up holding only the fresh version."""
-        for l2 in self.l2:
-            l2.invalidate(line)
-        for slices in self.l1:
-            for sl in slices:
-                sl.invalidate(line)
+        copies = self._copies.pop(line, None)
+        if copies:
+            for cache in copies:
+                cache.invalidate(line)
 
     def _load(self, op: MemOp) -> AccessOutcome:
-        line = self.amap.line_of(op.address)
-        ghome, syshome = self._homes(line, op.node)
-        lat = self.cfg.latency
-        latency = float(lat.l1_hit)
+        line = op.address >> self._line_bits
+        ghome, syshome = self.homes(line, op.node)
+        lat = self._lat
+        latency = self._l1_hit_lat
 
         # Scope never forces a miss in the idealized model.
-        hit = self.l1_slice(op).lookup(line)
+        node = op.node
+        slices = self.l1[node.gpu * self._gpms_per_gpu + node.gpm]
+        hit = slices[op.cta % len(slices)].lookup(line)
         if hit is not None:
             return AccessOutcome(hit.version, latency, hit_level="l1")
 
-        local = self.l2[self.flat(op.node)]
-        self._l2_touch(op.node, self.cfg.line_size)
-        latency += lat.l2_hit
+        nflat = node.gpu * self._gpms_per_gpu + node.gpm
+        local = self.l2[nflat]
+        self.l2_bytes_per_gpm[nflat] += self._line_size
+        latency += self._l2_hit_lat
         entry = local.lookup(line)
         if entry is not None:
             self._l1_fill(op, line, entry.version, remote=op.node != syshome)
@@ -60,6 +95,7 @@ class IdealProtocol(CoherenceProtocol):
             version = self.dram[self.flat(syshome)].read(line)
             latency += lat.dram_access
             victim = local.fill(line, version, remote=False)
+            self._track(local, line)
             self._handle_l2_victim(op.node, victim)
             self._l1_fill(op, line, version, remote=False)
             return AccessOutcome(version, latency, hit_level="dram")
@@ -69,8 +105,8 @@ class IdealProtocol(CoherenceProtocol):
         if op.node != ghome:
             self.send(MsgType.LOAD_REQ, op.node, ghome, line)
             latency += 2 * self.hop_latency(op.node, ghome)
-            self._l2_touch(ghome, self.cfg.line_size)
-            latency += lat.l2_hit
+            self._l2_touch(ghome, self._line_size)
+            latency += self._l2_hit_lat
             gentry = self.l2[self.flat(ghome)].lookup(line)
             if gentry is not None:
                 version = gentry.version
@@ -80,8 +116,8 @@ class IdealProtocol(CoherenceProtocol):
             self.stats.remote_gpu_loads += 1
             self.send(MsgType.LOAD_REQ, ghome, syshome, line)
             latency += 2 * self.hop_latency(ghome, syshome)
-            self._l2_touch(syshome, self.cfg.line_size)
-            latency += lat.l2_hit
+            self._l2_touch(syshome, self._line_size)
+            latency += self._l2_hit_lat
             sentry = self.l2[self.flat(syshome)].lookup(line)
             if sentry is not None:
                 version = sentry.version
@@ -89,55 +125,61 @@ class IdealProtocol(CoherenceProtocol):
             else:
                 version = self.dram[self.flat(syshome)].read(line)
                 latency += lat.dram_access
-                svictim = self.l2[self.flat(syshome)].fill(
-                    line, version, remote=False
-                )
+                sl2 = self.l2[self.flat(syshome)]
+                svictim = sl2.fill(line, version, remote=False)
+                self._track(sl2, line)
                 self._handle_l2_victim(syshome, svictim)
             self.send(MsgType.DATA_RESP, syshome, ghome, line)
             if op.node != ghome:
-                gvictim = self.l2[self.flat(ghome)].fill(
-                    line, version, remote=True
-                )
+                gl2 = self.l2[self.flat(ghome)]
+                gvictim = gl2.fill(line, version, remote=True)
+                self._track(gl2, line)
                 self._handle_l2_victim(ghome, gvictim)
-                self._l2_touch(ghome, self.cfg.line_size)
+                self._l2_touch(ghome, self._line_size)
         elif version is None:
             version = self.dram[self.flat(syshome)].read(line)
             latency += lat.dram_access
-            svictim = self.l2[self.flat(syshome)].fill(
-                line, version, remote=False
-            )
+            sl2 = self.l2[self.flat(syshome)]
+            svictim = sl2.fill(line, version, remote=False)
+            self._track(sl2, line)
             self._handle_l2_victim(syshome, svictim)
 
         if op.node != ghome:
             self.send(MsgType.DATA_RESP, ghome, op.node, line)
         victim = local.fill(line, version, remote=True)
+        self._track(local, line)
         self._handle_l2_victim(op.node, victim)
         self._l1_fill(op, line, version, remote=True)
         return AccessOutcome(version, latency, hit_level=level)
 
     def _store(self, op: MemOp) -> AccessOutcome:
-        line = self.amap.line_of(op.address)
-        ghome, syshome = self._homes(line, op.node)
+        line = op.address >> self._line_bits
+        ghome, syshome = self.homes(line, op.node)
         version = self._new_version()
-        payload = min(op.size, self.cfg.line_size)
-        lat = self.cfg.latency
-        latency = float(lat.l1_hit) + lat.l2_hit
+        payload = min(op.size, self._line_size)
+        lat = self._lat
+        latency = self._l1_hit_lat + self._l2_hit_lat
 
         # Free, instant coherence: every stale copy vanishes first.
         self._magic_invalidate(line)
         self._l1_store(op, line, version, remote=op.node != syshome)
-        local = self.l2[self.flat(op.node)]
-        self._l2_touch(op.node, payload)
+        node = op.node
+        nflat = node.gpu * self._gpms_per_gpu + node.gpm
+        local = self.l2[nflat]
+        self.l2_bytes_per_gpm[nflat] += payload
         victim = local.write(line, version, dirty=op.node == syshome,
                              remote=op.node != syshome)
+        self._track(local, line)
         self._handle_l2_victim(op.node, victim)
 
         if op.node != ghome:
             self.send(MsgType.STORE_REQ, op.node, ghome, line, payload=payload)
-            gvictim = self.l2[self.flat(ghome)].write(
+            gl2 = self.l2[self.flat(ghome)]
+            gvictim = gl2.write(
                 line, version, dirty=ghome == syshome,
                 remote=ghome != syshome,
             )
+            self._track(gl2, line)
             self._handle_l2_victim(ghome, gvictim)
             self._l2_touch(ghome, payload)
         if ghome != syshome:

@@ -102,18 +102,23 @@ class NHCCProtocol(CoherenceProtocol):
     # ------------------------------------------------------------------
 
     def _load(self, op: MemOp) -> AccessOutcome:
-        line = self.amap.line_of(op.address)
+        line = op.address >> self._line_bits
         home = self.sys_home(line, op.node)
-        lat = self.cfg.latency
-        latency = float(lat.l1_hit)
+        lat = self._lat
+        latency = self._l1_hit_lat
 
-        hit = self._l1_load(op, line)
-        if hit is not None:
-            return AccessOutcome(hit.version, latency, hit_level="l1")
+        if op.scope is Scope.CTA:
+            node = op.node
+            slices = self.l1[node.gpu * self._gpms_per_gpu + node.gpm]
+            hit = slices[op.cta % len(slices)].lookup(line)
+            if hit is not None:
+                return AccessOutcome(hit.version, latency, hit_level="l1")
 
-        local = self.l2[self.flat(op.node)]
-        self._l2_touch(op.node, self.cfg.line_size)
-        latency += lat.l2_hit
+        node = op.node
+        nflat = node.gpu * self._gpms_per_gpu + node.gpm
+        local = self.l2[nflat]
+        self.l2_bytes_per_gpm[nflat] += self._line_size
+        latency += self._l2_hit_lat
         # Scoped (> .cta) loads must miss everywhere but the home node,
         # which is the flat protocol's only coherence point.
         may_hit_local = op.scope == Scope.CTA or op.node == home
@@ -138,8 +143,8 @@ class NHCCProtocol(CoherenceProtocol):
         self.send(MsgType.LOAD_REQ, op.node, home, line)
         latency += 2 * self.hop_latency(op.node, home)
         home_l2 = self.l2[self.flat(home)]
-        self._l2_touch(home, self.cfg.line_size)
-        latency += lat.l2_hit
+        self._l2_touch(home, self._line_size)
+        latency += self._l2_hit_lat
         home_entry = home_l2.lookup(line)
         if home_entry is None:
             version = self.dram[self.flat(home)].read(line)
@@ -158,7 +163,7 @@ class NHCCProtocol(CoherenceProtocol):
         self.send(MsgType.DATA_RESP, home, op.node, line)
         victim = local.fill(line, version, remote=True)
         self._handle_l2_victim(op.node, victim)
-        self._l2_touch(op.node, self.cfg.line_size)
+        self._l2_touch(op.node, self._line_size)
         self._l1_fill(op, line, version, remote=True)
         return AccessOutcome(version, latency, hit_level=level)
 
@@ -167,19 +172,21 @@ class NHCCProtocol(CoherenceProtocol):
     # ------------------------------------------------------------------
 
     def _store(self, op: MemOp) -> AccessOutcome:
-        line = self.amap.line_of(op.address)
+        line = op.address >> self._line_bits
         home = self.sys_home(line, op.node)
         version = self._new_version()
-        lat = self.cfg.latency
-        latency = float(lat.l1_hit)
+        lat = self._lat
+        latency = self._l1_hit_lat
 
         self._l1_store(op, line, version, remote=home != op.node)
-        local = self.l2[self.flat(op.node)]
-        self._l2_touch(op.node, min(op.size, self.cfg.line_size))
+        node = op.node
+        nflat = node.gpu * self._gpms_per_gpu + node.gpm
+        local = self.l2[nflat]
+        self.l2_bytes_per_gpm[nflat] += min(op.size, self._line_size)
         victim = local.write(line, version, dirty=op.node == home,
                              remote=home != op.node)
         self._handle_l2_victim(op.node, victim)
-        latency += lat.l2_hit
+        latency += self._l2_hit_lat
 
         sector = self.amap.sector_of_line(line)
         directory = self.dirs[self.flat(home)]
@@ -193,7 +200,7 @@ class NHCCProtocol(CoherenceProtocol):
                 directory.invalidate(sector)
         else:
             # Write-through travels to the home node.
-            payload = min(op.size, self.cfg.line_size)
+            payload = min(op.size, self._line_size)
             self.send(MsgType.STORE_REQ, op.node, home, line, payload=payload)
             latency += self.hop_latency(op.node, home)
             self._home_store(home, line, version, payload)
@@ -207,22 +214,22 @@ class NHCCProtocol(CoherenceProtocol):
         return AccessOutcome(0, latency)
 
     def _atomic(self, op: MemOp) -> AccessOutcome:
-        line = self.amap.line_of(op.address)
+        line = op.address >> self._line_bits
         if op.scope == Scope.CTA:
             # .cta-scope synchronization is performed in the L1.
             version = self._new_version()
             self._l1_store(op, line, version, remote=False)
-            return AccessOutcome(version, float(self.cfg.latency.l1_hit),
+            return AccessOutcome(version, self._l1_hit_lat,
                                  exposed=True, hit_level="l1")
         # .gpu and .sys atomics both execute at the flat home node.
         home = self.sys_home(line, op.node)
         version = self._new_version()
-        latency = float(self.cfg.latency.l2_hit)
+        latency = self._l2_hit_lat
         sector = self.amap.sector_of_line(line)
         if op.node != home:
             self.send(MsgType.ATOMIC_REQ, op.node, home, line, payload=16)
             latency += self.rtt(op.node, home)
-        self._home_store(home, line, version, self.cfg.line_size)
+        self._home_store(home, line, version, self._line_size)
         directory = self.dirs[self.flat(home)]
         if op.node == home:
             entry = directory.lookup(sector, touch=False)
@@ -244,7 +251,7 @@ class NHCCProtocol(CoherenceProtocol):
                 line, version, remote=True
             )
             self._handle_l2_victim(op.node, victim)
-            self._l2_touch(op.node, self.cfg.line_size)
+            self._l2_touch(op.node, self._line_size)
         return AccessOutcome(version, latency, exposed=False)
 
     # ------------------------------------------------------------------

@@ -29,24 +29,28 @@ class NoRemoteCachingProtocol(CoherenceProtocol):
     # ------------------------------------------------------------------
 
     def _load(self, op: MemOp) -> AccessOutcome:
-        line = self.amap.line_of(op.address)
+        line = op.address >> self._line_bits
         home = self.sys_home(line, op.node)
         cacheable = self._cacheable(home, op.node)
-        lat = self.cfg.latency
-        latency = float(lat.l1_hit)
+        lat = self._lat
+        latency = self._l1_hit_lat
 
-        if cacheable:
-            hit = self._l1_load(op, line)
+        if cacheable and op.scope is Scope.CTA:
+            node = op.node
+            slices = self.l1[node.gpu * self._gpms_per_gpu + node.gpm]
+            hit = slices[op.cta % len(slices)].lookup(line)
             if hit is not None:
                 return AccessOutcome(hit.version, latency, hit_level="l1")
 
-        local = self.l2[self.flat(op.node)]
+        node = op.node
+        nflat = node.gpu * self._gpms_per_gpu + node.gpm
+        local = self.l2[nflat]
         may_hit_local = cacheable and (
-            op.scope == Scope.CTA or op.node == home
+            op.scope == Scope.CTA or node == home
         )
         if may_hit_local:
-            self._l2_touch(op.node, self.cfg.line_size)
-            latency += lat.l2_hit
+            self.l2_bytes_per_gpm[nflat] += self._line_size
+            latency += self._l2_hit_lat
             entry = local.lookup(line)
             if entry is not None:
                 self._l1_fill(op, line, entry.version, remote=home != op.node)
@@ -66,8 +70,8 @@ class NoRemoteCachingProtocol(CoherenceProtocol):
         self.send(MsgType.LOAD_REQ, op.node, home, line)
         latency += 2 * self.hop_latency(op.node, home)
         home_l2 = self.l2[self.flat(home)]
-        self._l2_touch(home, self.cfg.line_size)
-        latency += lat.l2_hit
+        self._l2_touch(home, self._line_size)
+        latency += self._l2_hit_lat
         hentry = home_l2.lookup(line)
         if hentry is None:
             version = self.dram[self.flat(home)].read(line)
@@ -82,27 +86,28 @@ class NoRemoteCachingProtocol(CoherenceProtocol):
         if cacheable:
             victim = local.fill(line, version, remote=True)
             self._handle_l2_victim(op.node, victim)
-            self._l2_touch(op.node, self.cfg.line_size)
+            self._l2_touch(op.node, self._line_size)
             self._l1_fill(op, line, version, remote=True)
         return AccessOutcome(version, latency, hit_level=level)
 
     def _store(self, op: MemOp) -> AccessOutcome:
-        line = self.amap.line_of(op.address)
+        line = op.address >> self._line_bits
         home = self.sys_home(line, op.node)
         cacheable = self._cacheable(home, op.node)
         version = self._new_version()
-        payload = min(op.size, self.cfg.line_size)
-        lat = self.cfg.latency
-        latency = float(lat.l1_hit)
+        payload = min(op.size, self._line_size)
+        lat = self._lat
+        latency = self._l1_hit_lat
 
         if cacheable:
             self._l1_store(op, line, version, remote=home != op.node)
-            local = self.l2[self.flat(op.node)]
-            self._l2_touch(op.node, payload)
+            nflat = op.node.gpu * self._gpms_per_gpu + op.node.gpm
+            local = self.l2[nflat]
+            self.l2_bytes_per_gpm[nflat] += payload
             victim = local.write(line, version, dirty=op.node == home,
                                  remote=home != op.node)
             self._handle_l2_victim(op.node, victim)
-            latency += lat.l2_hit
+            latency += self._l2_hit_lat
 
         if op.node != home:
             self.send(MsgType.STORE_REQ, op.node, home, line, payload=payload)
@@ -111,20 +116,20 @@ class NoRemoteCachingProtocol(CoherenceProtocol):
         return AccessOutcome(0, latency)
 
     def _atomic(self, op: MemOp) -> AccessOutcome:
-        line = self.amap.line_of(op.address)
+        line = op.address >> self._line_bits
         if op.scope == Scope.CTA:
             version = self._new_version()
             self._l1_store(op, line, version, remote=False)
-            return AccessOutcome(version, float(self.cfg.latency.l1_hit),
+            return AccessOutcome(version, self._l1_hit_lat,
                                  exposed=True, hit_level="l1")
         home = self.sys_home(line, op.node)
         version = self._new_version()
-        latency = float(self.cfg.latency.l2_hit)
+        latency = self._l2_hit_lat
         if op.node != home:
             self.send(MsgType.ATOMIC_REQ, op.node, home, line, payload=16)
             self.send(MsgType.ATOMIC_RESP, home, op.node, line)
             latency += self.rtt(op.node, home)
-        self._home_store(home, line, version, self.cfg.line_size)
+        self._home_store(home, line, version, self._line_size)
         return AccessOutcome(version, latency, exposed=False)
 
     def _acquire(self, op: MemOp) -> AccessOutcome:

@@ -87,7 +87,7 @@ class AccessOutcome:
                 f"{self.hit_level}{', exposed' if self.exposed else ''})")
 
 
-@dataclass
+@dataclass(slots=True)
 class ProtocolStats:
     """Coherence-event counters, aggregated over a whole run."""
 
@@ -176,6 +176,31 @@ class CoherenceProtocol(abc.ABC):
         )
         self.stats = ProtocolStats()
         self._next_version = 1
+        # Hot-path constants and memos.  Home mapping is a pure function
+        # of the line (after the page's first touch pins its owner), so
+        # both lookups are memoized per protocol instance; the message
+        # size table flattens the per-class if-chain into dict lookups.
+        self._gpms_per_gpu = cfg.gpms_per_gpu
+        self._sys_home_memo: dict = {}
+        self._homes_memo: dict = {}
+        self._lat = cfg.latency
+        self._l1_hit_lat = float(cfg.latency.l1_hit)
+        self._l2_hit_lat = float(cfg.latency.l2_hit)
+        self._line_size = cfg.line_size
+        self._line_bits = self.amap.line_bits
+        sizes = cfg.message_sizes
+        data_size = sizes.data_payload_extra + cfg.line_size
+        self._req_header = sizes.request_header
+        self._fixed_msg_size = {
+            MsgType.DATA_RESP: data_size,
+            MsgType.WRITEBACK: data_size,
+            MsgType.ATOMIC_RESP: sizes.request_header,
+            MsgType.INVALIDATION: sizes.invalidation,
+            MsgType.RELEASE_FENCE: sizes.release_fence,
+            MsgType.RELEASE_ACK: sizes.acknowledgment,
+            MsgType.INV_ACK: sizes.acknowledgment,
+            MsgType.DOWNGRADE: sizes.downgrade,
+        }
 
         n = cfg.total_gpms
         self.l2: list[SetAssociativeCache] = [
@@ -223,7 +248,7 @@ class CoherenceProtocol(abc.ABC):
 
     def flat(self, node: NodeId) -> int:
         """Flatten a (gpu, gpm) id to a machine-wide index."""
-        return node.gpu * self.cfg.gpms_per_gpu + node.gpm
+        return node.gpu * self._gpms_per_gpu + node.gpm
 
     def node(self, flat_index: int) -> NodeId:
         """Inverse of :meth:`flat`."""
@@ -236,9 +261,19 @@ class CoherenceProtocol(abc.ABC):
 
     def sys_home(self, line: int, toucher: NodeId) -> NodeId:
         """System home node of a line: the GPM whose DRAM holds its page
-        (placing the page first-touch if untouched)."""
-        page = self.amap.page_of_line(line)
-        return self.page_table.owner_of_page(page, toucher)
+        (placing the page first-touch if untouched).
+
+        Memoized per line: once the containing page is placed, the home
+        never changes under any placement policy, and this lookup sits
+        on the per-op hot path of every protocol.
+        """
+        try:
+            return self._sys_home_memo[line]
+        except KeyError:
+            page = self.amap.page_of_line(line)
+            home = self.page_table.owner_of_page(page, toucher)
+            self._sys_home_memo[line] = home
+            return home
 
     def gpu_home(self, line: int, gpu: int, syshome: NodeId) -> NodeId:
         """GPU home node for a line within ``gpu`` (Section V-A): the
@@ -247,13 +282,25 @@ class CoherenceProtocol(abc.ABC):
         return self.amap.gpu_home(line, gpu, syshome)
 
     def homes(self, line: int, node: NodeId) -> tuple:
-        """(gpu_home, sys_home) for a line as seen from ``node``."""
-        syshome = self.sys_home(line, node)
-        return self.amap.gpu_home(line, node.gpu, syshome), syshome
+        """(gpu_home, sys_home) for a line as seen from ``node``.
+
+        Memoized per ``(line, gpu)``: both homes are stable once the
+        page is placed, and the pair is recomputed for every load and
+        store the protocols process.
+        """
+        key = (line, node.gpu)
+        try:
+            return self._homes_memo[key]
+        except KeyError:
+            syshome = self.sys_home(line, node)
+            pair = (self.amap.gpu_home(line, node.gpu, syshome), syshome)
+            self._homes_memo[key] = pair
+            return pair
 
     def l1_slice(self, op: MemOp) -> SetAssociativeCache:
         """The L1 slice an op's CTA maps to."""
-        slices = self.l1[self.flat(op.node)]
+        node = op.node
+        slices = self.l1[node.gpu * self._gpms_per_gpu + node.gpm]
         return slices[op.cta % len(slices)]
 
     # ------------------------------------------------------------------
@@ -265,8 +312,8 @@ class CoherenceProtocol(abc.ABC):
         if src == dst:
             return 0
         if src.gpu == dst.gpu:
-            return self.cfg.latency.inter_gpm_hop
-        return self.cfg.latency.inter_gpu_hop
+            return self._lat.inter_gpm_hop
+        return self._lat.inter_gpu_hop
 
     def rtt(self, src: NodeId, dst: NodeId) -> int:
         """Unloaded round-trip latency between two GPMs."""
@@ -277,34 +324,35 @@ class CoherenceProtocol(abc.ABC):
     # ------------------------------------------------------------------
 
     def _msg_size(self, mtype: MsgType, payload: int = 0) -> int:
-        sizes = self.cfg.message_sizes
-        if mtype in (MsgType.LOAD_REQ, MsgType.ATOMIC_REQ):
-            return sizes.request_header + payload
-        if mtype == MsgType.STORE_REQ:
-            return sizes.request_header + payload
-        if mtype in (MsgType.DATA_RESP, MsgType.WRITEBACK):
-            return sizes.data_payload_extra + self.cfg.line_size
-        if mtype == MsgType.ATOMIC_RESP:
-            return sizes.request_header
-        if mtype == MsgType.INVALIDATION:
-            return sizes.invalidation
-        if mtype == MsgType.RELEASE_FENCE:
-            return sizes.release_fence
-        if mtype in (MsgType.RELEASE_ACK, MsgType.INV_ACK):
-            return sizes.acknowledgment
-        if mtype == MsgType.DOWNGRADE:
-            return sizes.downgrade
+        size = self._fixed_msg_size.get(mtype)
+        if size is not None:
+            return size
+        if mtype in (MsgType.LOAD_REQ, MsgType.ATOMIC_REQ,
+                     MsgType.STORE_REQ):
+            return self._req_header + payload
         raise ValueError(f"unknown message type {mtype}")
 
     def send(self, mtype: MsgType, src: NodeId, dst: NodeId,
              line: int = 0, payload: int = 0) -> None:
         """Emit one message: account it and hand it to the sink."""
-        size = self._msg_size(mtype, payload)
-        self.stats.count_msg(mtype, size)
+        size = self._fixed_msg_size.get(mtype)
+        if size is None:
+            size = self._msg_size(mtype, payload)
+        stats = self.stats
+        try:
+            stats.msg_counts[mtype] += 1
+        except KeyError:
+            stats.msg_counts[mtype] = 1
+        try:
+            stats.msg_bytes[mtype] += size
+        except KeyError:
+            stats.msg_bytes[mtype] = size
         self.sink.send(mtype, src, dst, line, size)
 
     def _l2_touch(self, node: NodeId, nbytes: int) -> None:
-        self.l2_bytes_per_gpm[self.flat(node)] += nbytes
+        self.l2_bytes_per_gpm[node.gpu * self._gpms_per_gpu + node.gpm] += (
+            nbytes
+        )
 
     def _new_version(self) -> int:
         v = self._next_version
@@ -346,25 +394,34 @@ class CoherenceProtocol(abc.ABC):
 
     def process(self, op: MemOp) -> AccessOutcome:
         """Run one trace operation through the protocol."""
-        self.stats.count_op(op.op)
-        self.ops_per_gpm[self.flat(op.node)] += 1
-        if op.op == OpType.LOAD:
-            self.stats.loads += 1
+        kind = op.op
+        node = op.node
+        stats = self.stats
+        counts = stats.op_counts
+        try:
+            counts[kind] += 1
+        except KeyError:
+            counts[kind] = 1
+        self.ops_per_gpm[node.gpu * self._gpms_per_gpu + node.gpm] += 1
+        # Identity comparison is safe (enum members are singletons) and
+        # the branches are ordered by trace frequency.
+        if kind is OpType.LOAD:
+            stats.loads += 1
             return self._load(op)
-        if op.op == OpType.STORE:
-            self.stats.stores += 1
+        if kind is OpType.STORE:
+            stats.stores += 1
             return self._store(op)
-        if op.op == OpType.ATOMIC:
-            self.stats.atomics += 1
+        if kind is OpType.ATOMIC:
+            stats.atomics += 1
             return self._atomic(op)
-        if op.op == OpType.ACQUIRE:
-            self.stats.acquires += 1
+        if kind is OpType.ACQUIRE:
+            stats.acquires += 1
             return self._acquire(op)
-        if op.op == OpType.RELEASE:
-            self.stats.releases += 1
+        if kind is OpType.RELEASE:
+            stats.releases += 1
             return self._release(op)
-        if op.op == OpType.KERNEL_BOUNDARY:
-            self.stats.kernel_boundaries += 1
+        if kind is OpType.KERNEL_BOUNDARY:
+            stats.kernel_boundaries += 1
             return self._kernel_boundary(op)
         raise ValueError(f"unknown op type {op.op}")
 
@@ -400,16 +457,24 @@ class CoherenceProtocol(abc.ABC):
         """Probe the issuing L1 slice; scoped (> .cta) loads must miss."""
         if op.scope > Scope.CTA:
             return None
-        return self.l1_slice(op).lookup(line)
+        node = op.node
+        slices = self.l1[node.gpu * self._gpms_per_gpu + node.gpm]
+        return slices[op.cta % len(slices)].lookup(line)
 
     def _l1_fill(self, op: MemOp, line: int, version: int,
                  remote: bool) -> None:
-        self.l1_slice(op).fill(line, version, remote=remote)
+        node = op.node
+        slices = self.l1[node.gpu * self._gpms_per_gpu + node.gpm]
+        slices[op.cta % len(slices)].fill(line, version, remote=remote)
 
     def _l1_store(self, op: MemOp, line: int, version: int,
                   remote: bool) -> None:
         """Write-through store: the L1 keeps the written data."""
-        self.l1_slice(op).write(line, version, dirty=False, remote=remote)
+        node = op.node
+        slices = self.l1[node.gpu * self._gpms_per_gpu + node.gpm]
+        slices[op.cta % len(slices)].write(
+            line, version, dirty=False, remote=remote
+        )
 
     def _invalidate_l1s(self, node: NodeId, slice_index: int = None) -> int:
         """Flash-invalidate L1 slice(s) of a GPM (acquire semantics)."""

@@ -33,8 +33,10 @@ class _SoftwareProtocolBase(CoherenceProtocol):
     # -- bulk invalidation ------------------------------------------------
 
     def _owner_of_line(self, line: int, toucher: NodeId) -> NodeId:
-        page = self.amap.page_of_line(line)
-        return self.page_table.owner_of_page(page, toucher)
+        # sys_home is the same computation, memoized — the bulk
+        # invalidation predicates below call this once per resident
+        # line on every acquire.
+        return self.sys_home(line, toucher)
 
     def _gpu_home_of_line(self, line: int, node: NodeId) -> NodeId:
         owner = self._owner_of_line(line, node)
@@ -91,18 +93,23 @@ class NonHierarchicalSWProtocol(_SoftwareProtocolBase):
     # -- loads ---------------------------------------------------------
 
     def _load(self, op: MemOp) -> AccessOutcome:
-        line = self.amap.line_of(op.address)
+        line = op.address >> self._line_bits
         home = self._home(line, op.node)
-        lat = self.cfg.latency
-        latency = float(lat.l1_hit)
+        lat = self._lat
+        latency = self._l1_hit_lat
 
-        hit = self._l1_load(op, line)
-        if hit is not None:
-            return AccessOutcome(hit.version, latency, hit_level="l1")
+        if op.scope is Scope.CTA:
+            node = op.node
+            slices = self.l1[node.gpu * self._gpms_per_gpu + node.gpm]
+            hit = slices[op.cta % len(slices)].lookup(line)
+            if hit is not None:
+                return AccessOutcome(hit.version, latency, hit_level="l1")
 
-        local = self.l2[self.flat(op.node)]
-        self._l2_touch(op.node, self.cfg.line_size)
-        latency += lat.l2_hit
+        node = op.node
+        nflat = node.gpu * self._gpms_per_gpu + node.gpm
+        local = self.l2[nflat]
+        self.l2_bytes_per_gpm[nflat] += self._line_size
+        latency += self._l2_hit_lat
         may_hit_local = op.scope == Scope.CTA or op.node == home
         entry = local.lookup(line) if may_hit_local else None
         if not may_hit_local:
@@ -125,8 +132,8 @@ class NonHierarchicalSWProtocol(_SoftwareProtocolBase):
         self.send(MsgType.LOAD_REQ, op.node, home, line)
         latency += 2 * self.hop_latency(op.node, home)
         home_l2 = self.l2[self.flat(home)]
-        self._l2_touch(home, self.cfg.line_size)
-        latency += lat.l2_hit
+        self._l2_touch(home, self._line_size)
+        latency += self._l2_hit_lat
         hentry = home_l2.lookup(line)
         if hentry is None:
             version = self.dram[self.flat(home)].read(line)
@@ -146,16 +153,18 @@ class NonHierarchicalSWProtocol(_SoftwareProtocolBase):
     # -- stores ----------------------------------------------------------
 
     def _store(self, op: MemOp) -> AccessOutcome:
-        line = self.amap.line_of(op.address)
+        line = op.address >> self._line_bits
         home = self._home(line, op.node)
         version = self._new_version()
-        payload = min(op.size, self.cfg.line_size)
-        lat = self.cfg.latency
-        latency = float(lat.l1_hit) + lat.l2_hit
+        payload = min(op.size, self._line_size)
+        lat = self._lat
+        latency = self._l1_hit_lat + self._l2_hit_lat
 
         self._l1_store(op, line, version, remote=home != op.node)
-        local = self.l2[self.flat(op.node)]
-        self._l2_touch(op.node, payload)
+        node = op.node
+        nflat = node.gpu * self._gpms_per_gpu + node.gpm
+        local = self.l2[nflat]
+        self.l2_bytes_per_gpm[nflat] += payload
         victim = local.write(line, version, dirty=op.node == home,
                              remote=home != op.node)
         self._handle_l2_victim(op.node, victim)
@@ -167,22 +176,22 @@ class NonHierarchicalSWProtocol(_SoftwareProtocolBase):
         return AccessOutcome(0, latency)
 
     def _atomic(self, op: MemOp) -> AccessOutcome:
-        line = self.amap.line_of(op.address)
+        line = op.address >> self._line_bits
         if op.scope == Scope.CTA:
             version = self._new_version()
             self._l1_store(op, line, version, remote=False)
-            return AccessOutcome(version, float(self.cfg.latency.l1_hit),
+            return AccessOutcome(version, self._l1_hit_lat,
                                  exposed=True, hit_level="l1")
         # Flat software coherence performs every scoped atomic at the
         # system home node — it has no closer coherence point.
         home = self._home(line, op.node)
         version = self._new_version()
-        latency = float(self.cfg.latency.l2_hit)
+        latency = self._l2_hit_lat
         if op.node != home:
             self.send(MsgType.ATOMIC_REQ, op.node, home, line, payload=16)
             self.send(MsgType.ATOMIC_RESP, home, op.node, line)
             latency += self.rtt(op.node, home)
-        self._home_store(home, line, version, self.cfg.line_size)
+        self._home_store(home, line, version, self._line_size)
         return AccessOutcome(version, latency, exposed=False)
 
     # -- synchronization ----------------------------------------------
@@ -236,18 +245,23 @@ class HierarchicalSWProtocol(_SoftwareProtocolBase):
     # -- loads ---------------------------------------------------------
 
     def _load(self, op: MemOp) -> AccessOutcome:
-        line = self.amap.line_of(op.address)
-        ghome, syshome = self._homes(line, op.node)
-        lat = self.cfg.latency
-        latency = float(lat.l1_hit)
+        line = op.address >> self._line_bits
+        ghome, syshome = self.homes(line, op.node)
+        lat = self._lat
+        latency = self._l1_hit_lat
 
-        hit = self._l1_load(op, line)
-        if hit is not None:
-            return AccessOutcome(hit.version, latency, hit_level="l1")
+        if op.scope is Scope.CTA:
+            node = op.node
+            slices = self.l1[node.gpu * self._gpms_per_gpu + node.gpm]
+            hit = slices[op.cta % len(slices)].lookup(line)
+            if hit is not None:
+                return AccessOutcome(hit.version, latency, hit_level="l1")
 
-        local = self.l2[self.flat(op.node)]
-        self._l2_touch(op.node, self.cfg.line_size)
-        latency += lat.l2_hit
+        node = op.node
+        nflat = node.gpu * self._gpms_per_gpu + node.gpm
+        local = self.l2[nflat]
+        self.l2_bytes_per_gpm[nflat] += self._line_size
+        latency += self._l2_hit_lat
         if self._may_hit(op.node, op, ghome, syshome):
             entry = local.lookup(line)
         else:
@@ -271,8 +285,8 @@ class HierarchicalSWProtocol(_SoftwareProtocolBase):
         if op.node != ghome:
             self.send(MsgType.LOAD_REQ, op.node, ghome, line)
             latency += 2 * self.hop_latency(op.node, ghome)
-            self._l2_touch(ghome, self.cfg.line_size)
-            latency += lat.l2_hit
+            self._l2_touch(ghome, self._line_size)
+            latency += self._l2_hit_lat
             gl2 = self.l2[self.flat(ghome)]
             if self._may_hit(ghome, op, ghome, syshome):
                 gentry = gl2.lookup(line)
@@ -287,8 +301,8 @@ class HierarchicalSWProtocol(_SoftwareProtocolBase):
             self.stats.remote_gpu_loads += 1
             self.send(MsgType.LOAD_REQ, ghome, syshome, line)
             latency += 2 * self.hop_latency(ghome, syshome)
-            self._l2_touch(syshome, self.cfg.line_size)
-            latency += lat.l2_hit
+            self._l2_touch(syshome, self._line_size)
+            latency += self._l2_hit_lat
             sentry = self.l2[self.flat(syshome)].lookup(line)
             if sentry is not None:
                 version = sentry.version
@@ -306,7 +320,7 @@ class HierarchicalSWProtocol(_SoftwareProtocolBase):
                     line, version, remote=True
                 )
                 self._handle_l2_victim(ghome, gvictim)
-                self._l2_touch(ghome, self.cfg.line_size)
+                self._l2_touch(ghome, self._line_size)
         elif version is None:
             version = self.dram[self.flat(syshome)].read(line)
             latency += lat.dram_access
@@ -325,16 +339,18 @@ class HierarchicalSWProtocol(_SoftwareProtocolBase):
     # -- stores ----------------------------------------------------------
 
     def _store(self, op: MemOp) -> AccessOutcome:
-        line = self.amap.line_of(op.address)
-        ghome, syshome = self._homes(line, op.node)
+        line = op.address >> self._line_bits
+        ghome, syshome = self.homes(line, op.node)
         version = self._new_version()
-        payload = min(op.size, self.cfg.line_size)
-        lat = self.cfg.latency
-        latency = float(lat.l1_hit) + lat.l2_hit
+        payload = min(op.size, self._line_size)
+        lat = self._lat
+        latency = self._l1_hit_lat + self._l2_hit_lat
 
         self._l1_store(op, line, version, remote=op.node != syshome)
-        local = self.l2[self.flat(op.node)]
-        self._l2_touch(op.node, payload)
+        node = op.node
+        nflat = node.gpu * self._gpms_per_gpu + node.gpm
+        local = self.l2[nflat]
+        self.l2_bytes_per_gpm[nflat] += payload
         victim = local.write(line, version, dirty=op.node == syshome,
                              remote=op.node != syshome)
         self._handle_l2_victim(op.node, victim)
@@ -354,13 +370,13 @@ class HierarchicalSWProtocol(_SoftwareProtocolBase):
         return AccessOutcome(0, latency)
 
     def _atomic(self, op: MemOp) -> AccessOutcome:
-        line = self.amap.line_of(op.address)
+        line = op.address >> self._line_bits
         if op.scope == Scope.CTA:
             version = self._new_version()
             self._l1_store(op, line, version, remote=False)
-            return AccessOutcome(version, float(self.cfg.latency.l1_hit),
+            return AccessOutcome(version, self._l1_hit_lat,
                                  exposed=True, hit_level="l1")
-        ghome, syshome = self._homes(line, op.node)
+        ghome, syshome = self.homes(line, op.node)
         # Hierarchical software coherence performs the atomic at the
         # home node for its scope: the GPU home is the .gpu coherence
         # point because all stores write through it.
@@ -368,7 +384,7 @@ class HierarchicalSWProtocol(_SoftwareProtocolBase):
         out = self._store(op)
         if op.node != target:
             self.send(MsgType.ATOMIC_RESP, target, op.node, line)
-        latency = float(self.cfg.latency.l2_hit) + self.rtt(op.node, target)
+        latency = self._l2_hit_lat + self.rtt(op.node, target)
         return AccessOutcome(self._next_version - 1, latency, exposed=False)
 
     # -- synchronization ----------------------------------------------

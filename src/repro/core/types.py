@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Optional
+from typing import NamedTuple, Optional
 
 
 class Scope(enum.IntEnum):
@@ -91,11 +91,16 @@ class MsgType(enum.IntEnum):
         )
 
 
-@dataclass(frozen=True, order=True)
-class NodeId:
+class NodeId(NamedTuple):
     """Identifies one GPM: ``(gpu, gpm)``.
 
     ``gpm`` is the index *within* the GPU, not a flat index.
+
+    A :class:`~typing.NamedTuple` rather than a dataclass: node ids are
+    compared, hashed and unpacked millions of times per simulated run,
+    and the tuple machinery does all three in C.  Ordering (by
+    ``(gpu, gpm)``) and immutability match the previous frozen
+    dataclass semantics.
     """
 
     gpu: int
@@ -119,28 +124,63 @@ class NodeId:
         return f"GPU{self.gpu}:GPM{self.gpm}"
 
 
-@dataclass(frozen=True)
 class MemOp:
     """One trace-level memory operation.
 
     ``address`` is a byte address; accesses are modelled at cache-line
     granularity, so the simulator only ever looks at the containing line.
+
+    A ``__slots__`` class rather than a dataclass: every simulated op
+    reads these attributes several times on the protocol hot path, and
+    slot descriptors are the cheapest attribute access CPython offers.
+    Instances are immutable (like the previous frozen dataclass) and
+    compare/hash by value.
     """
 
-    op: OpType
-    address: int
-    node: NodeId
-    #: CTA issuing the op; used to pick the L1 slice and for statistics.
-    cta: int = 0
-    scope: Scope = Scope.CTA
-    #: Bytes accessed (after warp-level coalescing); capped at line size.
-    size: int = 4
+    __slots__ = ("op", "address", "node", "cta", "scope", "size")
 
-    def __post_init__(self):
-        if self.address < 0:
+    #: Field order, mirroring the positional constructor signature.
+    _fields = ("op", "address", "node", "cta", "scope", "size")
+
+    def __init__(self, op: OpType, address: int, node: NodeId,
+                 cta: int = 0, scope: Scope = Scope.CTA, size: int = 4):
+        if address < 0:
             raise ValueError("address must be non-negative")
-        if self.size <= 0:
+        if size <= 0:
             raise ValueError("size must be positive")
+        s = object.__setattr__
+        s(self, "op", op)
+        s(self, "address", address)
+        s(self, "node", node)
+        s(self, "cta", cta)
+        s(self, "scope", scope)
+        s(self, "size", size)
+
+    def __setattr__(self, name, value):
+        raise AttributeError(f"MemOp is immutable (tried to set {name!r})")
+
+    def __delattr__(self, name):
+        raise AttributeError(f"MemOp is immutable (tried to delete {name!r})")
+
+    def _key(self) -> tuple:
+        return (self.op, self.address, self.node, self.cta, self.scope,
+                self.size)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, MemOp):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __repr__(self) -> str:
+        return (f"MemOp(op={self.op!r}, address={self.address!r}, "
+                f"node={self.node!r}, cta={self.cta!r}, "
+                f"scope={self.scope!r}, size={self.size!r})")
+
+    def __reduce__(self):
+        return (MemOp, self._key())
 
     def with_scope(self, scope: Scope) -> "MemOp":
         """Copy of this op with a different synchronization scope."""

@@ -75,6 +75,11 @@ class SimResult:
     link_bytes: list = field(default_factory=list)
     #: Per-GPU intra-GPU crossbar bytes.
     xbar_bytes: list = field(default_factory=list)
+    #: Host wall-clock seconds the engine spent in its per-op loop.
+    #: Purely observational (simulator throughput, not simulated time):
+    #: it varies run to run and is deliberately excluded from journals
+    #: and experiment data so replays stay byte-identical.
+    wall_seconds: float = 0.0
 
     @property
     def seconds(self) -> float:
@@ -90,6 +95,13 @@ class SimResult:
         if self.cycles <= 0:
             raise ValueError("cannot compute speedup of a zero-cycle run")
         return baseline.cycles / self.cycles
+
+    @property
+    def ops_per_second(self) -> float:
+        """Simulator throughput: trace ops processed per host second."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.ops / self.wall_seconds
 
     @property
     def inv_bandwidth_gbps(self) -> float:

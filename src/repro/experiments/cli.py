@@ -52,6 +52,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--sanitize", action="store_true",
                         help="run the coherence sanitizer inside every "
                              "simulation (DESIGN.md §6 invariants)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for sweep cells "
+                             "(default 1 = serial; results are "
+                             "byte-identical either way)")
+    parser.add_argument("--trace-cache", default=None, metavar="DIR",
+                        help="persist generated traces in DIR and "
+                             "reuse them across runs and workers")
     parser.add_argument("--journal", default=None, metavar="DIR",
                         help="record completed experiments/cells in DIR "
                              f"(implied '{DEFAULT_JOURNAL}' by --resume)")
@@ -167,6 +174,8 @@ def main(argv=None) -> int:
         workloads=args.workloads,
         sanitize=args.sanitize,
         journal=journal,
+        jobs=args.jobs,
+        trace_cache=args.trace_cache,
     )
 
     failures = []

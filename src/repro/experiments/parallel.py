@@ -1,0 +1,179 @@
+"""Parallel sweep execution for the experiment harness.
+
+A sweep decomposes into independent *cells* — one (workload, protocol,
+config, placement, fault-plan) simulation each.  Cells share no mutable
+state (the engine builds a fresh protocol instance per run), so they
+parallelize embarrassingly across worker processes.
+
+Design constraints, in priority order:
+
+1. **Determinism.**  ``--jobs 4`` must produce byte-identical output to
+   a serial run.  Workers therefore only *compute*: every
+   :class:`~repro.engine.stats.SimResult` travels back to the parent,
+   which journals cells in submission order and assembles every table
+   itself.  ``wall_seconds`` is the lone nondeterministic field and is
+   excluded from journals and experiment data by construction.
+2. **No duplicate work.**  Cell keys (:func:`cell_key`) are stable
+   fingerprints; the parent deduplicates before dispatch, and
+   :class:`~repro.experiments.runner.ExperimentContext` memoizes results
+   under the same keys, so e.g. the ``noremote`` baseline a figure
+   normalizes against is simulated once per (workload, config), not
+   once per protocol column.
+3. **Cheap workers.**  Workers regenerate (or, with a trace cache
+   directory, deserialize) traces on first use and memoize them per
+   process; a worker simulating 7 protocols of one workload pays for
+   its trace once.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.config import SystemConfig
+
+# ----------------------------------------------------------------------
+# Cell descriptions and fingerprints
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One simulation the sweep needs: fully self-describing, picklable."""
+
+    workload: str
+    protocol: str
+    cfg: SystemConfig
+    placement: str = "first_touch"
+    fault_plan: object = None
+
+
+def config_fingerprint(cfg: SystemConfig) -> str:
+    """Hash of *every* config field.
+
+    Unlike the trace cache's geometry fingerprint, simulation results
+    depend on the whole platform description (latencies, bandwidths,
+    message sizes...), so the cell memo must key on all of it.
+    ``SystemConfig`` is a frozen dataclass tree whose ``repr`` is
+    deterministic and total.
+    """
+    return hashlib.sha256(repr(cfg).encode()).hexdigest()[:16]
+
+
+def plan_fingerprint(plan) -> str:
+    """Stable fingerprint of a fault plan (empty string for none).
+
+    ``FaultPlan`` derives every fault window and jitter value
+    deterministically from its specs and seed, so its ``repr`` — which
+    includes both — identifies its effect on a run.
+    """
+    if plan is None:
+        return ""
+    jitter = getattr(plan, "message_jitter", None)
+    return hashlib.sha256(
+        f"{plan.name}|{plan.seed}|{plan.link_faults!r}|{jitter!r}"
+        .encode()
+    ).hexdigest()[:16]
+
+
+def cell_key(workload: str, protocol: str, cfg: SystemConfig,
+             placement: str, fault_plan, sanitize: bool = False) -> tuple:
+    """Memoization key under which a cell's result is stored."""
+    return (workload, protocol, config_fingerprint(cfg), placement,
+            plan_fingerprint(fault_plan), bool(sanitize))
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+
+#: Per-process trace memo: (workload, geometry fp, seed, ops_scale) ->
+#: list of ops.  Lives in the worker process; each worker pays trace
+#: acquisition once per workload, however many cells it simulates.
+_worker_traces: dict = {}
+
+
+def _worker_trace(workload: str, cfg: SystemConfig, seed: int,
+                  ops_scale: float, cache_dir: Optional[str]):
+    from repro.trace.cache import TraceCache, geometry_fingerprint
+
+    key = (workload, geometry_fingerprint(cfg), seed, ops_scale)
+    trace = _worker_traces.get(key)
+    if trace is None:
+        if cache_dir is not None:
+            trace = TraceCache(cache_dir).get_or_generate(
+                workload, cfg, seed, ops_scale
+            )
+        else:
+            from repro.trace.workloads import WORKLOADS
+
+            trace = WORKLOADS[workload].generate(cfg, seed=seed,
+                                                 ops_scale=ops_scale)
+        _worker_traces[key] = trace
+    return trace
+
+
+def run_cell(payload):
+    """Simulate one cell in a worker process.
+
+    ``payload`` is ``(cell, seed, ops_scale, sanitize, cache_dir)``;
+    module-level so it pickles by reference under the default
+    start methods.
+    """
+    cell, seed, ops_scale, sanitize, cache_dir = payload
+    from repro.engine.simulator import simulate
+
+    trace = _worker_trace(cell.workload, cell.cfg, seed, ops_scale,
+                          cache_dir)
+    return simulate(
+        trace,
+        cell.cfg,
+        protocol=cell.protocol,
+        placement=cell.placement,
+        workload_name=cell.workload,
+        fault_plan=cell.fault_plan,
+        sanitize=sanitize,
+    )
+
+
+# ----------------------------------------------------------------------
+# Parent side
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class SweepExecutor:
+    """Maps unique cells onto a process pool, in deterministic order.
+
+    The executor owns no state between calls beyond its settings; the
+    caller (:class:`~repro.experiments.runner.ExperimentContext`) holds
+    the result memo and the journal.
+    """
+
+    jobs: int = 1
+    seed: int = 1
+    ops_scale: float = 1.0
+    sanitize: bool = False
+    trace_cache_dir: Optional[str] = None
+    #: Cells simulated through this executor (observability/testing).
+    cells_run: int = field(default=0, compare=False)
+
+    def run(self, cells):
+        """Simulate ``cells`` (already deduplicated by the caller);
+        returns results in input order."""
+        cells = list(cells)
+        self.cells_run += len(cells)
+        payloads = [
+            (cell, self.seed, self.ops_scale, self.sanitize,
+             self.trace_cache_dir)
+            for cell in cells
+        ]
+        if self.jobs <= 1 or len(cells) <= 1:
+            return [run_cell(p) for p in payloads]
+        workers = min(self.jobs, len(cells))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            # Executor.map preserves submission order, so downstream
+            # journaling and table assembly see the serial ordering.
+            return list(pool.map(run_cell, payloads))

@@ -3,8 +3,13 @@
 An :class:`ExperimentContext` fixes the platform configuration, random
 seed and trace-length scale; drivers use it to run workloads under
 protocol sets and collect normalized speedups.  Traces are generated
-once per workload and cached, so a sensitivity sweep that simulates the
-same trace under many configurations pays generation once.
+once per workload and cached (optionally on disk, via ``trace_cache``),
+and every completed simulation is memoized under its cell fingerprint —
+a figure that normalizes five protocols against the same baseline
+simulates that baseline once, and a sweep that revisits a cell pays
+nothing.  With ``jobs > 1``, cache-missing cells fan out across worker
+processes with deterministic, serial-identical results (see
+:mod:`repro.experiments.parallel`).
 """
 
 from __future__ import annotations
@@ -15,6 +20,7 @@ from repro.config import SystemConfig
 from repro.analysis.metrics import SpeedupTable, normalized_speedups
 from repro.core.registry import PROTOCOLS
 from repro.engine.simulator import simulate
+from repro.experiments.parallel import Cell, SweepExecutor, cell_key
 from repro.trace.workloads import FIGURE_ORDER, WORKLOADS
 
 #: Display labels for figure columns, in the paper's legend wording.
@@ -42,12 +48,16 @@ class ExperimentContext:
     every run (drivers may override per call); ``sanitize`` runs the
     coherence sanitizer inside every simulation; ``journal`` is an
     optional :class:`repro.experiments.journal.RunJournal` receiving a
-    record of every completed cell (crash-safe progress tracking).
+    record of every completed cell (crash-safe progress tracking);
+    ``jobs`` sets the worker-process count for sweep fan-out (1 =
+    serial, the default); ``trace_cache`` names a directory for the
+    persistent binary trace cache shared by parent and workers.
     """
 
     def __init__(self, cfg: SystemConfig = None, seed: int = 1,
                  ops_scale: float = 1.0, workloads=None,
-                 fault_plan=None, sanitize: bool = False, journal=None):
+                 fault_plan=None, sanitize: bool = False, journal=None,
+                 jobs: int = 1, trace_cache=None):
         self.cfg = cfg if cfg is not None else SystemConfig.paper_scaled()
         self.seed = seed
         self.ops_scale = ops_scale
@@ -55,7 +65,22 @@ class ExperimentContext:
         self.fault_plan = fault_plan
         self.sanitize = sanitize
         self.journal = journal
+        self.jobs = max(1, int(jobs))
+        if trace_cache is not None and not hasattr(trace_cache, "load"):
+            from repro.trace.cache import TraceCache
+
+            trace_cache = TraceCache(trace_cache)
+        self.trace_cache = trace_cache
         self._traces: dict = {}
+        #: Completed cells: :func:`repro.experiments.parallel.cell_key`
+        #: -> SimResult.  Shared by every driver using this context.
+        self._results: dict = {}
+        self._executor = SweepExecutor(
+            jobs=self.jobs, seed=seed, ops_scale=ops_scale,
+            sanitize=sanitize,
+            trace_cache_dir=(str(self.trace_cache.root)
+                             if self.trace_cache is not None else None),
+        )
 
     def trace(self, workload: str) -> list:
         """Generate (or fetch the cached) trace for a workload.
@@ -66,49 +91,136 @@ class ExperimentContext:
         variants.
         """
         if workload not in self._traces:
-            spec = WORKLOADS[workload]
-            self._traces[workload] = list(
-                spec.generate(self.cfg, seed=self.seed,
-                              ops_scale=self.ops_scale)
-            )
+            if self.trace_cache is not None:
+                self._traces[workload] = self.trace_cache.get_or_generate(
+                    workload, self.cfg, self.seed, self.ops_scale
+                )
+            else:
+                spec = WORKLOADS[workload]
+                self._traces[workload] = list(
+                    spec.generate(self.cfg, seed=self.seed,
+                                  ops_scale=self.ops_scale)
+                )
         return self._traces[workload]
+
+    # ------------------------------------------------------------------
+    # Cell execution (memoized; optionally parallel)
+    # ------------------------------------------------------------------
+
+    def _cell(self, workload: str, protocol: str, cfg: SystemConfig,
+              placement: str, fault_plan) -> Cell:
+        plan = fault_plan if fault_plan is not None else self.fault_plan
+        run_cfg = cfg if cfg is not None else self.cfg
+        return Cell(workload, protocol, run_cfg, placement, plan)
+
+    def _key(self, cell: Cell) -> tuple:
+        return cell_key(cell.workload, cell.protocol, cell.cfg,
+                        cell.placement, cell.fault_plan, self.sanitize)
+
+    def _complete(self, cell: Cell, key: tuple, result) -> None:
+        self._results[key] = result
+        if self.journal is not None:
+            self.journal.record_cell(cell.workload, cell.protocol,
+                                     cell.cfg, fault_plan=cell.fault_plan,
+                                     result=result)
 
     def run(self, workload: str, protocol: str,
             cfg: SystemConfig = None, placement: str = "first_touch",
             fault_plan=None):
-        """Simulate one workload under one protocol (throughput engine)."""
-        plan = fault_plan if fault_plan is not None else self.fault_plan
-        run_cfg = cfg if cfg is not None else self.cfg
+        """Simulate one workload under one protocol (throughput engine).
+
+        Results are memoized by cell fingerprint: asking for the same
+        cell again — the baseline of every normalized figure, a repeated
+        sweep point — returns the completed result without re-simulating.
+        """
+        cell = self._cell(workload, protocol, cfg, placement, fault_plan)
+        key = self._key(cell)
+        hit = self._results.get(key)
+        if hit is not None:
+            return hit
         result = simulate(
             self.trace(workload),
-            run_cfg,
+            cell.cfg,
             protocol=protocol,
-            placement=placement,
+            placement=cell.placement,
             workload_name=workload,
-            fault_plan=plan,
+            fault_plan=cell.fault_plan,
             sanitize=self.sanitize,
         )
-        if self.journal is not None:
-            self.journal.record_cell(workload, protocol, run_cfg,
-                                     fault_plan=plan, result=result)
+        self._complete(cell, key, result)
         return result
+
+    def run_many(self, requests):
+        """Simulate a batch of cells, fanning out across ``jobs``
+        worker processes; returns results in request order.
+
+        ``requests`` is an iterable of ``(workload, protocol)`` pairs or
+        ``(workload, protocol, cfg, placement, fault_plan)`` tuples
+        (missing trailing elements take the context defaults).  Repeated
+        and already-memoized cells are simulated at most once.  Workers
+        only compute — the parent memoizes and journals every fresh cell
+        in request order, so a parallel run's journal and tables are
+        byte-identical to a serial run's.
+        """
+        cells = []
+        for req in requests:
+            req = tuple(req)
+            workload, protocol = req[0], req[1]
+            cfg = req[2] if len(req) > 2 else None
+            placement = req[3] if len(req) > 3 else "first_touch"
+            plan = req[4] if len(req) > 4 else None
+            cells.append(self._cell(workload, protocol, cfg, placement,
+                                    plan))
+        keys = [self._key(cell) for cell in cells]
+
+        fresh: list = []  # (cell, key) in first-appearance order
+        seen = set(self._results)
+        for cell, key in zip(cells, keys):
+            if key not in seen:
+                seen.add(key)
+                fresh.append((cell, key))
+
+        if fresh:
+            if self.jobs > 1:
+                results = self._executor.run(
+                    [cell for cell, _ in fresh]
+                )
+                for (cell, key), result in zip(fresh, results):
+                    self._complete(cell, key, result)
+            else:
+                for cell, _ in fresh:
+                    self.run(cell.workload, cell.protocol, cell.cfg,
+                             cell.placement, cell.fault_plan)
+        return [self._results[key] for key in keys]
+
+    # ------------------------------------------------------------------
+    # Driver helpers
+    # ------------------------------------------------------------------
 
     def speedups(self, workload: str, protocols,
                  cfg: SystemConfig = None,
                  placement: str = "first_touch",
                  fault_plan=None) -> dict:
         """Normalized speedups of ``protocols`` over no-remote-caching."""
-        results = {
-            name: self.run(workload, name, cfg=cfg, placement=placement,
-                           fault_plan=fault_plan)
-            for name in ["noremote", *protocols]
-        }
+        names = ["noremote", *protocols]
+        results = dict(zip(names, self.run_many(
+            [(workload, name, cfg, placement, fault_plan)
+             for name in names]
+        )))
         return normalized_speedups(results)
 
     def speedup_table(self, protocols, cfg: SystemConfig = None,
                       placement: str = "first_touch",
                       fault_plan=None) -> SpeedupTable:
         """Fig 2/8-shaped table over this context's workload list."""
+        # Fan the whole grid out at once (one batch parallelizes far
+        # better than per-workload batches); the per-workload speedups()
+        # calls below then assemble from the memo.
+        self.run_many([
+            (workload, name, cfg, placement, fault_plan)
+            for workload in self.workloads
+            for name in ["noremote", *protocols]
+        ])
         table = SpeedupTable(list(protocols))
         for workload in self.workloads:
             table.add(workload,
@@ -120,7 +232,6 @@ class ExperimentContext:
     def per_workload_results(self, protocol: str,
                              cfg: SystemConfig = None) -> dict:
         """{workload: SimResult} under one protocol (for Figs 9-11)."""
-        return {
-            workload: self.run(workload, protocol, cfg=cfg)
-            for workload in self.workloads
-        }
+        return dict(zip(self.workloads, self.run_many(
+            [(workload, protocol, cfg) for workload in self.workloads]
+        )))

@@ -41,24 +41,29 @@ class AddressMap:
         )
 
     def __post_init__(self):
-        _log2(self.line_size)
-        _log2(self.dir_lines_per_entry)
         if self.page_size % self.line_size:
             raise ValueError("page size must be a multiple of line size")
+        # Precomputed shift/divisor constants: every simulated op runs
+        # through line_of/page_of_line/sector_of_line, so the log2s are
+        # taken once here instead of per call.
+        s = object.__setattr__
+        s(self, "_line_bits", _log2(self.line_size))
+        s(self, "_sector_bits", _log2(self.dir_lines_per_entry))
+        s(self, "_lines_per_page", self.page_size // self.line_size)
 
     # -- line/page decomposition --------------------------------------
 
     @property
     def line_bits(self) -> int:
-        return _log2(self.line_size)
+        return self._line_bits
 
     def line_of(self, address: int) -> int:
         """Cache-line index containing a byte address."""
-        return address >> self.line_bits
+        return address >> self._line_bits
 
     def line_address(self, line: int) -> int:
         """Base byte address of a line index."""
-        return line << self.line_bits
+        return line << self._line_bits
 
     def page_of(self, address: int) -> int:
         """Page index containing a byte address."""
@@ -66,7 +71,7 @@ class AddressMap:
 
     def page_of_line(self, line: int) -> int:
         """Page index containing a line."""
-        return self.line_address(line) // self.page_size
+        return line // self._lines_per_page
 
     def page_base(self, page: int) -> int:
         """Base byte address of a page."""
@@ -86,7 +91,7 @@ class AddressMap:
         One directory entry tracks ``dir_lines_per_entry`` consecutive
         lines (4 in Table II), trading entry count for false sharing.
         """
-        return line // self.dir_lines_per_entry
+        return line >> self._sector_bits
 
     def lines_in_sector(self, sector: int):
         """The consecutive lines one directory entry covers."""

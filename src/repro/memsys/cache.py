@@ -31,7 +31,7 @@ class CacheLine:
         return f"CacheLine({self.line}, v{self.version}{',' + flags if flags else ''})"
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheStats:
     """Hit/miss/invalidation counters for one cache instance."""
 
@@ -71,6 +71,9 @@ class SetAssociativeCache:
     lines sit at the end of their set's dict.
     """
 
+    __slots__ = ("name", "ways", "num_sets", "line_size", "_sets",
+                 "_set_mask", "stats")
+
     def __init__(self, capacity_bytes: int, line_size: int, ways: int,
                  name: str = "cache"):
         if capacity_bytes < line_size * ways:
@@ -88,6 +91,13 @@ class SetAssociativeCache:
         self._sets: list[dict[int, CacheLine]] = [
             {} for _ in range(self.num_sets)
         ]
+        # Power-of-two set counts (the common case) index with a mask
+        # instead of a modulo on the hot lookup/fill path.
+        self._set_mask = (
+            self.num_sets - 1
+            if self.num_sets & (self.num_sets - 1) == 0
+            else None
+        )
         self.stats = CacheStats()
 
     # ------------------------------------------------------------------
@@ -100,8 +110,11 @@ class SetAssociativeCache:
         # Fibonacci multiplicative hashing of the line index: strided
         # access patterns (ubiquitous in GPU workloads) would otherwise
         # pile onto a handful of sets.  Real GPU L2s hash set indices
-        # for the same reason.
+        # for the same reason.  The hot accessors (lookup/fill/peek/
+        # invalidate) inline this computation; keep the two in sync.
         mixed = (line * 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+        if self._set_mask is not None:
+            return self._sets[(mixed >> 33) & self._set_mask]
         return self._sets[(mixed >> 33) % self.num_sets]
 
     def __len__(self) -> int:
@@ -119,7 +132,12 @@ class SetAssociativeCache:
 
     def lookup(self, line: int, touch: bool = True) -> Optional[CacheLine]:
         """Probe for a line; counts a hit or miss.  ``touch`` updates LRU."""
-        cset = self._set_for(line)
+        mixed = (line * 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+        mask = self._set_mask
+        if mask is not None:
+            cset = self._sets[(mixed >> 33) & mask]
+        else:
+            cset = self._sets[(mixed >> 33) % self.num_sets]
         entry = cset.get(line)
         if entry is None:
             self.stats.misses += 1
@@ -132,7 +150,11 @@ class SetAssociativeCache:
 
     def peek(self, line: int) -> Optional[CacheLine]:
         """Probe without counting statistics or updating LRU."""
-        return self._set_for(line).get(line)
+        mixed = (line * 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+        mask = self._set_mask
+        if mask is not None:
+            return self._sets[(mixed >> 33) & mask].get(line)
+        return self._sets[(mixed >> 33) % self.num_sets].get(line)
 
     def fill(self, line: int, version: int, dirty: bool = False,
              remote: bool = False) -> Optional[CacheLine]:
@@ -141,24 +163,29 @@ class SetAssociativeCache:
         If the line is already resident its metadata is refreshed in
         place and ``None`` is returned.
         """
-        cset = self._set_for(line)
-        existing = cset.get(line)
+        mixed = (line * 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+        mask = self._set_mask
+        if mask is not None:
+            cset = self._sets[(mixed >> 33) & mask]
+        else:
+            cset = self._sets[(mixed >> 33) % self.num_sets]
+        existing = cset.pop(line, None)
         if existing is not None:
-            del cset[line]
-            existing.version = max(existing.version, version)
+            if version > existing.version:
+                existing.version = version
             existing.dirty = existing.dirty or dirty
             existing.remote = remote
             cset[line] = existing
             return None
+        stats = self.stats
         victim = None
         if len(cset) >= self.ways:
-            victim_line = next(iter(cset))
-            victim = cset.pop(victim_line)
-            self.stats.evictions += 1
+            victim = cset.pop(next(iter(cset)))
+            stats.evictions += 1
             if victim.dirty:
-                self.stats.dirty_evictions += 1
+                stats.dirty_evictions += 1
         cset[line] = CacheLine(line, version, dirty, remote)
-        self.stats.fills += 1
+        stats.fills += 1
         return victim
 
     def write(self, line: int, version: int, dirty: bool = False,
@@ -168,7 +195,12 @@ class SetAssociativeCache:
 
     def invalidate(self, line: int) -> Optional[CacheLine]:
         """Drop a single line if present, returning it."""
-        cset = self._set_for(line)
+        mixed = (line * 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+        mask = self._set_mask
+        if mask is not None:
+            cset = self._sets[(mixed >> 33) & mask]
+        else:
+            cset = self._sets[(mixed >> 33) % self.num_sets]
         entry = cset.pop(line, None)
         if entry is not None:
             self.stats.invalidated_lines += 1
@@ -185,6 +217,8 @@ class SetAssociativeCache:
         """
         dropped: list[CacheLine] = []
         for cset in self._sets:
+            if not cset:
+                continue
             doomed = [ln for ln, entry in cset.items() if predicate(entry)]
             for ln in doomed:
                 dropped.append(cset.pop(ln))
@@ -193,8 +227,20 @@ class SetAssociativeCache:
         return dropped
 
     def invalidate_all(self) -> list[CacheLine]:
-        """Flash-clear the whole cache (L1 on acquire)."""
-        return self.invalidate_where(lambda _entry: True)
+        """Flash-clear the whole cache (L1 on acquire).
+
+        Equivalent to ``invalidate_where(lambda e: True)`` but skips the
+        per-entry predicate calls; acquire-heavy workloads flash L1
+        slices constantly.
+        """
+        dropped: list[CacheLine] = []
+        for cset in self._sets:
+            if cset:
+                dropped.extend(cset.values())
+                cset.clear()
+        self.stats.invalidated_lines += len(dropped)
+        self.stats.bulk_invalidations += 1
+        return dropped
 
     def clear_stats(self) -> None:
         """Reset the hit/miss/invalidation counters."""
@@ -207,6 +253,8 @@ class NullCache(SetAssociativeCache):
     Stands in for the L2's remote-data capacity under the
     no-remote-caching baseline without special-casing call sites.
     """
+
+    __slots__ = ()
 
     def __init__(self, line_size: int = 128, name: str = "null"):
         super().__init__(line_size, line_size, 1, name=name)

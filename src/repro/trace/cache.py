@@ -1,0 +1,232 @@
+"""Persistent binary trace cache.
+
+Trace synthesis is pure: the op stream depends only on the workload
+spec, the platform *geometry* the generators scale against, the seed
+and the trace-length multiplier.  Regenerating the same trace for every
+driver invocation (and in every parallel worker) is therefore wasted
+work — a sweep at production scale spends minutes in numpy before the
+first op is simulated.  :class:`TraceCache` persists each generated
+trace to disk in a compact struct-packed format so later runs (and
+sibling worker processes) deserialize instead of resynthesize.
+
+Format (little-endian)::
+
+    magic   4s   b"RTRC"
+    version H    format revision (bump on any layout change)
+    hlen    I    length of the JSON metadata blob
+    header  ...  JSON: name/footprint_bytes/kernels/meta/ops + cache key
+    ops     ...  ops * 18 bytes, each <BQBBHBI>
+                 (op, address, gpu, gpm, cta, scope, size)
+    crc     I    zlib.crc32 of the packed op payload
+
+Robustness: files are written atomically (tmp + ``os.replace``), and
+:meth:`TraceCache.load` answers ``None`` — after a ``warnings.warn`` —
+for anything it cannot fully validate (bad magic, foreign version,
+truncated payload, CRC mismatch, key mismatch from a hash collision).
+A corrupt cache can cost regeneration time but never wrong results.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import struct
+import warnings
+import zlib
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.core.types import MemOp, NodeId, OpType, Scope
+from repro.trace.stream import Trace
+
+MAGIC = b"RTRC"
+FORMAT_VERSION = 1
+
+#: One packed op: kind u8, address u64, gpu u8, gpm u8, cta u16,
+#: scope u8, size u32.
+_OP = struct.Struct("<BQBBHBI")
+_HEAD = struct.Struct("<4sHI")
+
+_OP_KINDS = {int(k) for k in OpType}
+_SCOPES = {int(s) for s in Scope}
+
+#: SystemConfig fields trace generation actually reads: topology, the
+#: line/page geometry, and the capacities the synthetic working sets
+#: scale against.  Latencies, bandwidths and message sizes shape the
+#: *simulation* of a trace, never its contents, and deliberately do not
+#: invalidate cached traces.
+_GEOMETRY_FIELDS = (
+    "num_gpus", "gpms_per_gpu", "sms_per_gpm", "max_warps_per_sm",
+    "line_size", "page_size",
+    "l1_bytes_per_sm", "l1_slices_per_gpm", "l1_ways",
+    "l2_bytes_per_gpu", "l2_ways",
+    "dram_bytes_per_gpu", "scale",
+)
+
+
+def geometry_fingerprint(cfg) -> str:
+    """Hex digest of the config fields a generated trace depends on."""
+    blob = ";".join(
+        f"{name}={getattr(cfg, name)!r}" for name in _GEOMETRY_FIELDS
+    )
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+def trace_key(workload: str, cfg, seed: int, ops_scale: float) -> str:
+    """Filename-safe cache key for one (workload, geometry, seed,
+    ops_scale) combination."""
+    return (f"{workload}-{geometry_fingerprint(cfg)}"
+            f"-s{seed}-o{ops_scale:g}")
+
+
+class TraceCacheError(ValueError):
+    """A cache file failed validation (callers normally never see this:
+    :meth:`TraceCache.load` converts it into a warning + ``None``)."""
+
+
+class TraceCache:
+    """Directory of struct-packed trace files keyed by :func:`trace_key`."""
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        #: Generation/deserialization counters (observability only).
+        self.hits = 0
+        self.misses = 0
+
+    def path(self, workload: str, cfg, seed: int,
+             ops_scale: float) -> Path:
+        return self.root / (trace_key(workload, cfg, seed, ops_scale)
+                            + ".trc")
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+
+    def store(self, workload: str, cfg, seed: int, ops_scale: float,
+              trace: Trace) -> Path:
+        """Persist one trace atomically; returns the cache file path."""
+        key = trace_key(workload, cfg, seed, ops_scale)
+        header = json.dumps({
+            "key": key,
+            "name": trace.name,
+            "footprint_bytes": trace.footprint_bytes,
+            "kernels": trace.kernels,
+            "meta": trace.meta,
+            "ops": len(trace.ops),
+        }).encode()
+        pack = _OP.pack
+        payload = bytearray()
+        for op in trace.ops:
+            node = op.node
+            payload += pack(int(op.op), op.address, node.gpu, node.gpm,
+                            op.cta, int(op.scope), op.size)
+        target = self.path(workload, cfg, seed, ops_scale)
+        # Per-process tmp name: parallel workers may race to populate
+        # the same key; each writes its own tmp and the os.replace()s
+        # are individually atomic (last writer wins, contents equal).
+        tmp = target.parent / f"{target.name}.{os.getpid()}.tmp"
+        with open(tmp, "wb") as fh:
+            fh.write(_HEAD.pack(MAGIC, FORMAT_VERSION, len(header)))
+            fh.write(header)
+            fh.write(payload)
+            fh.write(struct.pack("<I", zlib.crc32(bytes(payload))))
+        os.replace(tmp, target)
+        return target
+
+    def _parse(self, raw: bytes, expect_key: str) -> Trace:
+        if len(raw) < _HEAD.size:
+            raise TraceCacheError("file shorter than its fixed header")
+        magic, version, hlen = _HEAD.unpack_from(raw)
+        if magic != MAGIC:
+            raise TraceCacheError(f"bad magic {magic!r}")
+        if version != FORMAT_VERSION:
+            raise TraceCacheError(
+                f"format version {version} (this build reads "
+                f"{FORMAT_VERSION})"
+            )
+        body = raw[_HEAD.size:_HEAD.size + hlen]
+        if len(body) != hlen:
+            raise TraceCacheError("truncated metadata header")
+        try:
+            header = json.loads(body)
+        except json.JSONDecodeError as exc:
+            raise TraceCacheError(f"bad metadata JSON: {exc}") from exc
+        if header.get("key") != expect_key:
+            raise TraceCacheError(
+                f"key mismatch: file has {header.get('key')!r}, "
+                f"wanted {expect_key!r}"
+            )
+        count = header.get("ops")
+        if not isinstance(count, int) or count < 0:
+            raise TraceCacheError(f"bad op count {count!r}")
+        start = _HEAD.size + hlen
+        need = count * _OP.size + 4
+        if len(raw) - start != need:
+            raise TraceCacheError(
+                f"payload is {len(raw) - start} bytes, expected {need}"
+            )
+        payload = raw[start:start + count * _OP.size]
+        (crc,) = struct.unpack_from("<I", raw, start + count * _OP.size)
+        if zlib.crc32(payload) != crc:
+            raise TraceCacheError("payload CRC mismatch")
+        ops = []
+        append = ops.append
+        for kind, address, gpu, gpm, cta, scope, size in \
+                _OP.iter_unpack(payload):
+            if kind not in _OP_KINDS or scope not in _SCOPES:
+                raise TraceCacheError(
+                    f"op {len(ops)}: invalid kind/scope "
+                    f"({kind}, {scope})"
+                )
+            append(MemOp(OpType(kind), address, NodeId(gpu, gpm),
+                         cta=cta, scope=Scope(scope), size=size))
+        return Trace(
+            name=header.get("name", "trace"),
+            ops=ops,
+            footprint_bytes=header.get("footprint_bytes", 0),
+            kernels=header.get("kernels", 0),
+            meta=header.get("meta", {}) or {},
+        )
+
+    def load(self, workload: str, cfg, seed: int,
+             ops_scale: float) -> Optional[Trace]:
+        """The cached trace, or ``None`` (miss, or invalid file).
+
+        Invalid files warn and are treated as misses — the caller
+        regenerates, and the subsequent :meth:`store` overwrites the
+        bad file.
+        """
+        target = self.path(workload, cfg, seed, ops_scale)
+        try:
+            raw = target.read_bytes()
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        try:
+            trace = self._parse(
+                raw, trace_key(workload, cfg, seed, ops_scale)
+            )
+        except TraceCacheError as exc:
+            warnings.warn(
+                f"ignoring invalid trace cache file {target.name}: {exc}",
+                RuntimeWarning, stacklevel=2,
+            )
+            self.misses += 1
+            return None
+        self.hits += 1
+        return trace
+
+    def get_or_generate(self, workload: str, cfg, seed: int,
+                        ops_scale: float) -> Trace:
+        """Load from disk, or synthesize-and-store on a miss."""
+        trace = self.load(workload, cfg, seed, ops_scale)
+        if trace is not None:
+            return trace
+        from repro.trace.workloads import WORKLOADS
+
+        trace = WORKLOADS[workload].generate(cfg, seed=seed,
+                                             ops_scale=ops_scale)
+        self.store(workload, cfg, seed, ops_scale, trace)
+        return trace

@@ -1,0 +1,194 @@
+"""Parallel sweep executor: determinism, dedup, CLI integration."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.experiments import cli
+from repro.experiments.journal import RunJournal
+from repro.experiments.parallel import (
+    Cell,
+    cell_key,
+    config_fingerprint,
+    plan_fingerprint,
+)
+from repro.experiments.runner import ExperimentContext
+from repro.faults.plan import FaultPlan, LinkFaultSpec
+
+CFG = SystemConfig.paper_scaled(1 / 64)
+QUICK = dict(seed=1, ops_scale=0.05)
+WORKLOADS = ["CoMD", "mst"]
+PROTOCOLS = ["sw", "nhcc", "hmg"]
+
+PLAN = FaultPlan(
+    "degraded-link",
+    link_faults=[LinkFaultSpec(target="link", period=2000.0,
+                               duration=500.0, bandwidth_factor=0.5)],
+    seed=7,
+)
+
+
+def _table(ctx, fault_plan=None):
+    return ctx.speedup_table(PROTOCOLS, fault_plan=fault_plan)
+
+
+class TestCellKeys:
+    def test_key_is_stable_and_discriminating(self):
+        k = cell_key("CoMD", "hmg", CFG, "first_touch", None)
+        assert k == cell_key("CoMD", "hmg", CFG, "first_touch", None)
+        assert k != cell_key("CoMD", "sw", CFG, "first_touch", None)
+        assert k != cell_key("mst", "hmg", CFG, "first_touch", None)
+        assert k != cell_key("CoMD", "hmg", CFG, "round_robin", None)
+        assert k != cell_key("CoMD", "hmg", CFG, "first_touch", PLAN)
+        other = SystemConfig.paper_scaled(1 / 32)
+        assert k != cell_key("CoMD", "hmg", other, "first_touch", None)
+
+    def test_config_fingerprint_sees_latencies(self):
+        from repro.config import LatencyConfig
+
+        slow = CFG.replace(latency=LatencyConfig(dram_access=999))
+        assert config_fingerprint(slow) != config_fingerprint(CFG)
+
+    def test_plan_fingerprint(self):
+        assert plan_fingerprint(None) == ""
+        assert plan_fingerprint(PLAN) == plan_fingerprint(PLAN)
+        reseeded = FaultPlan(PLAN.name, PLAN.link_faults, seed=8)
+        assert plan_fingerprint(reseeded) != plan_fingerprint(PLAN)
+
+
+class TestDeterminism:
+    def test_parallel_table_matches_serial(self):
+        serial = ExperimentContext(CFG, workloads=WORKLOADS, **QUICK)
+        parallel = ExperimentContext(CFG, workloads=WORKLOADS, jobs=4,
+                                     **QUICK)
+        assert _table(serial).rows == _table(parallel).rows
+
+    def test_parallel_matches_serial_under_fault_plan(self):
+        serial = ExperimentContext(CFG, workloads=WORKLOADS, **QUICK)
+        parallel = ExperimentContext(CFG, workloads=WORKLOADS, jobs=4,
+                                     **QUICK)
+        assert _table(serial, PLAN).rows == _table(parallel, PLAN).rows
+
+    def test_parallel_journal_matches_serial(self, tmp_path):
+        tables = {}
+        for label, jobs in (("serial", 1), ("parallel", 3)):
+            journal = RunJournal(tmp_path / label, context_key={"j": 1})
+            ctx = ExperimentContext(CFG, workloads=WORKLOADS, jobs=jobs,
+                                    journal=journal, **QUICK)
+            tables[label] = _table(ctx)
+            journal.close()
+        a = (tmp_path / "serial" / "cells.jsonl").read_bytes()
+        b = (tmp_path / "parallel" / "cells.jsonl").read_bytes()
+        assert a == b
+        assert tables["serial"].rows == tables["parallel"].rows
+
+    def test_parallel_with_trace_cache_matches(self, tmp_path):
+        serial = ExperimentContext(CFG, workloads=WORKLOADS, **QUICK)
+        parallel = ExperimentContext(CFG, workloads=WORKLOADS, jobs=4,
+                                     trace_cache=tmp_path / "tc", **QUICK)
+        assert _table(serial).rows == _table(parallel).rows
+
+
+class TestDedup:
+    def test_baseline_simulated_once_per_workload(self):
+        ctx = ExperimentContext(CFG, workloads=WORKLOADS, **QUICK)
+        _table(ctx)
+        # Grid: 2 workloads x (noremote + 3 protocols) = 8 unique cells,
+        # even though speedups() asks for the baseline in every column.
+        assert len(ctx._results) == len(WORKLOADS) * (len(PROTOCOLS) + 1)
+
+    def test_repeated_run_reuses_result(self):
+        ctx = ExperimentContext(CFG, workloads=WORKLOADS, **QUICK)
+        first = ctx.run("CoMD", "hmg")
+        assert ctx.run("CoMD", "hmg") is first
+
+    def test_per_workload_results_reuse_table_cells(self):
+        ctx = ExperimentContext(CFG, workloads=WORKLOADS, **QUICK)
+        _table(ctx)
+        cells_before = dict(ctx._results)
+        results = ctx.per_workload_results("hmg")
+        assert ctx._results == cells_before  # nothing re-simulated
+        assert set(results) == set(WORKLOADS)
+
+    def test_run_many_dedups_requests(self):
+        ctx = ExperimentContext(CFG, workloads=WORKLOADS, jobs=2, **QUICK)
+        results = ctx.run_many([("CoMD", "hmg"), ("CoMD", "hmg"),
+                                ("mst", "sw")])
+        assert len(results) == 3
+        assert results[0] is results[1]
+        assert ctx._executor.cells_run == 2
+
+
+class TestWorkerPlumbing:
+    def test_cell_is_picklable(self):
+        import pickle
+
+        cell = Cell("CoMD", "hmg", CFG, "first_touch", PLAN)
+        clone = pickle.loads(pickle.dumps(cell))
+        assert clone.workload == "CoMD"
+        assert clone.cfg == CFG
+        assert clone.fault_plan.name == PLAN.name
+
+    def test_run_cell_matches_context_run(self):
+        from repro.experiments.parallel import run_cell
+
+        direct = run_cell((Cell("CoMD", "hmg", CFG), 1, 0.05, False,
+                           None))
+        via_ctx = ExperimentContext(CFG, **QUICK).run("CoMD", "hmg")
+        assert direct.cycles == via_ctx.cycles
+        assert direct.ops == via_ctx.ops
+
+
+class TestCli:
+    def _run(self, tmp_path, capsys, *extra):
+        args = ["fig8", "--scale", str(1 / 64), "--ops-scale", "0.05",
+                "--workloads", *WORKLOADS,
+                "--journal", str(tmp_path / f"j{len(extra)}"), *extra]
+        assert cli.main(args) == 0
+        out = capsys.readouterr().out
+        # Drop the wall-clock trailer, nondeterministic by nature.
+        return "\n".join(line for line in out.splitlines()
+                         if not line.startswith("[fig8:"))
+
+    def test_jobs_flag_output_identical(self, tmp_path, capsys):
+        serial = self._run(tmp_path, capsys)
+        parallel = self._run(tmp_path, capsys, "--jobs", "4")
+        assert serial == parallel
+
+    def test_resume_replays_parallel_run(self, tmp_path, capsys):
+        journal = str(tmp_path / "resume")
+        args = ["fig8", "--scale", str(1 / 64), "--ops-scale", "0.05",
+                "--workloads", *WORKLOADS, "--journal", journal,
+                "--jobs", "3"]
+        assert cli.main(args) == 0
+        first = capsys.readouterr().out
+        assert cli.main([*args, "--resume"]) == 0
+        second = capsys.readouterr().out
+        assert "cached from journal" in second
+        # The replayed table text matches the live parallel run's.
+        table_lines = [ln for ln in first.splitlines() if "|" in ln]
+        for line in table_lines:
+            assert line in second
+
+    def test_trace_cache_flag(self, tmp_path, capsys):
+        cache_dir = tmp_path / "traces"
+        out = self._run(tmp_path, capsys, "--trace-cache",
+                        str(cache_dir), "--jobs", "2")
+        assert list(cache_dir.glob("*.trc"))
+        assert out  # ran to completion
+
+
+class TestJournalContents:
+    def test_fault_plan_cells_are_labelled(self, tmp_path):
+        journal = RunJournal(tmp_path / "j", context_key={})
+        ctx = ExperimentContext(CFG, workloads=WORKLOADS, jobs=2,
+                                journal=journal, fault_plan=PLAN,
+                                **QUICK)
+        ctx.run_many([("CoMD", "hmg"), ("mst", "sw")])
+        journal.close()
+        with open(tmp_path / "j" / "cells.jsonl") as fh:
+            records = [json.loads(line) for line in fh]
+        assert [r["fault_plan"] for r in records] == [PLAN.name] * 2

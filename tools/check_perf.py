@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Fig 8 ops/sec microbenchmark and perf regression gate.
+
+Measures simulator throughput — trace ops processed per host second of
+*engine loop* time (``SimResult.wall_seconds``; generation and analysis
+excluded) — on the fig8 microbench: CoMD and mst under all seven
+protocols at ``--scale 1/16``, ``--ops-scale 0.25``.  Reports the best
+of ``--repeats`` passes (any interference only ever slows a pass down,
+so the max is the least-noisy estimate of machine capability).
+
+As a CI gate (the default), exits 1 when measured ops/sec falls more
+than ``--tolerance`` (default 30%) below the committed baseline in
+``BENCH_perf.json``.  With ``--update``, refreshes that file's
+``latest`` section in place (baselines are never touched).
+
+    PYTHONPATH=src python tools/check_perf.py
+    PYTHONPATH=src python tools/check_perf.py --update --repeats 5
+"""
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.config import SystemConfig
+from repro.experiments.runner import ExperimentContext
+
+BENCH_FILE = Path(__file__).resolve().parent.parent / "BENCH_perf.json"
+
+#: The microbench definition.  Matches the methodology used to record
+#: the baselines in BENCH_perf.json — change one, change both.
+WORKLOADS = ("CoMD", "mst")
+PROTOCOLS = ("noremote", "sw", "hsw", "nhcc", "gpuvi", "hmg", "ideal")
+SCALE = 1 / 16
+OPS_SCALE = 0.25
+SEED = 1
+
+
+def measure_once() -> float:
+    """One full microbench pass; returns engine ops/sec."""
+    ctx = ExperimentContext(SystemConfig.paper_scaled(SCALE), seed=SEED,
+                            ops_scale=OPS_SCALE)
+    for workload in WORKLOADS:
+        ctx.trace(workload)  # generation outside the measurement
+    ops = 0
+    wall = 0.0
+    for workload in WORKLOADS:
+        for protocol in PROTOCOLS:
+            # Fresh simulation every pass: bypass the context memo.
+            ctx._results.clear()
+            result = ctx.run(workload, protocol)
+            ops += result.ops
+            wall += result.wall_seconds
+    return ops / wall
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="microbench passes; best is kept "
+                             "(default 3)")
+    parser.add_argument("--tolerance", type=float, default=0.30,
+                        help="allowed fractional regression vs the "
+                             "committed baseline (default 0.30)")
+    parser.add_argument("--update", action="store_true",
+                        help="record this measurement as 'latest' in "
+                             "BENCH_perf.json")
+    parser.add_argument("--no-gate", action="store_true",
+                        help="measure and report only; never fail")
+    args = parser.parse_args(argv)
+
+    bench = json.loads(BENCH_FILE.read_text())
+    baseline = bench["baseline"]["ops_per_second"]
+
+    best = 0.0
+    for i in range(max(1, args.repeats)):
+        value = measure_once()
+        best = max(best, value)
+        print(f"pass {i + 1}/{args.repeats}: {value:,.0f} ops/sec")
+    ratio = best / baseline
+    floor = baseline * (1.0 - args.tolerance)
+    print(f"best: {best:,.0f} ops/sec "
+          f"(baseline {baseline:,.0f}, ratio {ratio:.2f}x, "
+          f"floor {floor:,.0f})")
+
+    if args.update:
+        bench["latest"] = {
+            "ops_per_second": round(best),
+            "passes": max(1, args.repeats),
+            "recorded": time.strftime("%Y-%m-%d"),
+        }
+        BENCH_FILE.write_text(json.dumps(bench, indent=2) + "\n")
+        print(f"updated {BENCH_FILE.name}")
+
+    if not args.no_gate and best < floor:
+        print(f"PERF REGRESSION: {best:,.0f} ops/sec is more than "
+              f"{args.tolerance:.0%} below the committed baseline "
+              f"{baseline:,.0f}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Profile the simulator hot path on one sweep cell.
+
+Runs one (workload, protocol) simulation under cProfile — trace
+generation excluded, so the numbers reflect the per-op engine/protocol
+path the throughput figures depend on — and prints the top functions by
+cumulative time.
+
+    PYTHONPATH=src python tools/profile_sweep.py
+    PYTHONPATH=src python tools/profile_sweep.py --workload mst \\
+        --protocol nhcc --ops-scale 1.0 --sort tottime --top 40
+"""
+
+import argparse
+import cProfile
+import pstats
+import sys
+
+from repro.config import SystemConfig
+from repro.core.registry import PROTOCOLS
+from repro.engine.simulator import simulate
+from repro.experiments.runner import ExperimentContext
+from repro.trace.workloads import FIGURE_ORDER
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workload", default="CoMD",
+                        choices=list(FIGURE_ORDER))
+    parser.add_argument("--protocol", default="hmg",
+                        choices=list(PROTOCOLS))
+    parser.add_argument("--scale", type=float, default=1 / 16,
+                        help="capacity scale factor (default 1/16)")
+    parser.add_argument("--ops-scale", type=float, default=0.5,
+                        help="trace-length multiplier (default 0.5)")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--sort", default="cumulative",
+                        choices=["cumulative", "tottime", "ncalls"])
+    parser.add_argument("--top", type=int, default=30, metavar="N",
+                        help="rows to print (default 30)")
+    args = parser.parse_args(argv)
+
+    ctx = ExperimentContext(SystemConfig.paper_scaled(args.scale),
+                            seed=args.seed, ops_scale=args.ops_scale)
+    trace = ctx.trace(args.workload)  # generated outside the profile
+    print(f"profiling {args.workload}/{args.protocol}: "
+          f"{len(trace)} ops at scale {args.scale:g}", file=sys.stderr)
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    result = simulate(trace, ctx.cfg, protocol=args.protocol,
+                      placement="first_touch",
+                      workload_name=args.workload)
+    profiler.disable()
+
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.strip_dirs().sort_stats(args.sort).print_stats(args.top)
+    print(f"cycles={result.cycles:.0f} ops={result.ops} "
+          f"engine_ops_per_sec={result.ops_per_second:,.0f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,7 +1,12 @@
 #!/usr/bin/env python
-"""Run every experiment at reporting scale; save outputs for EXPERIMENTS.md."""
+"""Run every experiment at reporting scale; save outputs for EXPERIMENTS.md.
 
-import sys
+Options:
+    --jobs N          fan sweep cells out over N worker processes
+    --trace-cache DIR persist/reuse generated traces on disk
+"""
+
+import argparse
 import time
 
 from repro.config import SystemConfig
@@ -16,17 +21,28 @@ SWEEP_WORKLOADS = ["CoMD", "namd2.10", "snap", "RNN_FW", "mst",
                    "GoogLeNet"]
 
 
-def main():
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jobs", type=int, default=1, metavar="N")
+    parser.add_argument("--trace-cache", default=None, metavar="DIR")
+    args = parser.parse_args(argv)
+
     cfg = SystemConfig.paper_scaled()
-    full_ctx = ExperimentContext(cfg, seed=1, ops_scale=1.0)
+    full_ctx = ExperimentContext(cfg, seed=1, ops_scale=1.0,
+                                 jobs=args.jobs,
+                                 trace_cache=args.trace_cache)
     sweep_ctx = ExperimentContext(cfg, seed=1, ops_scale=0.5,
-                                  workloads=SWEEP_WORKLOADS)
+                                  workloads=SWEEP_WORKLOADS,
+                                  jobs=args.jobs,
+                                  trace_cache=args.trace_cache)
+    total = time.time()
     for name in FULL + SWEEP:
         ctx = sweep_ctx if name in SWEEP else full_ctx
         start = time.time()
         result = EXPERIMENTS[name](ctx)
         print(str(result))
         print(f"\n[{name}: {time.time() - start:.1f}s]\n", flush=True)
+    print(f"[all experiments: {time.time() - total:.1f}s]", flush=True)
 
 
 if __name__ == "__main__":
