@@ -58,6 +58,31 @@ class CoherenceViolation(AssertionError):
         if directory_state is not None:
             parts.append(f"directory state: {directory_state}")
         super().__init__("\n  ".join(parts))
+        #: Set by the experiment runner before a violation crosses a
+        #: process boundary: the (workload, protocol, engine, ...) cell
+        #: that tripped it, for repro-file dumps in the parent.
+        self.cell_info = None
+
+    def __reduce__(self):
+        # Exceptions pickle via (cls, args) by default, which would
+        # drop every keyword field when a violation travels back from a
+        # parallel sweep worker; rebuild through the full constructor
+        # and restore the extras.
+        return (
+            _rebuild_violation,
+            (self.invariant, self.detail, self.op, self.op_index,
+             self.line, self.directory_state, self.cell_info),
+        )
+
+
+def _rebuild_violation(invariant, detail, op, op_index, line,
+                       directory_state, cell_info):
+    violation = CoherenceViolation(
+        invariant, detail, op=op, op_index=op_index, line=line,
+        directory_state=directory_state,
+    )
+    violation.cell_info = cell_info
+    return violation
 
 
 class CoherenceSanitizer:

@@ -1,0 +1,156 @@
+"""Table I coherence transitions as inspectable guarded actions.
+
+The paper's Table I specifies the NHCC and HMG directory behavior as a
+small guarded-action table: two stable states (V/I), no transient
+states, no invalidation acknowledgments.  The protocol classes
+(:mod:`repro.core.nhcc`, :mod:`repro.core.hmg`) implement these rows
+imperatively for speed; this module states them *declaratively* so that
+
+* the bounded model checker (:mod:`repro.verify.model`) drives its
+  abstract directory semantics from the same rows the protocols claim
+  to implement (the table is load-bearing, not documentation), and
+* tests can assert structural properties of the table itself — e.g.
+  that the HMG-only transition (an invalidation arriving at a GPU home
+  fans out to the local GPM sharers) is present exactly once.
+
+Each :class:`GuardedAction` is one row: in directory state ``state``,
+when ``event`` occurs and ``guard`` holds, perform ``actions`` (micro
+actions interpreted by the consumer) and move to ``next_state``.
+
+Micro-action vocabulary (interpreted by ``repro.verify.model`` and
+mirrored by the protocol implementations):
+
+``add_requester``
+    record the requesting sharer (GPM id locally, whole peer GPU at the
+    system level) in the sharer set;
+``send_data``
+    respond to the requester with the line;
+``inv_others``
+    send (unacknowledged) invalidations to every sharer except the
+    requester;
+``inv_all``
+    send invalidations to every sharer;
+``fwd_inv_local``
+    forward an incoming invalidation to every *local GPM* sharer — the
+    hierarchical fan-out leg that exists only at an HMG GPU home;
+``drop_copy``
+    drop the home's own cached copy of the line;
+``clear``
+    deallocate the directory entry (sharer set becomes empty).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Directory levels a row applies to.  NHCC has a single flat level
+#: ("home"); HMG splits it into "sys_home" and "gpu_home".
+LEVELS = ("home", "sys_home", "gpu_home")
+
+
+@dataclass(frozen=True)
+class GuardedAction:
+    """One Table I row: state x event -> guarded actions + next state."""
+
+    protocol: str          #: "nhcc" or "hmg"
+    level: str             #: one of :data:`LEVELS`
+    state: str             #: "V" or "I"
+    event: str             #: e.g. "RemoteStore", "Inv", "Replace"
+    guard: str = "true"    #: human-readable side condition
+    actions: tuple = field(default_factory=tuple)
+    next_state: str = "V"
+
+    def __str__(self) -> str:
+        acts = ", ".join(self.actions) or "-"
+        return (f"[{self.protocol}/{self.level}] {self.state} "
+                f"--{self.event} ({self.guard})--> {self.next_state}: "
+                f"{acts}")
+
+
+#: The flat NHCC directory (one home level; sharers are GPM ids).
+_NHCC = (
+    GuardedAction("nhcc", "home", "I", "Load",
+                  actions=("add_requester", "send_data"), next_state="V"),
+    GuardedAction("nhcc", "home", "V", "Load",
+                  actions=("add_requester", "send_data"), next_state="V"),
+    GuardedAction("nhcc", "home", "I", "LocalStore",
+                  actions=(), next_state="I"),
+    GuardedAction("nhcc", "home", "V", "LocalStore",
+                  actions=("inv_all", "clear"), next_state="I"),
+    GuardedAction("nhcc", "home", "I", "RemoteStore",
+                  actions=("add_requester",), next_state="V"),
+    GuardedAction("nhcc", "home", "V", "RemoteStore",
+                  actions=("inv_others", "add_requester"), next_state="V"),
+    GuardedAction("nhcc", "home", "V", "Replace",
+                  actions=("inv_all", "clear"), next_state="I"),
+)
+
+#: HMG's two-level directory.  The sys-home rows mirror NHCC with
+#: whole-peer-GPU sharers; the gpu-home rows add the hierarchical
+#: invalidation fan-out that Table I introduces for HMG.
+_HMG = (
+    GuardedAction("hmg", "sys_home", "I", "Load",
+                  actions=("add_requester", "send_data"), next_state="V"),
+    GuardedAction("hmg", "sys_home", "V", "Load",
+                  actions=("add_requester", "send_data"), next_state="V"),
+    GuardedAction("hmg", "sys_home", "I", "LocalStore",
+                  actions=(), next_state="I"),
+    GuardedAction("hmg", "sys_home", "V", "LocalStore",
+                  actions=("inv_all", "clear"), next_state="I"),
+    GuardedAction("hmg", "sys_home", "I", "RemoteStore",
+                  actions=("add_requester",), next_state="V"),
+    GuardedAction("hmg", "sys_home", "V", "RemoteStore",
+                  actions=("inv_others", "add_requester"), next_state="V"),
+    GuardedAction("hmg", "sys_home", "V", "Replace",
+                  actions=("inv_all", "clear"), next_state="I"),
+    GuardedAction("hmg", "gpu_home", "I", "Load",
+                  actions=("add_requester", "send_data"), next_state="V"),
+    GuardedAction("hmg", "gpu_home", "V", "Load",
+                  actions=("add_requester", "send_data"), next_state="V"),
+    GuardedAction("hmg", "gpu_home", "I", "LocalStore",
+                  actions=(), next_state="I"),
+    GuardedAction("hmg", "gpu_home", "V", "LocalStore",
+                  actions=("inv_all", "clear"), next_state="I"),
+    GuardedAction("hmg", "gpu_home", "I", "RemoteStore",
+                  actions=("add_requester",), next_state="V"),
+    GuardedAction("hmg", "gpu_home", "V", "RemoteStore",
+                  actions=("inv_others", "add_requester"), next_state="V"),
+    GuardedAction("hmg", "gpu_home", "V", "Replace",
+                  actions=("inv_all", "clear"), next_state="I"),
+    # The HMG-only transition: an invalidation from the system home
+    # arriving at a peer GPU's home must be *forwarded* to that GPU's
+    # local GPM sharers (there are no acks, so a skipped forward is
+    # silent — exactly the mutation the model checker must catch).
+    GuardedAction("hmg", "gpu_home", "V", "Inv",
+                  guard="local sharer set may be empty",
+                  actions=("drop_copy", "fwd_inv_local", "clear"),
+                  next_state="I"),
+    GuardedAction("hmg", "gpu_home", "I", "Inv",
+                  guard="entry already evicted",
+                  actions=("drop_copy",), next_state="I"),
+)
+
+TABLE_I = _NHCC + _HMG
+
+
+def transitions_for(protocol: str) -> tuple:
+    """All Table I rows for one protocol ("nhcc" or "hmg")."""
+    rows = tuple(r for r in TABLE_I if r.protocol == protocol)
+    if not rows:
+        raise ValueError(f"no Table I rows for protocol {protocol!r}")
+    return rows
+
+
+def find_row(protocol: str, level: str, state: str, event: str):
+    """The unique row for (protocol, level, state, event), or None."""
+    matches = [r for r in TABLE_I
+               if (r.protocol, r.level, r.state, r.event)
+               == (protocol, level, state, event)]
+    if len(matches) > 1:
+        raise ValueError(f"ambiguous Table I rows: {matches}")
+    return matches[0] if matches else None
+
+
+def format_table(protocol: str) -> str:
+    """Human-readable rendering of one protocol's table."""
+    return "\n".join(str(r) for r in transitions_for(protocol))

@@ -24,9 +24,10 @@ from collections import deque
 from repro.config import SystemConfig
 from repro.core.protocol import CoherenceProtocol, TrafficSink
 from repro.core.registry import make_protocol
-from repro.core.types import OpType
+from repro.core.types import MsgType, OpType
 from repro.engine.events import EventQueue
 from repro.engine.stats import (
+    DegradationStats,
     ResourceTimes,
     SimResult,
     aggregate_l1_stats,
@@ -50,7 +51,8 @@ class SimulationStalled(RuntimeError):
     """
 
     def __init__(self, reason: str, *, processed: int, total_ops: int,
-                 sim_time: float, pending: dict, parked: list):
+                 sim_time: float, pending: dict, parked: list,
+                 fault_plan: str = None):
         #: "livelock" or "deadlock".
         self.reason = reason
         #: Events processed before the stall was declared.
@@ -63,12 +65,16 @@ class SimulationStalled(RuntimeError):
         self.pending = dict(pending)
         #: flat GPM indices parked at a kernel-boundary rendezvous.
         self.parked = sorted(parked)
+        #: Name of the active fault plan, if any — a stall under a
+        #: degradation plan points at recovery tuning, not the engine.
+        self.fault_plan = fault_plan
         stuck = ", ".join(f"gpm{i}:{n}" for i, n in sorted(pending.items()))
+        plan_note = f"; fault plan {fault_plan!r}" if fault_plan else ""
         super().__init__(
             f"simulation stalled ({reason}): {processed} events processed "
             f"of {total_ops} ops, sim time {sim_time:.0f}cy; "
             f"pending [{stuck or 'none'}]; "
-            f"parked at rendezvous {self.parked or 'none'}"
+            f"parked at rendezvous {self.parked or 'none'}{plan_note}"
         )
 
 
@@ -87,6 +93,12 @@ class BufferingSink(TrafficSink):
         """Take (and clear) the messages buffered since the last drain."""
         msgs, self.pending = self.pending, []
         return msgs
+
+
+#: Request classes a lossy fabric may drop.  Responses, invalidations
+#: and fence traffic ride the reliable (acked at the transport layer)
+#: channel class, mirroring the model checker's loss model.
+_DROPPABLE = (MsgType.LOAD_REQ, MsgType.STORE_REQ)
 
 
 class DetailedEngine:
@@ -166,18 +178,78 @@ class DetailedEngine:
 
         processed = 0
         msg_index = 0
+        retry_events = 0
+        degradation = DegradationStats() if (
+            plan is not None and plan.message_loss is not None
+        ) else None
+        loss = plan.message_loss if degradation is not None else None
         watchdog = self.watchdog_limit
         if watchdog is None:
             watchdog = max(8 * ops, 10_000)
+        if plan is not None:
+            # A degradation plan legitimately multiplies per-op work:
+            # outage windows park deliveries and message loss spawns
+            # retransmissions, all of which count toward the budget
+            # below.  Scale the budget by the plan's worst-case work
+            # multiplier so only a genuine livelock trips the watchdog,
+            # not a long-but-recovering outage.
+            watchdog *= plan.stall_grace()
+
+        def deliver_with_retry(issue_time: float, src, dst, size: int,
+                               index: int) -> float:
+            """Protocol-level recovery for droppable request messages.
+
+            Each attempt arms a timeout (exponential backoff); a drawn
+            drop, or a delivery arriving after the timer expires (an
+            outage-parked message), triggers a retransmission that
+            re-occupies real link bandwidth.  The earliest successful
+            arrival wins, and the final attempt is never dropped
+            (:meth:`FaultPlan.message_dropped` guarantees it), so the
+            request always completes — degraded, not stalled.
+            """
+            nonlocal retry_events
+            best = None
+            t_try = issue_time
+            was_dropped = False
+            for attempt in range(loss.max_retries + 1):
+                timeout = loss.timeout_cycles * (
+                    loss.backoff_factor ** attempt
+                )
+                if plan.message_dropped(index, attempt):
+                    was_dropped = True
+                    degradation.dropped_messages += 1
+                else:
+                    at = network.deliver(t_try, src, dst, size)
+                    at += plan.message_delay(
+                        index * (loss.max_retries + 1) + attempt
+                    )
+                    if best is None or at < best:
+                        best = at
+                    if at - t_try <= timeout \
+                            or attempt == loss.max_retries:
+                        if was_dropped:
+                            degradation.recovered_messages += 1
+                        return best
+                # The timer expired before a delivery: retransmit.
+                degradation.timeouts += 1
+                degradation.retries += 1
+                retry_events += 1
+                t_try += timeout
+            # Budget exhausted with only late deliveries in flight.
+            if was_dropped and best is not None:
+                degradation.recovered_messages += 1
+            return best if best is not None else t_try
 
         end_time = 0.0
         while len(events):
-            if processed >= watchdog:
+            if processed + retry_events >= watchdog:
                 raise SimulationStalled(
-                    "livelock", processed=processed, total_ops=ops,
+                    "livelock", processed=processed + retry_events,
+                    total_ops=ops,
                     sim_time=events.clock.now,
                     pending={i: len(q) for i, q in enumerate(queues) if q},
                     parked=list(parked),
+                    fault_plan=plan.name if plan is not None else None,
                 )
             _t, flat = events.pop()
             op = queues[flat].popleft()
@@ -188,13 +260,18 @@ class DetailedEngine:
             messages = sink.drain()
 
             def completion_of(issue_time: float) -> float:
-                nonlocal msg_index
+                nonlocal msg_index, retry_events
                 arrival = issue_time
                 for _mtype, src, dst, size in messages:
-                    at = network.deliver(issue_time, src, dst, size)
-                    if plan is not None:
-                        at += plan.message_delay(msg_index)
+                    if loss is not None and _mtype in _DROPPABLE:
+                        at = deliver_with_retry(issue_time, src, dst,
+                                                size, msg_index)
                         msg_index += 1
+                    else:
+                        at = network.deliver(issue_time, src, dst, size)
+                        if plan is not None:
+                            at += plan.message_delay(msg_index)
+                            msg_index += 1
                     arrival = max(arrival, at)
                 # L2 port occupancy at the issuing GPM.
                 l2_links[flat].send(issue_time, cfg.line_size)
@@ -256,6 +333,7 @@ class DetailedEngine:
                 "deadlock", processed=processed, total_ops=ops,
                 sim_time=events.clock.now, pending=leftover,
                 parked=list(parked),
+                fault_plan=plan.name if plan is not None else None,
             )
 
         cycles = max(
@@ -279,6 +357,7 @@ class DetailedEngine:
             ops=ops,
             link_bytes=sink_bytes,
             xbar_bytes=[x.stats.bytes for x in network.xbars],
+            degradation=degradation,
         )
 
     # ------------------------------------------------------------------

@@ -58,6 +58,42 @@ class ResourceTimes:
 
 
 @dataclass
+class DegradationStats:
+    """Graceful-degradation counters under a lossy fault plan.
+
+    The detailed engine counts real per-message events (each drop draw
+    is deterministic in ``(message index, attempt)``); the throughput
+    engine, having no per-message clock, reports the analytic
+    expectation from :meth:`repro.faults.FaultPlan.expected_loss_counters`.
+    Either way, nonzero counters are the signal that a degraded sweep
+    *recovered* rather than stalling.
+    """
+
+    #: Retransmissions performed (every drop or timeout triggers one).
+    retries: int = 0
+    #: Retry timers that expired before the original delivery arrived.
+    timeouts: int = 0
+    #: Messages the fabric dropped outright.
+    dropped_messages: int = 0
+    #: Dropped messages whose retransmission eventually delivered.
+    recovered_messages: int = 0
+
+    def merge(self, other: "DegradationStats") -> None:
+        self.retries += other.retries
+        self.timeouts += other.timeouts
+        self.dropped_messages += other.dropped_messages
+        self.recovered_messages += other.recovered_messages
+
+    def as_dict(self) -> dict:
+        return {
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "dropped_messages": self.dropped_messages,
+            "recovered_messages": self.recovered_messages,
+        }
+
+
+@dataclass
 class SimResult:
     """Everything a run produced: time, traffic, coherence events."""
 
@@ -80,6 +116,9 @@ class SimResult:
     #: it varies run to run and is deliberately excluded from journals
     #: and experiment data so replays stay byte-identical.
     wall_seconds: float = 0.0
+    #: Message-loss recovery counters; None when the run had no lossy
+    #: fault plan.
+    degradation: DegradationStats = None
 
     @property
     def seconds(self) -> float:

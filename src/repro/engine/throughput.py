@@ -26,6 +26,7 @@ from repro.config import SystemConfig
 from repro.core.protocol import CoherenceProtocol, TrafficSink
 from repro.core.types import MemOp, MsgType, NodeId
 from repro.engine.stats import (
+    DegradationStats,
     ResourceTimes,
     SimResult,
     aggregate_l1_stats,
@@ -127,6 +128,20 @@ class ThroughputEngine:
 
         resources = self._resource_times(protocol, sink, stall)
         cycles = max(resources.total_cycles(cfg.timing.overlap_tax), 1.0)
+        degradation = None
+        plan = self.fault_plan
+        if plan is not None and plan.message_loss is not None:
+            # The clockless engine cannot draw per-message drops, so it
+            # reports the analytic expectation over the messages it
+            # actually emitted (deterministic, like everything else in
+            # this engine).
+            total_messages = sum(
+                protocol.stats.msg_counts.get(m, 0)
+                for m in (MsgType.LOAD_REQ, MsgType.STORE_REQ)
+            )
+            degradation = DegradationStats(
+                **plan.expected_loss_counters(total_messages)
+            )
         return SimResult(
             protocol_name=protocol.name,
             workload_name=workload_name,
@@ -144,6 +159,7 @@ class ThroughputEngine:
             ],
             xbar_bytes=list(sink.xbar_bytes),
             wall_seconds=wall_seconds,
+            degradation=degradation,
         )
 
     def _resource_times(self, protocol: CoherenceProtocol,
@@ -177,5 +193,12 @@ class ThroughputEngine:
             dram = [t * plan.time_expansion("dram") for t in dram]
             xbar = [t * plan.time_expansion("xbar") for t in xbar]
             link = [t * plan.time_expansion("link") for t in link]
+            if plan.message_loss is not None:
+                # Retransmitted requests re-cross the interconnect; the
+                # expected extra attempts inflate network busy time (the
+                # detailed engine draws the exact per-message retries).
+                expansion = plan.retry_expansion()
+                xbar = [t * expansion for t in xbar]
+                link = [t * expansion for t in link]
         return ResourceTimes(issue=issue, l2=l2, dram=dram, xbar=xbar,
                              link=link)

@@ -34,7 +34,10 @@ def build_parser() -> argparse.ArgumentParser:
     """The CLI's argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
-        description="Regenerate the HMG paper's tables and figures.",
+        description="Regenerate the HMG paper's tables and figures. "
+                    "A leading 'verify' subcommand dispatches to the "
+                    "protocol verification tools instead "
+                    "(see 'verify --help').",
     )
     parser.add_argument(
         "experiment", nargs="+",
@@ -59,6 +62,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--trace-cache", default=None, metavar="DIR",
                         help="persist generated traces in DIR and "
                              "reuse them across runs and workers")
+    parser.add_argument("--repro-dir", default=None, metavar="DIR",
+                        help="dump any sanitizer violation as a "
+                             "replayable repro file in DIR (replay with "
+                             "'verify repro run <file>')")
     parser.add_argument("--journal", default=None, metavar="DIR",
                         help="record completed experiments/cells in DIR "
                              f"(implied '{DEFAULT_JOURNAL}' by --resume)")
@@ -137,6 +144,15 @@ def main(argv=None) -> int:
     0: everything ran; 1: at least one experiment failed (the others
     still ran and printed); 2: bad usage (unknown experiment id).
     """
+    if argv is None:
+        argv = sys.argv[1:]
+    argv = list(argv)
+    if argv and argv[0] == "verify":
+        # The verification CLI has its own sub-structure; hand the rest
+        # of the argv straight through.
+        from repro.verify.cli import main as verify_main
+
+        return verify_main(argv[1:])
     args = build_parser().parse_args(argv)
     ids = args.experiment
     if ids == ["all"]:
@@ -176,6 +192,7 @@ def main(argv=None) -> int:
         journal=journal,
         jobs=args.jobs,
         trace_cache=args.trace_cache,
+        repro_dir=args.repro_dir,
     )
 
     failures = []

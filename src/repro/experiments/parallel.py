@@ -72,8 +72,9 @@ def plan_fingerprint(plan) -> str:
     if plan is None:
         return ""
     jitter = getattr(plan, "message_jitter", None)
+    loss = getattr(plan, "message_loss", None)
     return hashlib.sha256(
-        f"{plan.name}|{plan.seed}|{plan.link_faults!r}|{jitter!r}"
+        f"{plan.name}|{plan.seed}|{plan.link_faults!r}|{jitter!r}|{loss!r}"
         .encode()
     ).hexdigest()[:16]
 
@@ -123,19 +124,30 @@ def run_cell(payload):
     start methods.
     """
     cell, seed, ops_scale, sanitize, cache_dir = payload
+    from repro.core.sanitizer import CoherenceViolation
     from repro.engine.simulator import simulate
 
     trace = _worker_trace(cell.workload, cell.cfg, seed, ops_scale,
                           cache_dir)
-    return simulate(
-        trace,
-        cell.cfg,
-        protocol=cell.protocol,
-        placement=cell.placement,
-        workload_name=cell.workload,
-        fault_plan=cell.fault_plan,
-        sanitize=sanitize,
-    )
+    try:
+        return simulate(
+            trace,
+            cell.cfg,
+            protocol=cell.protocol,
+            placement=cell.placement,
+            workload_name=cell.workload,
+            fault_plan=cell.fault_plan,
+            sanitize=sanitize,
+        )
+    except CoherenceViolation as violation:
+        # Tag the violation with its cell before it pickles back to the
+        # parent, which owns repro-file dumping.
+        violation.cell_info = {
+            "workload": cell.workload,
+            "protocol": cell.protocol,
+            "placement": cell.placement,
+        }
+        raise
 
 
 # ----------------------------------------------------------------------

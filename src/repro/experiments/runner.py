@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from repro.config import SystemConfig
 from repro.analysis.metrics import SpeedupTable, normalized_speedups
 from repro.core.registry import PROTOCOLS
+from repro.core.sanitizer import CoherenceViolation
 from repro.engine.simulator import simulate
 from repro.experiments.parallel import Cell, SweepExecutor, cell_key
 from repro.trace.workloads import FIGURE_ORDER, WORKLOADS
@@ -51,13 +52,16 @@ class ExperimentContext:
     record of every completed cell (crash-safe progress tracking);
     ``jobs`` sets the worker-process count for sweep fan-out (1 =
     serial, the default); ``trace_cache`` names a directory for the
-    persistent binary trace cache shared by parent and workers.
+    persistent binary trace cache shared by parent and workers;
+    ``repro_dir`` names a directory where any sanitizer violation is
+    dumped as a replayable repro file
+    (:mod:`repro.verify.reprofile`) before the exception propagates.
     """
 
     def __init__(self, cfg: SystemConfig = None, seed: int = 1,
                  ops_scale: float = 1.0, workloads=None,
                  fault_plan=None, sanitize: bool = False, journal=None,
-                 jobs: int = 1, trace_cache=None):
+                 jobs: int = 1, trace_cache=None, repro_dir=None):
         self.cfg = cfg if cfg is not None else SystemConfig.paper_scaled()
         self.seed = seed
         self.ops_scale = ops_scale
@@ -65,6 +69,7 @@ class ExperimentContext:
         self.fault_plan = fault_plan
         self.sanitize = sanitize
         self.journal = journal
+        self.repro_dir = repro_dir
         self.jobs = max(1, int(jobs))
         if trace_cache is not None and not hasattr(trace_cache, "load"):
             from repro.trace.cache import TraceCache
@@ -124,6 +129,29 @@ class ExperimentContext:
                                      cell.cfg, fault_plan=cell.fault_plan,
                                      result=result)
 
+    def _dump_violation(self, cell: Cell, violation) -> None:
+        """Write a replayable trace-kind repro for a sanitizer trip."""
+        if self.repro_dir is None:
+            return
+        from pathlib import Path
+
+        from repro.verify import reprofile
+
+        payload = reprofile.trace_repro(
+            workload=cell.workload, protocol=cell.protocol,
+            cfg=cell.cfg, seed=self.seed, ops_scale=self.ops_scale,
+            placement=cell.placement, engine="throughput",
+            fault_plan=cell.fault_plan, violation=violation,
+        )
+        path = Path(self.repro_dir) / (
+            reprofile.repro_name(payload) + ".json"
+        )
+        reprofile.dump(payload, path)
+        violation.cell_info = {
+            "workload": cell.workload, "protocol": cell.protocol,
+            "repro": str(path),
+        }
+
     def run(self, workload: str, protocol: str,
             cfg: SystemConfig = None, placement: str = "first_touch",
             fault_plan=None):
@@ -138,15 +166,19 @@ class ExperimentContext:
         hit = self._results.get(key)
         if hit is not None:
             return hit
-        result = simulate(
-            self.trace(workload),
-            cell.cfg,
-            protocol=protocol,
-            placement=cell.placement,
-            workload_name=workload,
-            fault_plan=cell.fault_plan,
-            sanitize=self.sanitize,
-        )
+        try:
+            result = simulate(
+                self.trace(workload),
+                cell.cfg,
+                protocol=protocol,
+                placement=cell.placement,
+                workload_name=workload,
+                fault_plan=cell.fault_plan,
+                sanitize=self.sanitize,
+            )
+        except CoherenceViolation as violation:
+            self._dump_violation(cell, violation)
+            raise
         self._complete(cell, key, result)
         return result
 
@@ -182,9 +214,21 @@ class ExperimentContext:
 
         if fresh:
             if self.jobs > 1:
-                results = self._executor.run(
-                    [cell for cell, _ in fresh]
-                )
+                try:
+                    results = self._executor.run(
+                        [cell for cell, _ in fresh]
+                    )
+                except CoherenceViolation as violation:
+                    # The worker tagged the violation with its cell
+                    # (see parallel.run_cell); dump a repro here in the
+                    # parent, where repro_dir lives.
+                    info = violation.cell_info or {}
+                    for cell, _key in fresh:
+                        if (cell.workload == info.get("workload")
+                                and cell.protocol == info.get("protocol")):
+                            self._dump_violation(cell, violation)
+                            break
+                    raise
                 for (cell, key), result in zip(fresh, results):
                     self._complete(cell, key, result)
             else:

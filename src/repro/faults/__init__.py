@@ -10,6 +10,7 @@ from repro.faults.plan import (
     LinkFaultProfile,
     LinkFaultSpec,
     MessageJitterSpec,
+    MessageLossSpec,
     make_fault_plan,
 )
 
@@ -19,5 +20,6 @@ __all__ = [
     "LinkFaultProfile",
     "LinkFaultSpec",
     "MessageJitterSpec",
+    "MessageLossSpec",
     "make_fault_plan",
 ]

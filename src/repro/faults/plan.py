@@ -94,6 +94,47 @@ class LinkFaultSpec:
 
 
 @dataclass(frozen=True)
+class MessageLossSpec:
+    """Request-message loss with bounded timeout/retry recovery.
+
+    Each *request* message (load/store/atomic requests — responses,
+    invalidations and fence traffic ride reliable channels) is dropped
+    with ``probability``, independently and deterministically from the
+    plan seed, the message index and the attempt number.  The sender
+    recovers by retransmitting after ``timeout_cycles`` (growing by
+    ``backoff_factor`` per attempt), up to ``max_retries`` times; the
+    draw at ``attempt >= max_retries`` never drops, so recovery is
+    bounded — a lossy fabric degrades a run instead of wedging it.
+
+    The detailed engine also treats a delivery stalled past the current
+    attempt's timeout (e.g. by a link outage window) as a timeout and
+    retransmits; the earliest arrival wins.  Every retransmission
+    re-occupies the fabric, so loss costs bandwidth as well as latency.
+    """
+
+    probability: float = 0.02
+    max_retries: int = 4
+    timeout_cycles: float = 2_000.0
+    backoff_factor: float = 2.0
+
+    def __post_init__(self):
+        if not 0 <= self.probability < 1:
+            raise ValueError("probability must be in [0, 1)")
+        if self.max_retries < 1:
+            raise ValueError("max_retries must be at least 1")
+        if self.timeout_cycles <= 0:
+            raise ValueError("timeout_cycles must be positive")
+        if self.backoff_factor < 1:
+            raise ValueError("backoff_factor must be >= 1")
+
+    def expected_extra_attempts(self) -> float:
+        """Expected retransmissions per message (attempt ``k`` happens
+        iff the first ``k`` draws all dropped)."""
+        p = self.probability
+        return sum(p ** k for k in range(1, self.max_retries + 1))
+
+
+@dataclass(frozen=True)
 class MessageJitterSpec:
     """Per-message delivery jitter (detailed engine only).
 
@@ -152,20 +193,29 @@ class FaultPlan:
 
     def __init__(self, name: str, link_faults=(),
                  message_jitter: Optional[MessageJitterSpec] = None,
+                 message_loss: Optional[MessageLossSpec] = None,
                  seed: int = 0):
         self.name = name
         self.link_faults = tuple(link_faults)
         self.message_jitter = message_jitter
+        self.message_loss = message_loss
         self.seed = seed
 
     def __repr__(self):
         return (f"FaultPlan({self.name!r}, seed={self.seed}, "
                 f"{len(self.link_faults)} link fault(s), "
-                f"jitter={self.message_jitter})")
+                f"jitter={self.message_jitter}, "
+                f"loss={self.message_loss})")
 
     @property
     def is_noop(self) -> bool:
-        return not self.link_faults and self.message_jitter is None
+        return (not self.link_faults and self.message_jitter is None
+                and self.message_loss is None)
+
+    @property
+    def has_outage_windows(self) -> bool:
+        """True if any window takes a link fully down (factor 0)."""
+        return any(spec.bandwidth_factor == 0 for spec in self.link_faults)
 
     def profile_for(self, link_name: str) -> Optional[LinkFaultProfile]:
         """The window schedule for one named link (None if unaffected)."""
@@ -195,6 +245,68 @@ class FaultPlan:
         if _unit(h) >= spec.probability:
             return 0.0
         return _unit(_mix(h, 0xBB67AE85)) * spec.max_delay
+
+    def message_dropped(self, index: int, attempt: int = 0) -> bool:
+        """Deterministic drop draw for attempt ``attempt`` of the
+        ``index``-th request message.
+
+        The draw at ``attempt >= max_retries`` is always a delivery:
+        the final retransmission is guaranteed through, bounding
+        recovery (see :class:`MessageLossSpec`).
+        """
+        spec = self.message_loss
+        if spec is None or spec.probability <= 0:
+            return False
+        if attempt >= spec.max_retries:
+            return False
+        h = _mix(self.seed, 0x3C6EF372, index, attempt)
+        return _unit(h) < spec.probability
+
+    def stall_grace(self) -> float:
+        """Watchdog-budget multiplier for the detailed engine.
+
+        Retransmission storms (message loss) and long outage windows
+        both add retry events without adding forward progress; the
+        engine scales its event budget by this factor so a degraded —
+        but advancing — run is distinguished from a genuine livelock.
+        """
+        grace = 1.0
+        if self.message_loss is not None:
+            grace *= 1.0 + self.message_loss.max_retries
+        if self.has_outage_windows:
+            grace *= 2.0
+        return grace
+
+    def expected_loss_counters(self, total_messages: int) -> dict:
+        """Deterministic expected-value degradation counters for the
+        clockless throughput engine (the detailed engine plays exact
+        per-message draws instead; see DESIGN.md §11).
+
+        ``retries`` counts retransmissions, ``timeouts`` the expired
+        timers that triggered them, ``dropped_messages`` the individual
+        lost transmissions and ``recovered_messages`` the messages that
+        were dropped at least once yet delivered (all of them — final
+        delivery is guaranteed).
+        """
+        spec = self.message_loss
+        if spec is None or spec.probability <= 0 or total_messages <= 0:
+            return dict(retries=0, timeouts=0, dropped_messages=0,
+                        recovered_messages=0)
+        extra = spec.expected_extra_attempts()
+        retries = int(round(total_messages * extra))
+        recovered = int(round(total_messages * spec.probability))
+        return dict(retries=retries, timeouts=retries,
+                    dropped_messages=retries,
+                    recovered_messages=recovered)
+
+    def retry_expansion(self) -> float:
+        """Traffic multiplier for retransmissions: every retry re-sends
+        its bytes, so lossy links and crossbars carry
+        ``1 + E[extra attempts]`` times the healthy traffic."""
+        spec = self.message_loss
+        if spec is None:
+            return 1.0
+        return 1.0 + spec.expected_extra_attempts()
 
 
 # ----------------------------------------------------------------------
@@ -235,10 +347,29 @@ def _plan_flaky(seed: int = 0) -> FaultPlan:
     )
 
 
+def _plan_lossy(seed: int = 0) -> FaultPlan:
+    """Flaky links that also *drop* request messages: transient outage
+    windows plus 2% message loss recovered by timeout/retry with
+    bounded backoff — the graceful-degradation arm."""
+    return FaultPlan(
+        "lossy",
+        link_faults=(
+            LinkFaultSpec(target="link", period=25_000.0,
+                          duration=2_500.0, bandwidth_factor=0.0),
+        ),
+        message_jitter=MessageJitterSpec(probability=0.05, max_delay=400.0),
+        message_loss=MessageLossSpec(probability=0.02, max_retries=4,
+                                     timeout_cycles=2_000.0,
+                                     backoff_factor=2.0),
+        seed=seed,
+    )
+
+
 FAULT_PLANS = {
     "none": _plan_none,
     "degraded": _plan_degraded,
     "flaky": _plan_flaky,
+    "lossy": _plan_lossy,
 }
 
 

@@ -1,0 +1,42 @@
+"""Adversarial protocol verification.
+
+Three cooperating parts (DESIGN.md §11):
+
+* :mod:`repro.verify.model` — a bounded explicit-state model checker
+  over an abstract guarded-action machine of each protocol's directory
+  and cache transitions, exploring every message interleaving (with
+  optional duplication, request loss + retry, and evictions) on small
+  geometries and checking the DESIGN §6 invariants at every state;
+* :mod:`repro.verify.litmus` — the scoped litmus suite (MP/SB/LB/IRIW
+  at cta/gpu/sys scope) run against the five Figure-8 protocols through
+  the existing engines;
+* :mod:`repro.verify.fuzz` — a seeded random-schedule fuzzer that
+  shrinks any violating schedule to a minimal replayable repro file
+  (:mod:`repro.verify.reprofile`, shared with the runtime sanitizer's
+  violation dumps).
+
+CLI: ``python -m repro.experiments verify {check,litmus,fuzz,repro,
+selftest} ...`` (see :mod:`repro.verify.cli`).
+"""
+
+from repro.verify.model import (
+    CheckOptions,
+    CheckResult,
+    Geometry,
+    Machine,
+    ModelViolation,
+    MUTATIONS,
+    check,
+    replay,
+)
+
+__all__ = [
+    "CheckOptions",
+    "CheckResult",
+    "Geometry",
+    "Machine",
+    "ModelViolation",
+    "MUTATIONS",
+    "check",
+    "replay",
+]

@@ -1,0 +1,307 @@
+"""``python -m repro.experiments verify ...`` — the verification CLI.
+
+Subcommands:
+
+* ``check``    — bounded exhaustive model checking
+* ``litmus``   — the scoped litmus matrix (optionally through engines)
+* ``fuzz``     — seeded random-schedule fuzzing with shrinking
+* ``repro``    — replay a repro file (``repro run <file>``)
+* ``selftest`` — the CI gate: exhaustive checks, the litmus matrix, a
+  fixed-seed fuzz budget, and the mutation-catch self-test that proves
+  the checker can still detect a deliberately broken protocol.
+
+Exit status is nonzero whenever a verification goal fails; ``repro
+run`` succeeds when the recorded violation *does* reproduce.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.verify.model import (
+    CheckOptions,
+    Geometry,
+    Machine,
+    MUTATIONS,
+    check,
+    replay,
+)
+from repro.verify import fuzz as fuzz_mod
+from repro.verify import litmus as litmus_mod
+from repro.verify import reprofile
+from repro.verify.programs import PROGRAMS
+
+CHECK_PROTOCOLS = ("nhcc", "gpuvi", "hmg", "sw", "hsw")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments verify",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("check", help="exhaustive bounded model checking")
+    p.add_argument("--protocol", action="append", default=None,
+                   choices=CHECK_PROTOCOLS)
+    p.add_argument("--geometry", action="append", default=None,
+                   help="e.g. 1x2 or 2x2 (repeatable)")
+    p.add_argument("--program", action="append", default=None,
+                   choices=sorted(PROGRAMS))
+    p.add_argument("--max-states", type=int, default=400_000)
+    p.add_argument("--dup-budget", type=int, default=0)
+    p.add_argument("--drop-budget", type=int, default=0)
+    p.add_argument("--evict-budget", type=int, default=0)
+    p.add_argument("--dir-evict-budget", type=int, default=0)
+    p.add_argument("--max-retries", type=int, default=2)
+    p.add_argument("--mutate", choices=MUTATIONS, default=None)
+    p.add_argument("--repro-dir", default=None,
+                   help="write a repro file for any counterexample")
+
+    p = sub.add_parser("litmus", help="scoped litmus matrix")
+    p.add_argument("--shape", action="append", default=None,
+                   choices=sorted(litmus_mod.SHAPES))
+    p.add_argument("--scope", action="append", default=None,
+                   choices=litmus_mod.SCOPES)
+    p.add_argument("--protocol", action="append", default=None)
+    p.add_argument("--iriw-full", action="store_true",
+                   help="all IRIW interleavings instead of a sample")
+    p.add_argument("--engines", action="store_true",
+                   help="also run one pass through both timing engines")
+
+    p = sub.add_parser("fuzz", help="random-schedule fuzzing")
+    p.add_argument("--protocol", default="hmg", choices=CHECK_PROTOCOLS)
+    p.add_argument("--geometry", default="2x2")
+    p.add_argument("--program", default="mp", choices=sorted(PROGRAMS))
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--walks", type=int, default=200)
+    p.add_argument("--max-steps", type=int, default=400)
+    p.add_argument("--dup-budget", type=int, default=1)
+    p.add_argument("--drop-budget", type=int, default=1)
+    p.add_argument("--evict-budget", type=int, default=1)
+    p.add_argument("--dir-evict-budget", type=int, default=1)
+    p.add_argument("--mutate", choices=MUTATIONS, default=None)
+    p.add_argument("--repro-dir", default=None)
+
+    p = sub.add_parser("repro", help="replay a repro file")
+    p.add_argument("action", choices=("run",))
+    p.add_argument("path")
+
+    p = sub.add_parser("selftest", help="the CI verification gate")
+    p.add_argument("--fuzz-seconds", type=float, default=60.0)
+    p.add_argument("--deep", action="store_true",
+                   help="also check 2x2 geometries exhaustively")
+    return parser
+
+
+def _options_from(args, max_states=None) -> CheckOptions:
+    return CheckOptions(
+        max_states=max_states or getattr(args, "max_states", 400_000),
+        dup_budget=args.dup_budget,
+        drop_budget=args.drop_budget,
+        evict_budget=args.evict_budget,
+        dir_evict_budget=args.dir_evict_budget,
+        max_retries=getattr(args, "max_retries", 2),
+        mutate=args.mutate,
+    )
+
+
+def _write_repro(repro_dir, payload) -> None:
+    from pathlib import Path
+
+    path = Path(repro_dir) / (reprofile.repro_name(payload) + ".json")
+    reprofile.dump(payload, path)
+    print(f"  repro written to {path}")
+
+
+def cmd_check(args) -> int:
+    protocols = args.protocol or list(CHECK_PROTOCOLS)
+    geometries = [Geometry.parse(g)
+                  for g in (args.geometry or ["1x2", "2x2"])]
+    programs = args.program or ["mp", "sb", "share"]
+    options = _options_from(args)
+    failures = 0
+    from repro.verify.programs import build
+
+    for protocol in protocols:
+        for geometry in geometries:
+            for name in programs:
+                program, homes = build(name, geometry)
+                result = check(protocol, geometry, program, homes,
+                               options, program_name=name)
+                print(result)
+                if not result.ok:
+                    failures += 1
+                    violation = result.violations[0]
+                    print(f"    {violation.detail}")
+                    print(f"    schedule: {violation.schedule}")
+                    if args.repro_dir:
+                        _write_repro(args.repro_dir,
+                                     reprofile.schedule_repro(
+                                         protocol=protocol,
+                                         geometry=geometry,
+                                         program=name, options=options,
+                                         schedule=violation.schedule,
+                                         violation=violation))
+    print(f"check: {failures} failing combination(s)")
+    return 1 if failures else 0
+
+
+def cmd_litmus(args) -> int:
+    results = litmus_mod.run_suite(
+        shapes=args.shape, scopes=args.scope or litmus_mod.SCOPES,
+        protocols=args.protocol or litmus_mod.FIGURE8_PROTOCOLS,
+        iriw_full=args.iriw_full,
+    )
+    failures = 0
+    for result in results:
+        print(result)
+        if not result.ok:
+            failures += 1
+            print(f"    first failure: {result.failures[0]}")
+    if args.engines:
+        runs = litmus_mod.run_engine_pass(
+            shapes=args.shape, scopes=args.scope or litmus_mod.SCOPES,
+            protocols=args.protocol or litmus_mod.FIGURE8_PROTOCOLS,
+        )
+        print(f"engine pass: {runs} sanitized simulations ok")
+    print(f"litmus: {len(results)} combinations, {failures} failing")
+    return 1 if failures else 0
+
+
+def cmd_fuzz(args) -> int:
+    options = _options_from(args)
+    result = fuzz_mod.fuzz(args.protocol, Geometry.parse(args.geometry),
+                           args.program, options, seed=args.seed,
+                           walks=args.walks, max_steps=args.max_steps)
+    print(result)
+    if result.ok:
+        return 0
+    print(f"  {result.violation.detail}")
+    print(f"  shrunk schedule: {result.schedule}")
+    if args.repro_dir:
+        _write_repro(args.repro_dir, reprofile.schedule_repro(
+            protocol=result.protocol, geometry=result.geometry,
+            program=result.program, options=options,
+            schedule=result.schedule, violation=result.violation))
+    return 1
+
+
+def cmd_repro(args) -> int:
+    report = reprofile.run(args.path)
+    status = "REPRODUCED" if report["reproduced"] else "NOT reproduced"
+    print(f"{status}: expected={report['expected']} "
+          f"observed={report['observed']}")
+    print(f"  {report['detail']}")
+    return 0 if report["reproduced"] else 1
+
+
+def _selftest_mutation() -> int:
+    """The checker must catch a deliberately broken protocol, shrink
+    the counterexample to <= 12 steps, and round-trip it as a repro."""
+    from repro.verify.programs import build
+
+    geometry = Geometry(2, 2)
+    options = CheckOptions(mutate="drop_peer_fanout")
+    program, homes = build("mp", geometry)
+    result = check("hmg", geometry, program, homes, options,
+                   program_name="mp")
+    if result.ok:
+        print("selftest: FAIL — mutated HMG passed the checker")
+        return 1
+    violation = result.violations[0]
+    machine = Machine("hmg", geometry, program, homes, options)
+    schedule = fuzz_mod.shrink(machine, violation.schedule)
+    if len(schedule) > 12:
+        print(f"selftest: FAIL — counterexample did not shrink "
+              f"({len(schedule)} steps)")
+        return 1
+    outcome = replay(machine, schedule)
+    if outcome.violation is None:
+        print("selftest: FAIL — shrunk schedule does not replay")
+        return 1
+    payload = reprofile.schedule_repro(
+        protocol="hmg", geometry=geometry, program="mp",
+        options=options, schedule=schedule, violation=outcome.violation)
+    if not reprofile.run(payload)["reproduced"]:
+        print("selftest: FAIL — repro round-trip failed")
+        return 1
+    print(f"selftest: mutation caught and shrunk to "
+          f"{len(schedule)} step(s), repro round-trip ok")
+    return 0
+
+
+def cmd_selftest(args) -> int:
+    from repro.verify.programs import build
+
+    failures = 0
+
+    geometries = [Geometry(1, 2)]
+    if args.deep:
+        geometries.append(Geometry(2, 2))
+    adversary = CheckOptions(dup_budget=1, drop_budget=1,
+                             evict_budget=1, dir_evict_budget=1)
+    for protocol in CHECK_PROTOCOLS:
+        for geometry in geometries:
+            for name in ("mp", "sb", "share", "evict_race"):
+                program, homes = build(name, geometry)
+                result = check(protocol, geometry, program, homes,
+                               adversary, program_name=name)
+                print(result)
+                if not (result.ok and result.complete):
+                    failures += 1
+    # The acceptance geometries for the two hardware protocols.
+    for protocol in ("nhcc", "hmg"):
+        for geometry in (Geometry(1, 2), Geometry(2, 2)):
+            program, homes = build("mp", geometry)
+            result = check(protocol, geometry, program, homes,
+                           CheckOptions(), program_name="mp")
+            print(result)
+            if not (result.ok and result.complete):
+                failures += 1
+
+    results = litmus_mod.run_suite()
+    bad = [r for r in results if not r.ok]
+    print(f"litmus: {len(results)} combinations, {len(bad)} failing")
+    failures += len(bad)
+    litmus_mod.run_engine_pass()
+    print("litmus engine pass ok")
+
+    deadline = time.monotonic() + args.fuzz_seconds
+    seed = 0
+    walks = steps = 0
+    while time.monotonic() < deadline:
+        result = fuzz_mod.fuzz("hmg", Geometry(2, 2), "mp",
+                               seed=seed, walks=25)
+        walks += result.walks
+        steps += result.steps
+        if not result.ok:
+            print(f"fuzz: FAIL — healthy hmg violated: {result}")
+            failures += 1
+            break
+        seed += 1
+    print(f"fuzz: {walks} walks / {steps} steps clean in "
+          f"{args.fuzz_seconds:.0f}s budget")
+
+    failures += _selftest_mutation()
+    print(f"selftest: {'ok' if not failures else 'FAIL'}")
+    return 1 if failures else 0
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {
+        "check": cmd_check,
+        "litmus": cmd_litmus,
+        "fuzz": cmd_fuzz,
+        "repro": cmd_repro,
+        "selftest": cmd_selftest,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

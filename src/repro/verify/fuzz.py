@@ -1,0 +1,125 @@
+"""Seeded random-schedule fuzzer with counterexample shrinking.
+
+The exhaustive checker (:func:`repro.verify.model.check`) is bounded
+to small geometries and budgets; the fuzzer trades exhaustiveness for
+reach — long random walks over the same machine, on any geometry, with
+every adversary power enabled.  Any violating walk is *shrunk* to a
+minimal schedule before being reported:
+
+1. the walk is already truncated at the violating step;
+2. greedy delta-debugging then repeatedly deletes individual steps,
+   keeping a deletion when the remaining schedule still replays to a
+   violation, until no single deletion survives.
+
+Replay (:func:`repro.verify.model.replay`) validates every candidate,
+so a shrunk schedule is replayable by construction — it is exactly
+what lands in a repro file (:mod:`repro.verify.reprofile`).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.verify.model import (
+    CheckOptions,
+    Geometry,
+    Machine,
+    ModelViolation,
+    replay,
+)
+from repro.verify.programs import build
+
+
+@dataclass
+class FuzzResult:
+    protocol: str
+    geometry: Geometry
+    program: str
+    seed: int
+    walks: int = 0
+    steps: int = 0
+    violation: Optional[ModelViolation] = None
+    schedule: list = field(default_factory=list)
+    unshrunk_len: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.violation is None
+
+    def __str__(self) -> str:
+        base = (f"{self.protocol} {self.geometry} {self.program} "
+                f"seed={self.seed}: {self.walks} walks, "
+                f"{self.steps} steps")
+        if self.ok:
+            return f"{base}, no violation"
+        return (f"{base}, VIOLATION {self.violation.invariant} "
+                f"(schedule {self.unshrunk_len} -> "
+                f"{len(self.schedule)} steps)")
+
+
+def _walk(machine: Machine, rng: random.Random, max_steps: int):
+    """One random walk; returns (schedule, violation|None, steps)."""
+    state = machine.initial()
+    schedule = []
+    for _ in range(max_steps):
+        actions = machine.enabled(state)
+        if not actions:
+            break
+        action = rng.choice(actions)
+        schedule.append(action)
+        state, violation = machine.apply(state, action)
+        if violation is not None:
+            return schedule, violation, len(schedule)
+    return schedule, None, len(schedule)
+
+
+def shrink(machine: Machine, schedule) -> list:
+    """Greedy 1-minimal shrink of a violating schedule.
+
+    Returns a schedule that still replays to a violation and from
+    which no single step can be removed.
+    """
+    current = [tuple(a) for a in schedule]
+    changed = True
+    while changed:
+        changed = False
+        i = 0
+        while i < len(current):
+            candidate = current[:i] + current[i + 1:]
+            outcome = replay(machine, candidate)
+            if outcome.ok and outcome.violation is not None:
+                current = candidate
+                changed = True
+            else:
+                i += 1
+    return current
+
+
+def fuzz(protocol: str, geometry: Geometry, program_name: str = "mp",
+         options: CheckOptions = None, seed: int = 0,
+         walks: int = 200, max_steps: int = 400) -> FuzzResult:
+    """Random walks until a violation (shrunk) or the walk budget ends.
+
+    Deterministic for a given (machine, seed, walks, max_steps).
+    """
+    if options is None:
+        options = CheckOptions(dup_budget=1, drop_budget=1,
+                               evict_budget=1, dir_evict_budget=1)
+    program, homes = build(program_name, geometry)
+    machine = Machine(protocol, geometry, program, homes, options)
+    rng = random.Random(seed)
+    result = FuzzResult(protocol, geometry, program_name, seed)
+    for _ in range(walks):
+        result.walks += 1
+        schedule, violation, steps = _walk(machine, rng, max_steps)
+        result.steps += steps
+        if violation is not None:
+            result.unshrunk_len = len(schedule)
+            shrunk = shrink(machine, schedule)
+            outcome = replay(machine, shrunk)
+            result.violation = outcome.violation
+            result.schedule = [list(a) for a in shrunk]
+            break
+    return result

@@ -1,0 +1,315 @@
+"""Scoped litmus suite over the functional protocols.
+
+The model checker (:mod:`repro.verify.model`) explores an *abstract*
+machine; this suite closes the loop on the *real* implementations by
+replaying the classic litmus shapes — MP, SB, LB, IRIW — through the
+registered protocols at every synchronization scope and asserting the
+forbidden outcome never appears.
+
+The functional protocols apply each op atomically, so the explorable
+nondeterminism is the set of order-preserving merges of the threads'
+op lists: 6 for the two-thread shapes (exhaustive), 2520 for IRIW (a
+seeded sample by default — pass ``iriw_full=True`` for all of them).
+Each merge replays on a fresh protocol instance; reads resolve to
+functional versions, and "saw the write" is simply a nonzero version
+(locations start at version 0 and have a single writer).
+
+Each litmus run starts with a fixed prologue that (a) pins every
+location's page on its writer's node via first-touch and (b) plants a
+*stale* copy at every node that later reads with ``.cta`` scope — the
+copy an incorrect protocol would let a synchronized read hit.
+
+Thread placement is derived from the scope under test: ``cta`` puts
+every thread on one GPM (same CTA), ``gpu`` spreads threads over the
+GPMs of one GPU, ``sys`` spreads them over GPUs.
+
+``run_engine_pass`` additionally pushes one canonical interleaving of
+each combination through both timing engines with the runtime
+sanitizer enabled, tying the suite into the machinery real experiments
+use.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from itertools import permutations
+
+from repro.config import SystemConfig
+from repro.core.registry import FIGURE8_PROTOCOLS, make_protocol
+from repro.core.types import MemOp, NodeId, OpType, Scope
+
+SCOPES = ("cta", "gpu", "sys")
+_SCOPE = {"cta": Scope.CTA, "gpu": Scope.GPU, "sys": Scope.SYS}
+
+#: ops are ("st"|"rel"|"acq"|"ld", location); sync ops take the scope
+#: under test, plain ops run at .cta scope (the dangerous case: they
+#: may hit whatever is cached locally).
+@dataclass(frozen=True)
+class LitmusShape:
+    name: str
+    threads: tuple                 #: per-thread op tuples
+    writers: dict                  #: location -> writer thread
+    reads: tuple                   #: ((thread, op_index), ...) labels
+    forbidden_doc: str
+
+    def forbidden(self, saw: tuple) -> bool:
+        raise NotImplementedError
+
+
+def _shape(name, threads, writers, reads, forbidden, doc):
+    shape = LitmusShape(name, threads, writers, reads, doc)
+    object.__setattr__(shape, "forbidden", forbidden)
+    return shape
+
+
+SHAPES = {
+    "mp": _shape(
+        "mp",
+        ((("st", "x"), ("rel", "f")),
+         (("acq", "f"), ("ld", "x"))),
+        {"x": 0, "f": 0},
+        ((1, 0), (1, 1)),
+        lambda saw: saw[0] and not saw[1],
+        "acquire saw the flag but the data read was stale",
+    ),
+    "sb": _shape(
+        "sb",
+        ((("rel", "x"), ("acq", "y")),
+         (("rel", "y"), ("acq", "x"))),
+        {"x": 0, "y": 1},
+        ((0, 1), (1, 1)),
+        lambda saw: not saw[0] and not saw[1],
+        "both released-then-acquiring threads read 0",
+    ),
+    "lb": _shape(
+        "lb",
+        ((("acq", "x"), ("rel", "y")),
+         (("acq", "y"), ("rel", "x"))),
+        {"x": 1, "y": 0},
+        ((0, 0), (1, 0)),
+        lambda saw: saw[0] and saw[1],
+        "both loads observed program-order-later writes",
+    ),
+    "iriw": _shape(
+        "iriw",
+        ((("rel", "x"),),
+         (("rel", "y"),),
+         (("acq", "x"), ("ld2", "y")),
+         (("acq", "y"), ("ld2", "x"))),
+        {"x": 0, "y": 1},
+        ((2, 0), (2, 1), (3, 0), (3, 1)),
+        lambda saw: saw[0] and not saw[1] and saw[2] and not saw[3],
+        "the two readers disagreed on the write order",
+    ),
+}
+
+
+@dataclass
+class LitmusResult:
+    shape: str
+    scope: str
+    protocol: str
+    interleavings: int = 0
+    sampled: bool = False
+    failures: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def __str__(self) -> str:
+        note = "~" if self.sampled else " "
+        status = "ok" if self.ok else \
+            f"FORBIDDEN in {len(self.failures)} interleaving(s)"
+        return (f"{self.shape:>5}/{self.scope:<3} {self.protocol:>5} "
+                f"{note}{self.interleavings:>5} interleavings  {status}")
+
+
+# ----------------------------------------------------------------------
+# Placement and program construction
+# ----------------------------------------------------------------------
+
+
+def _thread_nodes(cfg: SystemConfig, scope: str, count: int):
+    """Place ``count`` threads as far apart as the scope allows."""
+    if scope == "cta":
+        return [NodeId(0, 0)] * count
+    if scope == "gpu":
+        if count > cfg.gpms_per_gpu:
+            raise ValueError(
+                f"{count} threads need {count} GPMs for gpu scope; "
+                f"config has {cfg.gpms_per_gpu}"
+            )
+        return [NodeId(0, i) for i in range(count)]
+    nodes = []
+    for i in range(count):
+        nodes.append(NodeId(i % cfg.num_gpus,
+                            (i // cfg.num_gpus) % cfg.gpms_per_gpu))
+    if len(set(nodes)) < count:
+        raise ValueError(f"machine too small for {count} threads")
+    return nodes
+
+
+def _addresses(cfg: SystemConfig, shape: LitmusShape):
+    """One page per location so first-touch pins homes independently."""
+    return {loc: (i + 1) * cfg.page_size
+            for i, loc in enumerate(sorted(shape.writers))}
+
+
+def _materialize(shape: LitmusShape, scope: str, nodes, addrs):
+    """(prologue ops, per-thread MemOp tuples)."""
+    s = _SCOPE[scope]
+    prologue = []
+    for loc in sorted(shape.writers):
+        writer = shape.writers[loc]
+        prologue.append(MemOp(OpType.LOAD, addrs[loc], nodes[writer],
+                              cta=writer, scope=Scope.CTA))
+    for t, ops in enumerate(shape.threads):
+        for (kind, loc) in ops:
+            if kind == "ld" and nodes[t] != nodes[shape.writers[loc]]:
+                prologue.append(MemOp(OpType.LOAD, addrs[loc], nodes[t],
+                                      cta=t, scope=Scope.CTA))
+    threads = []
+    for t, ops in enumerate(shape.threads):
+        mem_ops = []
+        for (kind, loc) in ops:
+            if kind == "st":
+                mem_ops.append(MemOp(OpType.STORE, addrs[loc], nodes[t],
+                                     cta=t, scope=Scope.CTA))
+            elif kind == "rel":
+                mem_ops.append(MemOp(OpType.RELEASE, addrs[loc],
+                                     nodes[t], cta=t, scope=s))
+            elif kind == "acq":
+                mem_ops.append(MemOp(OpType.ACQUIRE, addrs[loc],
+                                     nodes[t], cta=t, scope=s))
+            elif kind == "ld":
+                mem_ops.append(MemOp(OpType.LOAD, addrs[loc], nodes[t],
+                                     cta=t, scope=Scope.CTA))
+            elif kind == "ld2":
+                # IRIW's second reads are scoped: the shape tests
+                # whether scoped reads agree on write order.
+                mem_ops.append(MemOp(OpType.LOAD, addrs[loc], nodes[t],
+                                     cta=t, scope=s))
+            else:
+                raise ValueError(kind)
+        threads.append(tuple(mem_ops))
+    return prologue, tuple(threads)
+
+
+def _merges(thread_lengths, limit=None, seed=0):
+    """Order-preserving merges as thread-index sequences.
+
+    Enumerated exhaustively (multiset permutations); when ``limit`` is
+    below the total, a seeded sample is drawn instead (returned flag
+    says so).
+    """
+    base = []
+    for t, n in enumerate(thread_lengths):
+        base.extend([t] * n)
+    all_merges = sorted(set(permutations(base)))
+    if limit is not None and len(all_merges) > limit:
+        rng = random.Random(seed)
+        return rng.sample(all_merges, limit), True
+    return all_merges, False
+
+
+# ----------------------------------------------------------------------
+# Replay
+# ----------------------------------------------------------------------
+
+
+def _replay(protocol_name, cfg, prologue, threads, merge):
+    """Run one interleaving on a fresh protocol; returns saw-tuple
+    resolver input: dict (thread, op_index) -> version."""
+    proto = make_protocol(protocol_name, cfg)
+    for op in prologue:
+        proto.process(op)
+    cursors = [0] * len(threads)
+    versions = {}
+    for t in merge:
+        op = threads[t][cursors[t]]
+        out = proto.process(op)
+        versions[(t, cursors[t])] = out.version
+        cursors[t] += 1
+    return versions
+
+
+def run_one(shape_name: str, scope: str, protocol: str,
+            cfg: SystemConfig = None, iriw_samples: int = 300,
+            iriw_full: bool = False, seed: int = 0) -> LitmusResult:
+    """All interleavings of one litmus combination."""
+    shape = SHAPES[shape_name]
+    if cfg is None:
+        cfg = SystemConfig.paper_scaled(1.0 / 64)
+    nodes = _thread_nodes(cfg, scope, len(shape.threads))
+    addrs = _addresses(cfg, shape)
+    prologue, threads = _materialize(shape, scope, nodes, addrs)
+    limit = None
+    if shape_name == "iriw" and not iriw_full:
+        limit = iriw_samples
+    merges, sampled = _merges([len(t) for t in threads], limit, seed)
+    result = LitmusResult(shape_name, scope, protocol,
+                          interleavings=len(merges), sampled=sampled)
+    for merge in merges:
+        versions = _replay(protocol, cfg, prologue, threads, merge)
+        saw = tuple(versions[label] != 0 for label in shape.reads)
+        if shape.forbidden(saw):
+            result.failures.append({
+                "merge": list(merge),
+                "saw": list(saw),
+                "doc": shape.forbidden_doc,
+            })
+    return result
+
+
+def run_suite(shapes=None, scopes=SCOPES, protocols=FIGURE8_PROTOCOLS,
+              cfg: SystemConfig = None, iriw_samples: int = 300,
+              iriw_full: bool = False, seed: int = 0):
+    """The full (shape x scope x protocol) matrix."""
+    if cfg is None:
+        cfg = SystemConfig.paper_scaled(1.0 / 64)
+    results = []
+    for shape_name in (shapes or sorted(SHAPES)):
+        for scope in scopes:
+            for protocol in protocols:
+                results.append(run_one(
+                    shape_name, scope, protocol, cfg,
+                    iriw_samples=iriw_samples, iriw_full=iriw_full,
+                    seed=seed,
+                ))
+    return results
+
+
+def run_engine_pass(shapes=None, scopes=SCOPES,
+                    protocols=FIGURE8_PROTOCOLS,
+                    cfg: SystemConfig = None):
+    """One canonical interleaving of each combination through both
+    timing engines with the runtime sanitizer on.
+
+    Returns the number of simulations run; raises on any sanitizer
+    violation or engine stall.
+    """
+    from repro.engine.simulator import simulate
+
+    if cfg is None:
+        cfg = SystemConfig.paper_scaled(1.0 / 64)
+    runs = 0
+    for shape_name in (shapes or sorted(SHAPES)):
+        shape = SHAPES[shape_name]
+        for scope in scopes:
+            nodes = _thread_nodes(cfg, scope, len(shape.threads))
+            addrs = _addresses(cfg, shape)
+            prologue, threads = _materialize(shape, scope, nodes, addrs)
+            trace = list(prologue)
+            for t in sorted(range(len(threads)),
+                            key=lambda t: -len(threads[t])):
+                trace.extend(threads[t])
+            trace.append(MemOp(OpType.KERNEL_BOUNDARY, 0, nodes[0]))
+            for protocol in protocols:
+                for engine in ("throughput", "detailed"):
+                    simulate(trace, cfg, protocol=protocol,
+                             engine=engine, sanitize=True,
+                             workload_name=f"litmus_{shape_name}_{scope}")
+                    runs += 1
+    return runs

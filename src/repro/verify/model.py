@@ -1,0 +1,1259 @@
+"""Bounded model checker for the coherence protocols.
+
+The timing simulator applies each protocol transition *atomically*
+(:mod:`repro.core.protocol`), so the one schedule a trace takes can
+never exhibit the races the paper's no-ack, no-transient-state design
+must survive.  This module re-states each protocol as an explicit
+message-passing **guarded-action machine** — directory updates driven
+by the Table I rows in :mod:`repro.core.transitions` — and exhaustively
+explores every delivery interleaving on small geometries.
+
+Network model
+-------------
+Messages travel on per-``(src, dst)`` FIFO channels; the adversary
+chooses which channel delivers next, so messages to *different*
+destinations reorder freely — exactly the freedom the
+non-multi-copy-atomic scoped model grants — while point-to-point order
+is preserved (the standard interconnect assumption the paper relies
+on).  Optional adversary powers, each bounded by a budget so the state
+space stays finite:
+
+* **duplication** of idempotent traffic (stores are version-stamped,
+  invalidations are naturally idempotent);
+* **request loss** (load/store requests only — response and control
+  traffic rides reliable channels) recovered by bounded retransmission,
+  modelling the :class:`repro.faults.MessageLossSpec` retry path;
+* **silent clean evictions** of cached copies and **directory entry
+  replacements** (Table I's Replace row).
+
+Release/acquire semantics
+-------------------------
+Releases are two-phase, mirroring the protocols' fence-ack design
+("acknowledgments exist only for release fences"):
+
+1. a write-completion fence (``FWB``) chases the releaser's
+   write-throughs down each home path — FIFO channels plus a
+   store-index set make it deliverable only after those writes have
+   been applied, even when some were dropped and retransmitted;
+2. scope-wide fences (``FENCE``) then sweep every in-scope L2; each is
+   deliverable only after all earlier-sent messages to that node (in
+   particular the invalidations phase 1 forced out) have been applied.
+   Under HMG the sweep is *hierarchical*: peer GPUs are fenced through
+   their GPU home, which forwards to its local GPMs — necessary,
+   because invalidations to peer GPMs are themselves created by the
+   GPU-home fan-out and a direct fence could overtake them.
+
+Invariants (DESIGN.md §6), checked at every reachable state:
+
+* **directory coverage** — every cached copy is tracked by its
+  (hierarchical) directory, or is being written (its write-through is
+  in flight), or is condemned (an invalidation to it — or to its GPU
+  home — is in flight);
+* **SWMR-at-scope** — every copy staler than the home is condemned or
+  being overwritten by its own holder;
+* **hierarchical encoding** — directory entries appear only at home
+  nodes and hold only well-formed sharer tags (GPM ids locally, whole
+  peer GPUs at the system level, never the home's own GPU);
+* **scoped RAW** — a ghost happens-before tracker records what each
+  completed release publishes and what each synchronizing acquire
+  therefore promises; any read below a promised version is a
+  violation.  (Sound for per-location single-writer programs, which
+  all built-in programs are.)
+
+Programs are small per-node op lists (:mod:`repro.verify.programs`);
+the checker BFSes the induced state graph, reconstructing the shortest
+action schedule to any violation — directly replayable and shrinkable
+(:mod:`repro.verify.fuzz`, :mod:`repro.verify.reprofile`).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.transitions import find_row
+
+#: protocol name -> abstract machine family.
+FAMILIES = {
+    "nhcc": "flat",
+    "gpuvi": "flat",
+    "hmg": "hier",
+    "sw": "swflat",
+    "hsw": "swhier",
+}
+
+#: Families with hardware directories (structural invariants apply).
+DIR_FAMILIES = ("flat", "hier")
+
+#: Supported checker mutations (deliberately broken transitions used to
+#: validate that the checker actually catches bugs).
+MUTATIONS = (
+    "drop_peer_fanout",   # HMG GPU home skips forwarding an arriving
+                          # invalidation to its local GPM sharers
+    "skip_inv_others",    # a store's inv_others micro-action is skipped
+)
+
+
+@dataclass(frozen=True)
+class Geometry:
+    """A (num_gpus x gpms_per_gpu) machine for the abstract model."""
+
+    num_gpus: int = 1
+    gpms_per_gpu: int = 2
+
+    @property
+    def nodes(self) -> range:
+        return range(self.num_gpus * self.gpms_per_gpu)
+
+    def gpu_of(self, node: int) -> int:
+        return node // self.gpms_per_gpu
+
+    def gpm_of(self, node: int) -> int:
+        return node % self.gpms_per_gpu
+
+    def flat(self, gpu: int, gpm: int) -> int:
+        return gpu * self.gpms_per_gpu + gpm
+
+    @classmethod
+    def parse(cls, text: str) -> "Geometry":
+        """"2x2" -> Geometry(2, 2)."""
+        try:
+            gpus, gpms = text.lower().split("x")
+            return cls(int(gpus), int(gpms))
+        except ValueError:
+            raise ValueError(
+                f"bad geometry {text!r}; expected e.g. '1x2' or '2x2'"
+            ) from None
+
+    def __str__(self) -> str:
+        return f"{self.num_gpus}x{self.gpms_per_gpu}"
+
+
+@dataclass(frozen=True)
+class CheckOptions:
+    """Exploration bounds and adversary powers."""
+
+    max_states: int = 400_000
+    dup_budget: int = 0       #: duplicate deliveries of STORE/INV
+    drop_budget: int = 0      #: request-message drops (enables retry)
+    max_retries: int = 2      #: retransmissions per dropped request
+    evict_budget: int = 0     #: silent clean-copy evictions
+    dir_evict_budget: int = 0  #: directory entry replacements
+    mutate: Optional[str] = None
+
+    def __post_init__(self):
+        if self.mutate is not None and self.mutate not in MUTATIONS:
+            raise ValueError(
+                f"unknown mutation {self.mutate!r}; known: {MUTATIONS}"
+            )
+
+
+@dataclass
+class ModelViolation:
+    """An invariant failure at one reachable state."""
+
+    invariant: str
+    detail: str
+    schedule: list = field(default_factory=list)
+
+    def __str__(self) -> str:
+        return (f"[{self.invariant}] {self.detail} "
+                f"(schedule: {len(self.schedule)} step(s))")
+
+
+@dataclass
+class CheckResult:
+    """Outcome of one bounded exploration."""
+
+    protocol: str
+    geometry: Geometry
+    program_name: str
+    states: int = 0
+    transitions: int = 0
+    complete: bool = True
+    violations: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def __str__(self) -> str:
+        status = "ok" if self.ok else \
+            f"VIOLATION {self.violations[0].invariant}"
+        bound = "" if self.complete else " (truncated)"
+        return (f"{self.protocol:>5} {self.geometry} "
+                f"{self.program_name:<14} {self.states:>7} states "
+                f"{self.transitions:>8} transitions{bound}  {status}")
+
+
+@dataclass
+class ReplayResult:
+    """Outcome of replaying one action schedule."""
+
+    ok: bool                  #: every step was enabled
+    violation: Optional[ModelViolation] = None
+    failed_at: Optional[int] = None
+
+
+# ----------------------------------------------------------------------
+# State
+# ----------------------------------------------------------------------
+
+
+class _State:
+    """Mutable working state; hashable via :meth:`key`."""
+
+    __slots__ = (
+        "pc", "blocked", "copies", "mem", "dirs", "channels",
+        "next_seq", "next_version", "sent_stores", "recv_stores",
+        "lost", "posted", "wrote", "expected", "releases", "agg",
+        "dup_left", "drop_left", "evict_left", "direv_left",
+    )
+
+    def __init__(self):
+        self.pc = []          # per node
+        self.blocked = []     # per node: None or a tuple
+        self.copies = {}      # (node, loc) -> version
+        self.mem = {}         # loc -> version
+        self.dirs = {}        # (node, loc) -> frozenset of sharer tags
+        self.channels = {}    # (src, dst) -> tuple of messages
+        self.next_seq = 0
+        self.next_version = 1
+        self.sent_stores = {}  # (src, dst) -> count of store indices
+        self.recv_stores = {}  # (src, dst) -> frozenset received indices
+        self.lost = ()        # tuple of (src, dst, kind, payload, attempts)
+        self.posted = {}      # (node, loc) -> frozenset of in-flight versions
+        self.wrote = {}       # (node, loc) -> version
+        self.expected = {}    # (node, loc) -> minimum version promised
+        self.releases = ()    # (loc, version, scope, node, heritage)
+        self.agg = {}         # (kind, node, releaser) -> frozenset pending
+        self.dup_left = 0
+        self.drop_left = 0
+        self.evict_left = 0
+        self.direv_left = 0
+
+    def clone(self) -> "_State":
+        s = _State.__new__(_State)
+        s.pc = list(self.pc)
+        s.blocked = list(self.blocked)
+        s.copies = dict(self.copies)
+        s.mem = dict(self.mem)
+        s.dirs = dict(self.dirs)
+        s.channels = dict(self.channels)
+        s.next_seq = self.next_seq
+        s.next_version = self.next_version
+        s.sent_stores = dict(self.sent_stores)
+        s.recv_stores = dict(self.recv_stores)
+        s.lost = self.lost
+        s.posted = dict(self.posted)
+        s.wrote = dict(self.wrote)
+        s.expected = dict(self.expected)
+        s.releases = self.releases
+        s.agg = dict(self.agg)
+        s.dup_left = self.dup_left
+        s.drop_left = self.drop_left
+        s.evict_left = self.evict_left
+        s.direv_left = self.direv_left
+        return s
+
+    def key(self) -> tuple:
+        return (
+            tuple(self.pc), tuple(self.blocked),
+            tuple(sorted(self.copies.items())),
+            tuple(sorted(self.mem.items())),
+            tuple(sorted(self.dirs.items())),
+            tuple(sorted(self.channels.items())),
+            tuple(sorted(self.sent_stores.items())),
+            tuple(sorted((k, tuple(sorted(v)))
+                         for k, v in self.recv_stores.items())),
+            self.lost,
+            tuple(sorted((k, tuple(sorted(v)))
+                         for k, v in self.posted.items())),
+            tuple(sorted(self.wrote.items())),
+            tuple(sorted(self.expected.items())),
+            self.releases,
+            tuple(sorted(self.agg.items())),
+            self.dup_left, self.drop_left, self.evict_left,
+            self.direv_left,
+        )
+
+
+# ----------------------------------------------------------------------
+# The machine
+# ----------------------------------------------------------------------
+
+#: Message kinds whose duplicated delivery is idempotent (stores are
+#: version-stamped, invalidations naturally so).  DATA/fence traffic is
+#: matched to pending requests instead and never duplicated.
+_DUPPABLE = ("STORE", "INV")
+#: Request kinds a lossy fabric may drop (recovered by retransmission).
+_DROPPABLE = ("LOAD", "STORE")
+
+
+class Machine:
+    """One protocol x geometry x program as an explorable machine.
+
+    ``program`` is a tuple of per-node op tuples; each op is
+    ``(kind, loc, scope)`` with kind in ``ld/st/acq/rel``, ``loc`` a
+    location name from ``homes`` and scope in ``cta/gpu/sys``.
+    ``homes`` maps each location to its (flat) system home node.
+    """
+
+    def __init__(self, protocol: str, geometry: Geometry, program,
+                 homes: dict, options: CheckOptions = CheckOptions()):
+        if protocol not in FAMILIES:
+            raise ValueError(
+                f"unknown protocol {protocol!r}; "
+                f"known: {', '.join(FAMILIES)}"
+            )
+        self.protocol = protocol
+        self.family = FAMILIES[protocol]
+        self.geom = geometry
+        self.program = tuple(tuple(tuple(op) for op in ops)
+                             for ops in program)
+        if len(self.program) != len(geometry.nodes):
+            raise ValueError(
+                f"program has {len(self.program)} node slots; geometry "
+                f"{geometry} has {len(list(geometry.nodes))} nodes"
+            )
+        self.homes = dict(homes)
+        for loc, home in self.homes.items():
+            if home not in geometry.nodes:
+                raise ValueError(f"home of {loc!r} ({home}) outside "
+                                 f"geometry {geometry}")
+        self.locs = sorted(self.homes)
+        self.opts = options
+        #: The Table I protocol whose rows drive directory updates.
+        self.table_protocol = ("hmg" if self.family == "hier" else "nhcc")
+
+    # -- geometry helpers ---------------------------------------------
+
+    def home(self, loc: str) -> int:
+        return self.homes[loc]
+
+    def ghome(self, loc: str, gpu: int) -> int:
+        """The GPU-level home of ``loc`` within ``gpu`` (the system
+        home itself when ``gpu`` is the home GPU)."""
+        home = self.homes[loc]
+        if self.geom.gpu_of(home) == gpu:
+            return home
+        return self.geom.flat(gpu, self.geom.gpm_of(home))
+
+    def first_hop(self, node: int, loc: str) -> Optional[int]:
+        """First home-path stop of a write-through issued at ``node``
+        (None when the node applies it locally)."""
+        home = self.homes[loc]
+        if self.family in ("flat", "swflat"):
+            return home if home != node else None
+        g = self.ghome(loc, self.geom.gpu_of(node))
+        return g if g != node else (home if home != node else None)
+
+    def _hier(self) -> bool:
+        return self.family in ("hier", "swhier")
+
+    def _has_dirs(self) -> bool:
+        return self.family in DIR_FAMILIES
+
+    # -- state construction -------------------------------------------
+
+    def initial(self) -> _State:
+        s = _State()
+        s.pc = [0] * len(self.program)
+        s.blocked = [None] * len(self.program)
+        s.mem = {loc: 0 for loc in self.locs}
+        s.dup_left = self.opts.dup_budget
+        s.drop_left = self.opts.drop_budget
+        s.evict_left = self.opts.evict_budget
+        s.direv_left = self.opts.dir_evict_budget
+        return s
+
+    # -- messaging ----------------------------------------------------
+
+    def _send(self, s: _State, src: int, dst: int, kind: str, payload,
+              attempts: int = 0) -> None:
+        msg = (s.next_seq, kind, payload, attempts)
+        s.next_seq += 1
+        chan = s.channels.get((src, dst), ())
+        s.channels[(src, dst)] = chan + (msg,)
+
+    def _send_store(self, s: _State, src: int, dst: int, loc: str,
+                    version: int, origin: int) -> None:
+        idx = s.sent_stores.get((src, dst), 0)
+        s.sent_stores[(src, dst)] = idx + 1
+        self._send(s, src, dst, "STORE", (loc, version, origin, idx))
+
+    def _pop(self, s: _State, src: int, dst: int):
+        chan = s.channels[(src, dst)]
+        msg, rest = chan[0], chan[1:]
+        if rest:
+            s.channels[(src, dst)] = rest
+        else:
+            del s.channels[(src, dst)]
+        return msg
+
+    def _flushed(self, s: _State, dst: int, seq: int) -> bool:
+        """True if no in-flight message to ``dst`` predates ``seq``
+        (the fence ingress-flush guard)."""
+        for (_src, d), chan in s.channels.items():
+            if d != dst:
+                continue
+            for m in chan:
+                if m[0] < seq:
+                    return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Enabled actions
+    # ------------------------------------------------------------------
+
+    def enabled(self, s: _State) -> list:
+        actions = []
+        for n in range(len(self.program)):
+            if s.blocked[n] is None and s.pc[n] < len(self.program[n]):
+                actions.append(("issue", n))
+        for (src, dst) in sorted(s.channels):
+            msg = s.channels[(src, dst)][0]
+            if self._deliverable(s, src, dst, msg):
+                actions.append(("deliver", src, dst))
+            if s.dup_left > 0 and msg[1] in _DUPPABLE \
+                    and self._deliverable(s, src, dst, msg):
+                actions.append(("dup", src, dst))
+            if s.drop_left > 0 and msg[1] in _DROPPABLE \
+                    and msg[3] < self.opts.max_retries:
+                actions.append(("drop", src, dst))
+        for i in range(len(s.lost)):
+            actions.append(("retry", i))
+        if s.evict_left > 0:
+            for (n, loc) in sorted(s.copies):
+                if n != self.homes[loc] and not s.posted.get((n, loc)):
+                    actions.append(("evict", n, loc))
+        if s.direv_left > 0 and self._has_dirs():
+            for (n, loc) in sorted(s.dirs):
+                if s.dirs[(n, loc)]:
+                    actions.append(("direv", n, loc))
+        return actions
+
+    def _deliverable(self, s: _State, src: int, dst: int, msg) -> bool:
+        seq, kind, payload, _attempts = msg
+        if kind in ("FENCE", "FENCE_G"):
+            return self._flushed(s, dst, seq)
+        if kind == "FWB":
+            upto = payload[2]
+            got = s.recv_stores.get((src, dst), frozenset())
+            return all(i in got for i in range(upto))
+        return True
+
+    # ------------------------------------------------------------------
+    # Applying actions
+    # ------------------------------------------------------------------
+
+    def apply(self, state: _State, action):
+        """Apply one action to a copy of ``state``.
+
+        Returns ``(new_state, violation_or_None)``; the input state is
+        never mutated.  Raises ``KeyError``/``ValueError`` only on
+        actions that were never enabled (replay callers should check
+        :meth:`enabled` first).
+        """
+        s = state.clone()
+        kind = action[0]
+        if kind == "issue":
+            v = self._issue(s, action[1])
+        elif kind == "deliver":
+            msg = self._pop(s, action[1], action[2])
+            v = self._deliver(s, action[1], action[2], msg)
+        elif kind == "dup":
+            msg = s.channels[(action[1], action[2])][0]
+            s.dup_left -= 1
+            v = self._deliver(s, action[1], action[2], msg)
+        elif kind == "drop":
+            msg = self._pop(s, action[1], action[2])
+            _seq, mkind, payload, attempts = msg
+            s.drop_left -= 1
+            s.lost = s.lost + ((action[1], action[2], mkind, payload,
+                                attempts + 1),)
+            v = None
+        elif kind == "retry":
+            entry = s.lost[action[1]]
+            s.lost = s.lost[:action[1]] + s.lost[action[1] + 1:]
+            src, dst, mkind, payload, attempts = entry
+            self._send(s, src, dst, mkind, payload, attempts)
+            v = None
+        elif kind == "evict":
+            del s.copies[(action[1], action[2])]
+            s.evict_left -= 1
+            v = None
+        elif kind == "direv":
+            self._dir_replace(s, action[1], action[2])
+            s.direv_left -= 1
+            v = None
+        else:
+            raise ValueError(f"unknown action {action!r}")
+        if v is None:
+            v = self._check_state(s)
+        return s, v
+
+    # -- issuing ops --------------------------------------------------
+
+    def _issue(self, s: _State, n: int):
+        op, loc, scope = self.program[n][s.pc[n]]
+        if op == "ld":
+            return self._issue_read(s, n, loc, scope, acquire=False)
+        if op == "acq":
+            return self._issue_read(s, n, loc, scope, acquire=True)
+        if op == "st":
+            s.pc[n] += 1
+            self._do_store(s, n, loc)
+            return None
+        if op == "rel":
+            return self._issue_release(s, n, loc, scope)
+        raise ValueError(f"unknown op {op!r}")
+
+    def _issue_read(self, s: _State, n: int, loc: str, scope: str,
+                    acquire: bool):
+        if acquire and scope != "cta":
+            self._self_invalidate(s, n, loc, scope)
+        hit = self._local_read(s, n, loc, scope)
+        if hit is not None:
+            s.pc[n] += 1
+            return self._record_read(s, n, loc, hit, scope, acquire)
+        dst = self._read_target(n, loc)
+        reqseq = s.next_seq
+        self._send(s, n, dst, "LOAD", (loc, n, scope, reqseq))
+        s.blocked[n] = ("load", loc, scope, (reqseq,), acquire)
+        return None
+
+    def _read_target(self, n: int, loc: str) -> int:
+        if self._hier():
+            g = self.ghome(loc, self.geom.gpu_of(n))
+            return g if g != n else self.homes[loc]
+        return self.homes[loc]
+
+    def _local_read(self, s: _State, n: int, loc: str,
+                    scope: str) -> Optional[int]:
+        """Version a local (or home) access returns, or None on miss.
+
+        Scoped (>= gpu) accesses may hit only at the scope's home — the
+        repo protocols' ``_may_hit`` rule, which is what forces an
+        acquiring reader to the coherence point.
+        """
+        home = self.homes[loc]
+        if n == home:
+            return s.mem[loc]
+        if scope == "cta":
+            return s.copies.get((n, loc))
+        if scope == "gpu" and self._hier() \
+                and n == self.ghome(loc, self.geom.gpu_of(n)):
+            return s.copies.get((n, loc))
+        return None
+
+    def _self_invalidate(self, s: _State, n: int, loc: str,
+                         scope: str) -> None:
+        """Software schemes: a scoped acquire bulk-invalidates the
+        acquirer's (scope-appropriate) possibly-stale copies.  Copies
+        with an in-flight own write-through stay (the write buffer
+        still holds the data)."""
+        if self.family == "swflat":
+            for loc2 in self.locs:
+                if self.homes[loc2] != n and not s.posted.get((n, loc2)):
+                    s.copies.pop((n, loc2), None)
+            return
+        if self.family != "swhier":
+            return
+        gpu = self.geom.gpu_of(n)
+        if scope == "gpu":
+            for loc2 in self.locs:
+                if self.ghome(loc2, gpu) != n \
+                        and not s.posted.get((n, loc2)):
+                    s.copies.pop((n, loc2), None)
+            return
+        # sys scope: every L2 of the GPU drops peer-GPU-homed lines.
+        for node in self.geom.nodes:
+            if self.geom.gpu_of(node) != gpu:
+                continue
+            for loc2 in self.locs:
+                if self.geom.gpu_of(self.homes[loc2]) != gpu \
+                        and not s.posted.get((node, loc2)):
+                    s.copies.pop((node, loc2), None)
+
+    def _do_store(self, s: _State, n: int, loc: str) -> int:
+        version = s.next_version
+        s.next_version += 1
+        s.wrote[(n, loc)] = version
+        home = self.homes[loc]
+        if n == home:
+            s.mem[loc] = version
+            if self._has_dirs():
+                self._dir_store(s, home, loc, requester=None)
+            return version
+        s.copies[(n, loc)] = version
+        hop = self.first_hop(n, loc)
+        s.posted[(n, loc)] = s.posted.get((n, loc),
+                                          frozenset()) | {version}
+        if self._hier() and hop != home and hop == n:
+            # The writer *is* the GPU home: apply the gpu_home
+            # LocalStore row here, then forward to the system home.
+            if self._has_dirs():
+                self._dir_store_gpu(s, n, loc, requester=None)
+            self._send_store(s, n, home, loc, version, origin=n)
+        else:
+            self._send_store(s, n, hop, loc, version, origin=n)
+        return version
+
+    def _issue_release(self, s: _State, n: int, loc: str, scope: str):
+        version = self._do_store(s, n, loc)
+        if scope == "cta":
+            s.pc[n] += 1
+            return None
+        hops = set()
+        for loc2 in self._written_locs(s, n) | {loc}:
+            hop = self.first_hop(n, loc2)
+            if hop is not None:
+                hops.add(hop)
+        if not hops:
+            s.pc[n] += 1
+            self._enter_fence_phase(s, n, loc, scope, version)
+            return None
+        for hop in sorted(hops):
+            upto = s.sent_stores.get((n, hop), 0)
+            self._send(s, n, hop, "FWB", (n, scope, upto, n))
+        s.pc[n] += 1
+        s.blocked[n] = ("rel_wb", loc, scope, tuple(sorted(hops)),
+                        version)
+        return None
+
+    def _written_locs(self, s: _State, n: int) -> set:
+        return {loc for (node, loc) in s.wrote if node == n}
+
+    def _enter_fence_phase(self, s: _State, n: int, loc: str,
+                           scope: str, version: int) -> None:
+        """Phase 2 of a release: scope-wide (hierarchical) fences."""
+        if self.family in ("swflat", "swhier"):
+            # Software schemes have no invalidations to flush; the
+            # write drain alone completes the release.
+            self._complete_release(s, n, loc, scope, version)
+            return
+        gpu = self.geom.gpu_of(n)
+        targets = []
+        for node in self.geom.nodes:
+            if node != n and self.geom.gpu_of(node) == gpu:
+                targets.append(("FENCE", node))
+        if scope == "sys":
+            written = self._written_locs(s, n) | {loc}
+            for j in range(self.geom.num_gpus):
+                if j == gpu:
+                    continue
+                if self.family == "hier":
+                    ghomes = sorted({
+                        self.ghome(loc2, j) for loc2 in written
+                        if self.geom.gpu_of(self.homes[loc2]) != j
+                    })
+                else:
+                    ghomes = []
+                if ghomes:
+                    direct = [node for node in self.geom.nodes
+                              if self.geom.gpu_of(node) == j
+                              and node not in ghomes]
+                    for g in ghomes:
+                        targets.append(("FENCE_G", g))
+                    # Invalidations to non-home nodes of this GPU only
+                    # ever originate at its GPU homes, whose forwarded
+                    # fences cover them; flat protocols fence directly.
+                    if self.family == "flat":
+                        for node in direct:
+                            targets.append(("FENCE", node))
+                else:
+                    for node in self.geom.nodes:
+                        if self.geom.gpu_of(node) == j:
+                            targets.append(("FENCE", node))
+        if not targets:
+            self._complete_release(s, n, loc, scope, version)
+            return
+        pending = []
+        for fkind, node in targets:
+            self._send(s, n, node, fkind, (n, n))
+            pending.append(node)
+        s.blocked[n] = ("rel_fence", loc, scope,
+                        tuple(sorted(set(pending))), version)
+
+    def _complete_release(self, s: _State, n: int, loc: str, scope: str,
+                          version: int) -> None:
+        s.blocked[n] = None
+        heritage = {}
+        for (node, loc2), v in s.wrote.items():
+            if node == n:
+                heritage[loc2] = max(heritage.get(loc2, 0), v)
+        for (node, loc2), v in s.expected.items():
+            if node == n:
+                heritage[loc2] = max(heritage.get(loc2, 0), v)
+        s.releases = s.releases + (
+            (loc, version, scope, n, tuple(sorted(heritage.items()))),
+        )
+
+    # -- ghost happens-before tracking --------------------------------
+
+    def _record_read(self, s: _State, n: int, loc: str, version: int,
+                     scope: str, acquire: bool):
+        exp = s.expected.get((n, loc))
+        if exp is not None and version < exp:
+            return ModelViolation(
+                "scoped-raw",
+                f"node {n} read v{version} of {loc!r} after "
+                f"synchronizing with a release that published v{exp}",
+            )
+        own = s.wrote.get((n, loc))
+        if own is not None and version < own:
+            return ModelViolation(
+                "own-write-order",
+                f"node {n} read v{version} of {loc!r} below its own "
+                f"write v{own}",
+            )
+        if acquire and scope != "cta":
+            self._adopt_heritage(s, n, loc, version, scope)
+        return None
+
+    def _adopt_heritage(self, s: _State, n: int, loc: str,
+                        version: int, scope: str) -> None:
+        gpu = self.geom.gpu_of(n)
+        for (rloc, rver, rscope, rnode, heritage) in s.releases:
+            if rloc != loc or rver > version:
+                continue
+            rgpu = self.geom.gpu_of(rnode)
+            if rgpu == gpu:
+                ok = rscope in ("gpu", "sys") and scope in ("gpu", "sys")
+            else:
+                ok = rscope == "sys" and scope == "sys"
+            if not ok:
+                continue
+            for loc2, v in heritage:
+                key = (n, loc2)
+                if s.expected.get(key, 0) < v:
+                    s.expected[key] = v
+
+    # -- message delivery ---------------------------------------------
+
+    def _deliver(self, s: _State, src: int, dst: int, msg):
+        _seq, kind, payload, attempts = msg
+        if kind == "LOAD":
+            return self._on_load(s, src, dst, payload)
+        if kind == "STORE":
+            return self._on_store(s, src, dst, payload)
+        if kind == "DATA":
+            return self._on_data(s, src, dst, payload)
+        if kind == "INV":
+            return self._on_inv(s, dst, payload)
+        if kind == "FWB":
+            return self._on_fwb(s, src, dst, payload)
+        if kind == "FWB_ACK":
+            return self._on_ack(s, src, dst, payload, wb=True)
+        if kind in ("FENCE", "FENCE_G"):
+            return self._on_fence(s, dst, kind, payload)
+        if kind == "FACK":
+            return self._on_ack(s, src, dst, payload, wb=False)
+        raise ValueError(f"unknown message kind {kind!r}")
+
+    def _on_load(self, s: _State, src: int, dst: int, payload):
+        loc, requester, scope, reqseq = payload
+        home = self.homes[loc]
+        if dst != home:
+            # HMG GPU home: serve gpu-or-narrower hits, else forward.
+            copy = s.copies.get((dst, loc))
+            if scope in ("cta", "gpu") and copy is not None:
+                if self._has_dirs():
+                    self._dir_add(s, dst, loc,
+                                  ("m", self.geom.gpm_of(requester)))
+                self._send(s, dst, requester, "DATA",
+                           (loc, copy, requester, reqseq))
+            else:
+                self._send(s, dst, home, "LOAD", payload)
+            return None
+        version = s.mem[loc]
+        if self._has_dirs():
+            self._dir_add(s, home, loc, self._sharer_tag(home, requester))
+        if self._hier() \
+                and self.geom.gpu_of(requester) != self.geom.gpu_of(home):
+            g = self.ghome(loc, self.geom.gpu_of(requester))
+            self._send(s, home, g, "DATA", (loc, version, requester,
+                                            reqseq))
+        else:
+            self._send(s, home, requester, "DATA",
+                       (loc, version, requester, reqseq))
+        return None
+
+    def _sharer_tag(self, home: int, requester: int):
+        if self.family == "flat":
+            return ("n", requester)
+        if self.geom.gpu_of(requester) == self.geom.gpu_of(home):
+            return ("m", self.geom.gpm_of(requester))
+        return ("g", self.geom.gpu_of(requester))
+
+    def _on_store(self, s: _State, src: int, dst: int, payload):
+        loc, version, origin, idx = payload
+        got = s.recv_stores.get((src, dst), frozenset())
+        s.recv_stores[(src, dst)] = got | {idx}
+        home = self.homes[loc]
+        if dst != home:
+            # HMG GPU home hop: fill, apply the gpu_home row, forward.
+            if s.copies.get((dst, loc), -1) < version:
+                s.copies[(dst, loc)] = version
+            if self._has_dirs():
+                self._dir_store_gpu(s, dst, loc, requester=origin)
+            self._send_store(s, dst, home, loc, version, origin)
+            return None
+        if s.mem[loc] < version:
+            s.mem[loc] = version
+        pend = s.posted.get((origin, loc))
+        if pend and version in pend:
+            pend = pend - {version}
+            if pend:
+                s.posted[(origin, loc)] = pend
+            else:
+                del s.posted[(origin, loc)]
+        if self._has_dirs():
+            self._dir_store(s, home, loc, requester=origin)
+        return None
+
+    def _on_data(self, s: _State, src: int, dst: int, payload):
+        loc, version, requester, reqseq = payload
+        if dst != requester:
+            # HMG GPU home fill on the response path (FIFO ordering
+            # with any subsequent invalidation keeps this safe).
+            s.copies[(dst, loc)] = version
+            if self._has_dirs():
+                self._dir_add(s, dst, loc,
+                              ("m", self.geom.gpm_of(requester)))
+            self._send(s, dst, requester, "DATA", payload)
+            return None
+        blocked = s.blocked[dst]
+        if not blocked or blocked[0] != "load" or blocked[1] != loc \
+                or reqseq not in blocked[3]:
+            return None  # stale response to a completed request
+        _kind, _loc, scope, _seqs, acquire = blocked
+        s.copies[(dst, loc)] = version
+        s.blocked[dst] = None
+        s.pc[dst] += 1
+        return self._record_read(s, dst, loc, version, scope, acquire)
+
+    def _on_inv(self, s: _State, dst: int, payload):
+        (loc,) = payload
+        s.copies.pop((dst, loc), None)
+        if self.family != "hier":
+            return None
+        home = self.homes[loc]
+        if dst == home or dst != self.ghome(loc, self.geom.gpu_of(dst)):
+            return None
+        # Table I, gpu_home x Inv: drop the copy, forward to the local
+        # GPM sharers, clear the entry.  (An empty or already-evicted
+        # sharer set simply forwards to nobody.)
+        sharers = s.dirs.get((dst, loc), frozenset())
+        row = find_row("hmg", "gpu_home", "V" if sharers else "I", "Inv")
+        if self.opts.mutate != "drop_peer_fanout" \
+                and "fwd_inv_local" in (row.actions if row else ()):
+            gpu = self.geom.gpu_of(dst)
+            for tag in sorted(sharers):
+                if tag[0] == "m":
+                    self._send(s, dst, self.geom.flat(gpu, tag[1]),
+                               "INV", (loc,))
+        if sharers:
+            del s.dirs[(dst, loc)]
+        return None
+
+    def _on_fwb(self, s: _State, src: int, dst: int, payload):
+        releaser, scope, _upto, ack_to = payload
+        onward = []
+        if scope == "sys" and self._hier():
+            for (s2, d2), count in sorted(s.sent_stores.items()):
+                if s2 == dst and count > 0 and d2 != dst:
+                    onward.append(d2)
+        if onward:
+            for d2 in onward:
+                upto = s.sent_stores.get((dst, d2), 0)
+                self._send(s, dst, d2, "FWB", (releaser, scope, upto,
+                                               dst))
+            s.agg[("wb", dst, releaser)] = frozenset(onward)
+        else:
+            self._send(s, dst, ack_to, "FWB_ACK", (releaser,))
+        return None
+
+    def _on_fence(self, s: _State, dst: int, kind: str, payload):
+        releaser, ack_to = payload
+        if kind == "FENCE":
+            self._send(s, dst, ack_to, "FACK", (releaser,))
+            return None
+        # FENCE_G: the GPU home forwards the fence to its local GPMs
+        # and acks upward once they all acked (hierarchical sweep).
+        gpu = self.geom.gpu_of(dst)
+        local = [n for n in self.geom.nodes
+                 if self.geom.gpu_of(n) == gpu and n != dst]
+        if not local:
+            self._send(s, dst, releaser, "FACK", (releaser,))
+            return None
+        for n in local:
+            self._send(s, dst, n, "FENCE", (releaser, dst))
+        s.agg[("f", dst, releaser)] = frozenset(local)
+        return None
+
+    def _on_ack(self, s: _State, src: int, dst: int, payload,
+                wb: bool):
+        (releaser,) = payload
+        if dst != releaser:
+            # An aggregating GPU home collecting forwarded acks.
+            key = ("wb" if wb else "f", dst, releaser)
+            pending = s.agg.get(key)
+            if pending is None:
+                return None
+            pending = pending - {src}
+            if pending:
+                s.agg[key] = pending
+                return None
+            del s.agg[key]
+            self._send(s, dst, releaser,
+                       "FWB_ACK" if wb else "FACK", (releaser,))
+            return None
+        blocked = s.blocked[dst]
+        if not blocked:
+            return None
+        if wb and blocked[0] == "rel_wb":
+            _k, loc, scope, pending, version = blocked
+            pending = tuple(x for x in pending if x != src)
+            if pending:
+                s.blocked[dst] = ("rel_wb", loc, scope, pending, version)
+            else:
+                s.blocked[dst] = None
+                self._enter_fence_phase(s, dst, loc, scope, version)
+            return None
+        if not wb and blocked[0] == "rel_fence":
+            _k, loc, scope, pending, version = blocked
+            pending = tuple(x for x in pending if x != src)
+            if pending:
+                s.blocked[dst] = ("rel_fence", loc, scope, pending,
+                                  version)
+            else:
+                self._complete_release(s, dst, loc, scope, version)
+        return None
+
+    # -- directory updates (Table I) ----------------------------------
+
+    def _dir_add(self, s: _State, node: int, loc: str, tag) -> None:
+        if tag == ("m", self.geom.gpm_of(node)) \
+                and self.family != "flat" \
+                and self.geom.gpu_of(node) * self.geom.gpms_per_gpu \
+                + tag[1] == node:
+            return  # a home never tracks itself
+        if self.family == "flat" and tag == ("n", node):
+            return
+        cur = s.dirs.get((node, loc), frozenset())
+        s.dirs[(node, loc)] = cur | {tag}
+
+    def _dir_store(self, s: _State, home: int, loc: str,
+                   requester: Optional[int]) -> None:
+        """Apply the (sys-)home store row: invalidate the other
+        sharers; a remote requester stays/becomes a sharer, a local
+        store leaves the entry invalid."""
+        sharers = s.dirs.get((home, loc), frozenset())
+        state = "V" if sharers else "I"
+        event = "LocalStore" if requester is None else "RemoteStore"
+        level = "sys_home" if self.family == "hier" else "home"
+        row = find_row(self.table_protocol, level, state, event)
+        if row is None:
+            return
+        keep = None
+        if requester is not None:
+            keep = self._sharer_tag(home, requester)
+        new = frozenset()
+        skip_inv = self.opts.mutate == "skip_inv_others"
+        for act in row.actions:
+            if act in ("inv_others", "inv_all"):
+                if skip_inv:
+                    continue
+                for tag in sorted(sharers):
+                    if act == "inv_others" and tag == keep:
+                        continue
+                    self._send_inv_for_tag(s, home, loc, tag)
+            elif act == "add_requester" and keep is not None:
+                new = new | {keep}
+        if new:
+            s.dirs[(home, loc)] = new
+        else:
+            s.dirs.pop((home, loc), None)
+
+    def _dir_store_gpu(self, s: _State, ghome: int, loc: str,
+                       requester: Optional[int]) -> None:
+        """Apply the gpu_home store row at an HMG GPU home."""
+        sharers = s.dirs.get((ghome, loc), frozenset())
+        state = "V" if sharers else "I"
+        event = "LocalStore" if requester is None else "RemoteStore"
+        row = find_row("hmg", "gpu_home", state, event)
+        if row is None:
+            return
+        keep = None
+        if requester is not None:
+            keep = ("m", self.geom.gpm_of(requester))
+        gpu = self.geom.gpu_of(ghome)
+        new = frozenset()
+        skip_inv = self.opts.mutate == "skip_inv_others"
+        for act in row.actions:
+            if act in ("inv_others", "inv_all"):
+                if skip_inv:
+                    continue
+                for tag in sorted(sharers):
+                    if act == "inv_others" and tag == keep:
+                        continue
+                    self._send(s, ghome, self.geom.flat(gpu, tag[1]),
+                               "INV", (loc,))
+            elif act == "add_requester" and keep is not None:
+                new = new | {keep}
+        if new:
+            s.dirs[(ghome, loc)] = new
+        else:
+            s.dirs.pop((ghome, loc), None)
+
+    def _send_inv_for_tag(self, s: _State, home: int, loc: str,
+                          tag) -> None:
+        if tag[0] == "n":
+            self._send(s, home, tag[1], "INV", (loc,))
+        elif tag[0] == "m":
+            gpu = self.geom.gpu_of(home)
+            self._send(s, home, self.geom.flat(gpu, tag[1]), "INV",
+                       (loc,))
+        else:  # ("g", j): the hierarchical leg via the peer GPU home
+            self._send(s, home, self.ghome(loc, tag[1]), "INV", (loc,))
+
+    def _dir_replace(self, s: _State, node: int, loc: str) -> None:
+        """Table I Replace: evicting a valid entry invalidates every
+        sharer (the only way a no-ack directory can forget safely)."""
+        sharers = s.dirs.get((node, loc), frozenset())
+        home = self.homes[loc]
+        for tag in sorted(sharers):
+            if node == home:
+                self._send_inv_for_tag(s, node, loc, tag)
+            else:
+                gpu = self.geom.gpu_of(node)
+                self._send(s, node, self.geom.flat(gpu, tag[1]), "INV",
+                           (loc,))
+        s.dirs.pop((node, loc), None)
+
+    # ------------------------------------------------------------------
+    # State invariants (DESIGN.md §6)
+    # ------------------------------------------------------------------
+
+    def _check_state(self, s: _State) -> Optional[ModelViolation]:
+        if not self._has_dirs():
+            return None
+        v = self._check_encoding(s)
+        if v is not None:
+            return v
+        return self._check_copies(s)
+
+    def _inflight(self, s: _State):
+        for (src, dst), chan in s.channels.items():
+            for msg in chan:
+                yield src, dst, msg[1], msg[2]
+
+    def _check_copies(self, s: _State) -> Optional[ModelViolation]:
+        inflight = list(self._inflight(s))
+        for (n, loc), version in sorted(s.copies.items()):
+            home = self.homes[loc]
+            if n == home:
+                continue
+            if s.posted.get((n, loc)):
+                continue  # the holder's own write-through is in flight
+            covered = self._covered(s, n, loc)
+            condemned = self._condemned(s, inflight, n, loc)
+            writing = any(
+                k == "STORE" and p[0] == loc
+                and self.geom.gpu_of(p[2]) == self.geom.gpu_of(n)
+                for (_s2, _d2, k, p) in inflight
+            ) or any(
+                mk == "STORE" and p[0] == loc
+                and self.geom.gpu_of(p[2]) == self.geom.gpu_of(n)
+                for (_s2, _d2, mk, p, _a) in s.lost
+            )
+            if not (covered or condemned or writing):
+                return ModelViolation(
+                    "directory-coverage",
+                    f"node {n} holds v{version} of {loc!r} but no "
+                    f"directory tracks it and no invalidation or "
+                    f"write-through is in flight",
+                )
+            if version < s.mem[loc] and not condemned and not writing:
+                return ModelViolation(
+                    "swmr-at-scope",
+                    f"node {n} holds stale v{version} of {loc!r} "
+                    f"(home has v{s.mem[loc]}) with no condemning "
+                    f"invalidation in flight",
+                )
+        return None
+
+    def _covered(self, s: _State, n: int, loc: str) -> bool:
+        home = self.homes[loc]
+        if self.family == "flat":
+            return ("n", n) in s.dirs.get((home, loc), frozenset())
+        sys_sharers = s.dirs.get((home, loc), frozenset())
+        if self.geom.gpu_of(n) == self.geom.gpu_of(home):
+            return ("m", self.geom.gpm_of(n)) in sys_sharers
+        if ("g", self.geom.gpu_of(n)) not in sys_sharers:
+            return False
+        g = self.ghome(loc, self.geom.gpu_of(n))
+        if n == g:
+            return True
+        return ("m", self.geom.gpm_of(n)) in s.dirs.get((g, loc),
+                                                        frozenset())
+
+    def _condemned(self, s: _State, inflight, n: int, loc: str) -> bool:
+        g = None
+        if self.family == "hier":
+            gh = self.ghome(loc, self.geom.gpu_of(n))
+            g = gh if gh != n else None
+        for (_src, dst, kind, payload) in inflight:
+            if kind != "INV" or payload[0] != loc:
+                continue
+            if dst == n or (g is not None and dst == g):
+                return True
+        return False
+
+    def _check_encoding(self, s: _State) -> Optional[ModelViolation]:
+        for (node, loc), sharers in sorted(s.dirs.items()):
+            if not sharers:
+                continue
+            home = self.homes[loc]
+            if self.family == "flat":
+                if node != home:
+                    return ModelViolation(
+                        "hierarchical-encoding",
+                        f"non-home node {node} has a directory entry "
+                        f"for {loc!r}",
+                    )
+                for tag in sharers:
+                    if tag[0] != "n" or tag[1] not in self.geom.nodes \
+                            or tag[1] == home:
+                        return ModelViolation(
+                            "hierarchical-encoding",
+                            f"flat home {node} tracks bad sharer "
+                            f"{tag} for {loc!r}",
+                        )
+                continue
+            is_sys = node == home
+            is_ghome = any(
+                node == self.ghome(loc, j) and node != home
+                for j in range(self.geom.num_gpus)
+            )
+            if not (is_sys or is_ghome):
+                return ModelViolation(
+                    "hierarchical-encoding",
+                    f"non-home node {node} has a directory entry for "
+                    f"{loc!r}",
+                )
+            for tag in sharers:
+                if tag[0] == "m":
+                    if not 0 <= tag[1] < self.geom.gpms_per_gpu:
+                        return ModelViolation(
+                            "hierarchical-encoding",
+                            f"directory at {node} tracks out-of-GPU "
+                            f"GPM id {tag[1]} for {loc!r}",
+                        )
+                    gpu = self.geom.gpu_of(node)
+                    if self.geom.flat(gpu, tag[1]) == node:
+                        return ModelViolation(
+                            "hierarchical-encoding",
+                            f"directory at {node} tracks itself for "
+                            f"{loc!r}",
+                        )
+                elif tag[0] == "g":
+                    if not is_sys:
+                        return ModelViolation(
+                            "hierarchical-encoding",
+                            f"GPU home {node} tracks a whole-GPU "
+                            f"sharer {tag} for {loc!r}",
+                        )
+                    if tag[1] == self.geom.gpu_of(node) \
+                            or not 0 <= tag[1] < self.geom.num_gpus:
+                        return ModelViolation(
+                            "hierarchical-encoding",
+                            f"system home {node} tracks bad peer GPU "
+                            f"{tag[1]} for {loc!r}",
+                        )
+                else:
+                    return ModelViolation(
+                        "hierarchical-encoding",
+                        f"directory at {node} holds malformed tag "
+                        f"{tag} for {loc!r}",
+                    )
+        return None
+
+
+# ----------------------------------------------------------------------
+# Exhaustive exploration and schedule replay
+# ----------------------------------------------------------------------
+
+
+def check(protocol: str, geometry: Geometry, program, homes: dict,
+          options: CheckOptions = CheckOptions(),
+          program_name: str = "program",
+          stop_on_violation: bool = True) -> CheckResult:
+    """BFS the machine's reachable states, checking every invariant.
+
+    BFS guarantees the reconstructed counterexample schedule is a
+    *shortest* path to the violation; the fuzzer's shrinker is still
+    applied on top to drop stutter steps.
+    """
+    machine = Machine(protocol, geometry, program, homes, options)
+    result = CheckResult(protocol, geometry, program_name)
+    init = machine.initial()
+    seen = {init.key(): (None, None)}  # key -> (parent key, action)
+    frontier = deque([init])
+    result.states = 1
+    while frontier:
+        state = frontier.popleft()
+        skey = state.key()
+        for action in machine.enabled(state):
+            nxt, violation = machine.apply(state, action)
+            result.transitions += 1
+            if violation is not None:
+                violation.schedule = _path_to(seen, skey) + [list(action)]
+                result.violations.append(violation)
+                if stop_on_violation:
+                    return result
+                continue
+            nkey = nxt.key()
+            if nkey in seen:
+                continue
+            seen[nkey] = (skey, action)
+            result.states += 1
+            if result.states >= options.max_states:
+                result.complete = False
+                return result
+            frontier.append(nxt)
+    return result
+
+
+def _path_to(seen: dict, key) -> list:
+    path = []
+    while True:
+        parent, action = seen[key]
+        if parent is None:
+            break
+        path.append(list(action))
+        key = parent
+    path.reverse()
+    return path
+
+
+def replay(machine: Machine, schedule) -> ReplayResult:
+    """Deterministically re-execute an action schedule.
+
+    Actions are normalized to tuples (JSON round-trips turn them into
+    lists).  A step that is not enabled in the replayed state fails the
+    replay rather than raising.
+    """
+    state = machine.initial()
+    for i, raw in enumerate(schedule):
+        action = tuple(raw)
+        if action not in machine.enabled(state):
+            return ReplayResult(ok=False, failed_at=i)
+        state, violation = machine.apply(state, action)
+        if violation is not None:
+            violation.schedule = [list(a) for a in schedule[:i + 1]]
+            return ReplayResult(ok=True, violation=violation)
+    return ReplayResult(ok=True)

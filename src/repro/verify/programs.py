@@ -1,0 +1,97 @@
+"""Named litmus-sized programs for the model checker.
+
+Each builder takes a :class:`~repro.verify.model.Geometry` and returns
+``(program, homes)``: per-node op tuples (``("ld"|"st"|"acq"|"rel",
+loc, scope)``) plus the location->home map.  Builders pick the widest
+interesting scope for the geometry (``sys`` across GPUs, ``gpu``
+within one) and pin homes so that multi-GPU geometries exercise the
+hierarchical legs: remote locations are homed on the *writer's* node,
+forcing the reader's GPU to route through its GPU home.
+
+All programs are per-location single-writer, which is what makes the
+checker's issue-order version numbers coherence-sound (see
+:mod:`repro.verify.model`).
+"""
+
+from __future__ import annotations
+
+from repro.verify.model import Geometry
+
+
+def _roles(geom: Geometry):
+    """(writer, reader, scope): the two most-distant nodes and the
+    scope that spans them."""
+    nodes = list(geom.nodes)
+    writer, reader = nodes[0], nodes[-1]
+    scope = "sys" if geom.num_gpus > 1 else "gpu"
+    return writer, reader, scope
+
+
+def mp(geom: Geometry):
+    """Message passing: the reader caches stale data, then acquires
+    the flag; a synchronizing acquire must never see the old data.
+    This is the program that catches ``drop_peer_fanout``."""
+    writer, reader, scope = _roles(geom)
+    program = [() for _ in geom.nodes]
+    program[writer] = (("st", "x", "cta"), ("rel", "f", scope))
+    program[reader] = (("ld", "x", "cta"), ("acq", "f", scope),
+                       ("ld", "x", "cta"))
+    homes = {"x": writer, "f": writer}
+    return tuple(program), homes
+
+
+def sb(geom: Geometry):
+    """Store buffering: two writers each store then scoped-load the
+    other's location.  No releases — pure write-race and invalidation
+    interleaving stress."""
+    a, b, scope = _roles(geom)
+    program = [() for _ in geom.nodes]
+    program[a] = (("st", "x", "cta"), ("ld", "y", scope))
+    program[b] = (("st", "y", "cta"), ("ld", "x", scope))
+    homes = {"x": a, "y": b}
+    return tuple(program), homes
+
+
+def share(geom: Geometry):
+    """One writer, every other node a reader, then a second write —
+    maximal sharer-set fan-out when the invalidations go out."""
+    writer, _reader, _scope = _roles(geom)
+    program = []
+    for n in geom.nodes:
+        if n == writer:
+            program.append((("st", "x", "cta"), ("st", "x", "cta")))
+        else:
+            program.append((("ld", "x", "cta"),))
+    homes = {"x": writer}
+    return tuple(program), homes
+
+
+def evict_race(geom: Geometry):
+    """A cached sharer raced against eviction and a remote store.
+    Meant to run with nonzero evict/dir-evict budgets: exercises the
+    Table I Replace row and invalidations arriving at nodes that
+    already evicted (GPU home with an empty local sharer set)."""
+    writer, reader, _scope = _roles(geom)
+    program = [() for _ in geom.nodes]
+    program[writer] = (("st", "x", "cta"),)
+    program[reader] = (("ld", "x", "cta"), ("ld", "x", "cta"))
+    homes = {"x": writer}
+    return tuple(program), homes
+
+
+PROGRAMS = {
+    "mp": mp,
+    "sb": sb,
+    "share": share,
+    "evict_race": evict_race,
+}
+
+
+def build(name: str, geom: Geometry):
+    try:
+        builder = PROGRAMS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown program {name!r}; known: {', '.join(PROGRAMS)}"
+        ) from None
+    return builder(geom)

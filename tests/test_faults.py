@@ -54,9 +54,11 @@ class TestSpecs:
 
 class TestPlans:
     def test_builtin_registry(self):
-        assert set(FAULT_PLANS) == {"none", "degraded", "flaky"}
+        assert set(FAULT_PLANS) == {"none", "degraded", "flaky", "lossy"}
         assert make_fault_plan("none").is_noop
         assert not make_fault_plan("degraded").is_noop
+        assert not make_fault_plan("lossy").is_noop
+        assert make_fault_plan("lossy").message_loss is not None
 
     def test_unknown_plan_lists_known(self):
         with pytest.raises(ValueError, match="degraded"):

@@ -1,0 +1,155 @@
+"""Message-loss recovery: degradation counters, watchdog grace, and
+graceful completion of lossy sweeps (no SimulationStalled)."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.engine.detailed import DetailedEngine, SimulationStalled
+from repro.engine.simulator import simulate
+from repro.engine.stats import DegradationStats
+from repro.faults import make_fault_plan
+from repro.trace.workloads import WORKLOADS
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return SystemConfig.paper_scaled(1 / 64)
+
+
+@pytest.fixture(scope="module")
+def trace(cfg):
+    return list(WORKLOADS["RNN_FW"].generate(cfg, seed=1, ops_scale=0.05))
+
+
+class TestDegradationStats:
+    def test_merge_and_dict(self):
+        a = DegradationStats(retries=2, timeouts=1, dropped_messages=3,
+                             recovered_messages=3)
+        a.merge(DegradationStats(retries=1, timeouts=1))
+        assert a.as_dict() == {"retries": 3, "timeouts": 2,
+                               "dropped_messages": 3,
+                               "recovered_messages": 3}
+
+
+class TestLossyPlan:
+    def test_stall_grace_compounds(self):
+        plan = make_fault_plan("lossy")
+        # (1 + max_retries) for retransmission storms, x2 for the
+        # outage windows that delay them.
+        assert plan.stall_grace() == pytest.approx(
+            (1 + plan.message_loss.max_retries) * 2.0)
+        assert make_fault_plan("none").stall_grace() == 1.0
+
+    def test_final_attempt_always_delivers(self):
+        plan = make_fault_plan("lossy", seed=3)
+        retries = plan.message_loss.max_retries
+        assert not any(plan.message_dropped(i, attempt=retries)
+                       for i in range(500))
+
+
+class TestThroughputEngine:
+    def test_lossy_reports_expected_counters(self, cfg, trace):
+        result = simulate(list(trace), cfg, "hmg",
+                          fault_plan=make_fault_plan("lossy", seed=1))
+        d = result.degradation
+        assert d is not None
+        assert d.dropped_messages > 0
+        assert d.retries > 0 and d.timeouts > 0
+        assert d.recovered_messages <= d.dropped_messages
+
+    def test_counters_deterministic(self, cfg, trace):
+        runs = [
+            simulate(list(trace), cfg, "hmg",
+                     fault_plan=make_fault_plan("lossy", seed=1))
+            for _ in range(2)
+        ]
+        assert runs[0].degradation.as_dict() == \
+            runs[1].degradation.as_dict()
+        assert runs[0].cycles == runs[1].cycles
+
+    def test_retries_expand_traffic_occupancy(self, cfg, trace):
+        plan = make_fault_plan("lossy", seed=1)
+        healthy = simulate(list(trace), cfg, "hmg")
+        lossy = simulate(list(trace), cfg, "hmg", fault_plan=plan)
+        # Retransmitted bytes re-occupy the fabric: busy time scales by
+        # at least the analytic retry expansion (outage windows add
+        # more on top).
+        assert max(lossy.resources.link) >= \
+            plan.retry_expansion() * max(healthy.resources.link) * 0.99
+
+    def test_no_plan_means_no_counters(self, cfg, trace):
+        assert simulate(list(trace), cfg, "hmg").degradation is None
+        assert simulate(
+            list(trace), cfg, "hmg",
+            fault_plan=make_fault_plan("none")).degradation is None
+
+
+class TestDetailedEngine:
+    def test_lossy_run_completes_with_recovery(self, cfg, trace):
+        """The acceptance property: message drops degrade the run —
+        they must not wedge it."""
+        result = simulate(list(trace), cfg, "hmg", engine="detailed",
+                          fault_plan=make_fault_plan("lossy", seed=1))
+        d = result.degradation
+        assert result.ops == len(trace)
+        assert d is not None and d.dropped_messages > 0
+        assert d.retries > 0
+        assert d.retries == d.timeouts  # every expiry retransmits
+        assert d.recovered_messages <= d.dropped_messages
+
+    def test_exact_replay_determinism(self, cfg, trace):
+        runs = [
+            simulate(list(trace), cfg, "hmg", engine="detailed",
+                     fault_plan=make_fault_plan("lossy", seed=4))
+            for _ in range(2)
+        ]
+        assert runs[0].cycles == runs[1].cycles
+        assert runs[0].degradation.as_dict() == \
+            runs[1].degradation.as_dict()
+
+
+class TestWatchdogGrace:
+    """Satellite fix: the watchdog must distinguish a genuine livelock
+    from a degraded-but-advancing run under a fault plan."""
+
+    def test_budget_scales_by_stall_grace(self, cfg, trace):
+        plan = make_fault_plan("lossy", seed=1)
+        engine = DetailedEngine(cfg, fault_plan=plan, watchdog_limit=10)
+        with pytest.raises(SimulationStalled) as excinfo:
+            engine.simulate(list(trace), "hmg")
+        stall = excinfo.value
+        # Without the grace multiplier the trip point would be ~10
+        # events; with it the budget is 10 x stall_grace() = 100.
+        assert stall.processed >= 10 * plan.stall_grace()
+        assert stall.fault_plan == "lossy"
+        assert "lossy" in str(stall)
+
+    def test_stall_without_plan_names_no_plan(self, cfg, trace):
+        engine = DetailedEngine(cfg, watchdog_limit=10)
+        with pytest.raises(SimulationStalled) as excinfo:
+            engine.simulate(list(trace), "hmg")
+        assert excinfo.value.fault_plan is None
+
+    def test_lossy_default_watchdog_never_trips(self, cfg, trace):
+        # Retry storms count as events; the grace keeps the default
+        # budget ahead of them.
+        result = DetailedEngine(
+            cfg, fault_plan=make_fault_plan("lossy", seed=2)
+        ).simulate(list(trace), "hmg")
+        assert result.ops == len(trace)
+
+
+class TestFaultsExperiment:
+    def test_lossy_arm_completes_with_counters(self, cfg):
+        from repro.experiments.faults import faults
+        from repro.experiments.runner import ExperimentContext
+
+        ctx = ExperimentContext(cfg, seed=1, ops_scale=0.02,
+                                workloads=["RNN_FW"])
+        result = faults(ctx, plan_names=("none", "lossy"),
+                        protocols=("nhcc", "hmg"))
+        assert "lossy" in result.data["plans"]
+        totals = result.data["degradation"]["lossy"]
+        assert totals["retries"] > 0
+        assert totals["recovered_messages"] > 0
+        assert "Message-loss recovery" in result.text

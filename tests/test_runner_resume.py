@@ -178,9 +178,11 @@ class TestFaultsExperiment:
         from repro.experiments.faults import faults
         ctx = ExperimentContext(CFG, **QUICK)
         result = faults(ctx)
-        assert result.data["plans"] == ["none", "degraded", "flaky"]
+        arms = ["none", "degraded", "flaky", "lossy"]
+        assert result.data["plans"] == arms
         for protocol in ("nhcc", "hmg", "ideal"):
-            assert set(result.data["series"][protocol]) \
-                == {"none", "degraded", "flaky"}
+            assert set(result.data["series"][protocol]) == set(arms)
             for value in result.data["series"][protocol].values():
                 assert value > 0
+        # The lossy arm reports recovery counters alongside speedups.
+        assert result.data["degradation"]["lossy"]["retries"] > 0

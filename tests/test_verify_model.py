@@ -1,0 +1,142 @@
+"""Bounded model checker: exhaustive exploration, adversary budgets,
+counterexample reconstruction, and mutation catching."""
+
+import pytest
+
+from repro.verify.model import (
+    FAMILIES,
+    MUTATIONS,
+    CheckOptions,
+    Geometry,
+    Machine,
+    check,
+    replay,
+)
+from repro.verify.programs import PROGRAMS, build
+
+G12 = Geometry(1, 2)
+G22 = Geometry(2, 2)
+
+
+class TestGeometry:
+    def test_parse_round_trip(self):
+        for text in ("1x2", "2x2", "2x1"):
+            assert str(Geometry.parse(text)) == text
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError, match="geometry"):
+            Geometry.parse("two-by-two")
+
+    def test_node_numbering(self):
+        g = Geometry(2, 2)
+        assert list(g.nodes) == [0, 1, 2, 3]
+        assert g.gpu_of(3) == 1 and g.gpm_of(3) == 1
+        assert g.flat(1, 1) == 3
+
+    def test_unknown_mutation_rejected(self):
+        with pytest.raises(ValueError, match="mutation"):
+            CheckOptions(mutate="make_it_wrong")
+        for name in MUTATIONS:
+            CheckOptions(mutate=name)  # must not raise
+
+
+class TestExhaustiveClean:
+    """Every protocol family passes every invariant at every reachable
+    state of every litmus-shaped program on the small geometry."""
+
+    @pytest.mark.parametrize("protocol", sorted(FAMILIES))
+    @pytest.mark.parametrize("program_name", sorted(PROGRAMS))
+    def test_all_protocols_1x2(self, protocol, program_name):
+        program, homes = build(program_name, G12)
+        result = check(protocol, G12, program, homes,
+                       program_name=program_name)
+        assert result.complete, "state space should be exhausted"
+        assert result.ok, str(result.violations[0]) if \
+            result.violations else None
+        assert result.states > 0 and result.transitions > 0
+
+    @pytest.mark.parametrize("protocol", ("nhcc", "hmg"))
+    def test_hierarchy_crossing_2x2(self, protocol):
+        program, homes = build("mp", G22)
+        result = check(protocol, G22, program, homes, program_name="mp")
+        assert result.complete and result.ok
+
+    @pytest.mark.parametrize("protocol", ("nhcc", "hmg"))
+    def test_adversary_budgets_1x2(self, protocol):
+        """Duplication, loss+retry, cache and directory evictions —
+        the full adversary — must not shake out a violation."""
+        options = CheckOptions(dup_budget=1, drop_budget=1,
+                               evict_budget=1, dir_evict_budget=1)
+        program, homes = build("mp", G12)
+        result = check(protocol, G12, program, homes, options,
+                       program_name="mp")
+        assert result.complete and result.ok
+
+    def test_max_states_truncates_gracefully(self):
+        program, homes = build("mp", G22)
+        result = check("hmg", G22, program, homes,
+                       CheckOptions(max_states=50), program_name="mp")
+        assert not result.complete
+        assert result.ok  # no violation within the explored prefix
+        assert result.states <= 50
+
+
+class TestMutationCatching:
+    """The checker's reason to exist: seeded bugs must be caught with a
+    short, replayable counterexample."""
+
+    def test_drop_peer_fanout_caught_on_2x2(self):
+        options = CheckOptions(mutate="drop_peer_fanout")
+        program, homes = build("mp", G22)
+        result = check("hmg", G22, program, homes, options,
+                       program_name="mp")
+        assert not result.ok
+        violation = result.violations[0]
+        assert violation.invariant == "directory-coverage"
+        # BFS yields a shortest path; the acceptance bound is 12 steps.
+        assert 0 < len(violation.schedule) <= 12
+
+    def test_counterexample_replays(self):
+        options = CheckOptions(mutate="drop_peer_fanout")
+        program, homes = build("mp", G22)
+        result = check("hmg", G22, program, homes, options,
+                       program_name="mp")
+        machine = Machine("hmg", G22, program, homes, options)
+        outcome = replay(machine, result.violations[0].schedule)
+        assert outcome.ok
+        assert outcome.violation is not None
+        assert outcome.violation.invariant == "directory-coverage"
+
+    def test_counterexample_needs_the_mutation(self):
+        """The same schedule on the unmutated machine is violation-free
+        (the bug is in the protocol, not the checker)."""
+        options = CheckOptions(mutate="drop_peer_fanout")
+        program, homes = build("mp", G22)
+        result = check("hmg", G22, program, homes, options,
+                       program_name="mp")
+        healthy = Machine("hmg", G22, program, homes, CheckOptions())
+        outcome = replay(healthy, result.violations[0].schedule)
+        assert outcome.violation is None
+
+    def test_skip_inv_others_caught_flat(self):
+        options = CheckOptions(mutate="skip_inv_others")
+        program, homes = build("share", G12)
+        result = check("nhcc", G12, program, homes, options,
+                       program_name="share")
+        assert not result.ok
+        assert result.violations[0].invariant == "directory-coverage"
+
+
+class TestReplay:
+    def test_disabled_step_fails_without_raising(self):
+        program, homes = build("mp", G12)
+        machine = Machine("hmg", G12, program, homes, CheckOptions())
+        outcome = replay(machine, [("deliver", 0, 1)])
+        assert not outcome.ok
+        assert outcome.failed_at == 0
+
+    def test_json_style_list_actions_accepted(self):
+        program, homes = build("mp", G12)
+        machine = Machine("hmg", G12, program, homes, CheckOptions())
+        outcome = replay(machine, [["issue", 0]])
+        assert outcome.ok and outcome.violation is None

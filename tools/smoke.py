@@ -9,8 +9,11 @@ exercises in isolation also compose:
 2. the sanitizer's runtime overhead, reported (not asserted — CI boxes
    are noisy; the acceptance bound is checked in EXPERIMENTS.md runs);
 3. one faulted cell per built-in plan, on both engines, with the
-   flaky plan verified to be deterministic across replays;
-4. a journaled mini-sweep plus a --resume pass that must replay it.
+   flaky plan verified to be deterministic across replays and the
+   lossy plan completing with recovery counters instead of a stall;
+4. a journaled mini-sweep plus a --resume pass that must replay it;
+5. a verification mini-gate: exhaustive model check of one geometry,
+   one litmus combination, and the mutation catch.
 """
 
 from __future__ import annotations
@@ -52,14 +55,22 @@ def main() -> int:
     print(f"smoke: sanitizer overhead {san_s / max(base_s, 1e-9):.2f}x "
           f"({base_s * 1e3:.0f}ms -> {san_s * 1e3:.0f}ms)")
 
-    # 3: every built-in plan on both engines; flaky replay determinism.
-    for plan_name in ("none", "degraded", "flaky"):
+    # 3: every built-in plan on both engines; flaky replay determinism;
+    # lossy recovery counters.
+    for plan_name in ("none", "degraded", "flaky", "lossy"):
         plan = make_fault_plan(plan_name, seed=1)
         tp = simulate(list(trace), cfg, "hmg", fault_plan=plan)
         det = simulate(list(trace), cfg, "hmg", engine="detailed",
                        fault_plan=plan)
         print(f"smoke: plan {plan_name:8s} throughput {tp.cycles:10.1f}cy "
               f"detailed {det.cycles:10.1f}cy")
+        if plan_name == "lossy":
+            for r in (tp, det):
+                d = r.degradation
+                assert d is not None and d.retries > 0, \
+                    "lossy plan produced no recovery counters"
+            print(f"smoke: lossy recovery detailed "
+                  f"{det.degradation.as_dict()}")
     a = simulate(list(trace), cfg, "hmg", engine="detailed",
                  fault_plan=make_fault_plan("flaky", seed=9))
     b = simulate(list(trace), cfg, "hmg", engine="detailed",
@@ -76,6 +87,18 @@ def main() -> int:
         assert cli.main(args) == 0, "faults experiment failed"
         assert cli.main(args + ["--resume"]) == 0, "resume failed"
     print("smoke: journal + resume ok")
+
+    # 5: verification mini-gate via the same CLI dispatch CI uses.
+    assert cli.main(["verify", "check", "--protocol", "hmg",
+                     "--geometry", "1x2"]) == 0, "model check failed"
+    assert cli.main(["verify", "litmus", "--shape", "mp",
+                     "--scope", "sys", "--protocol", "hmg"]) == 0, \
+        "litmus failed"
+    assert cli.main(["verify", "check", "--protocol", "hmg",
+                     "--geometry", "2x2", "--program", "mp",
+                     "--mutate", "drop_peer_fanout"]) == 1, \
+        "mutated HMG escaped the model checker"
+    print("smoke: verification gate ok (mutation caught)")
     print("smoke: PASS")
     return 0
 
