@@ -48,18 +48,26 @@ class HMGProtocol(CoherenceProtocol):
         directory = self.dirs[self.flat(ghome)]
         entry = directory.lookup(sector, touch=False)
         if entry is not None:
+            forwarded = 0
             for sharer in sorted(entry.sharers):
                 # Entries at a non-owner GPU home only track local GPMs.
                 target = NodeId(gpu, sharer.index)
                 self.send(MsgType.INVALIDATION, ghome, target, sector)
                 dropped += self._drop_sector_lines(target, sector)
+                forwarded += 1
             directory.invalidate(sector)
+            tracer = self.tracer
+            if tracer.enabled and forwarded:
+                # Table I's HMG-only transition: the peer GPU home
+                # forwards an arriving invalidation to its GPM sharers.
+                tracer.fanout(ghome, forwarded, dropped, "forward")
         return dropped
 
     def _inv_sharers(self, home: NodeId, entry: DirectoryEntry,
                      keep: Sharer = None, cause: str = "store") -> int:
         """Hierarchically invalidate every sharer except ``keep``."""
         dropped = 0
+        fanned = 0
         for sharer in sorted(entry.sharers):
             if keep is not None and sharer == keep:
                 continue
@@ -69,13 +77,18 @@ class HMGProtocol(CoherenceProtocol):
                     continue
                 self.send(MsgType.INVALIDATION, home, target, entry.sector)
                 dropped += self._drop_sector_lines(target, entry.sector)
+                fanned += 1
             else:
                 dropped += self._inv_gpu_sharer(home, sharer.index,
                                                 entry.sector)
+                fanned += 1
         if cause == "store":
             self.stats.lines_inv_by_store += dropped
         else:
             self.stats.lines_inv_by_dir_evict += dropped
+        tracer = self.tracer
+        if tracer.enabled and fanned:
+            tracer.fanout(home, fanned, dropped, cause)
         return dropped
 
     def _dir_allocate(self, home: NodeId, sector: int) -> DirectoryEntry:

@@ -53,6 +53,7 @@ class NHCCProtocol(CoherenceProtocol):
         Returns the number of cache lines actually dropped.
         """
         dropped = 0
+        fanned = 0
         for sharer in sorted(entry.sharers):
             if keep is not None and sharer == keep:
                 continue
@@ -61,10 +62,14 @@ class NHCCProtocol(CoherenceProtocol):
                 continue
             self.send(MsgType.INVALIDATION, home, target, entry.sector)
             dropped += self._drop_sector_lines(target, entry.sector)
+            fanned += 1
         if cause == "store":
             self.stats.lines_inv_by_store += dropped
         else:
             self.stats.lines_inv_by_dir_evict += dropped
+        tracer = self.tracer
+        if tracer.enabled and fanned:
+            tracer.fanout(home, fanned, dropped, cause)
         return dropped
 
     def _dir_allocate(self, home: NodeId, sector: int) -> DirectoryEntry:

@@ -25,6 +25,7 @@ from repro.memsys.address import AddressMap
 from repro.memsys.cache import CacheLine, SetAssociativeCache
 from repro.memsys.dram import DramPartition
 from repro.memsys.page_table import PageTable, make_placement
+from repro.telemetry.tracer import NULL_TRACER
 
 
 class TrafficSink(abc.ABC):
@@ -169,6 +170,12 @@ class CoherenceProtocol(abc.ABC):
                  placement: str = "first_touch"):
         self.cfg = cfg
         self.sink = sink if sink is not None else NullSink()
+        #: Telemetry event sink (:mod:`repro.telemetry.tracer`).  The
+        #: default is the shared no-op tracer whose ``enabled`` flag is
+        #: ``False``; every instrumentation site below guards on that
+        #: flag, so an untraced run pays one attribute load per
+        #: potential event and nothing else.
+        self.tracer = NULL_TRACER
         self.amap = AddressMap.from_config(cfg)
         self.page_table = PageTable(
             cfg.page_size,
@@ -382,6 +389,9 @@ class CoherenceProtocol(abc.ABC):
         downgrade handling."""
         if victim is None:
             return
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.evict("l2", node, victim.line, victim.dirty)
         if victim.dirty:
             home = self.sys_home(victim.line, node)
             if home != node:
@@ -466,6 +476,9 @@ class CoherenceProtocol(abc.ABC):
         node = op.node
         slices = self.l1[node.gpu * self._gpms_per_gpu + node.gpm]
         slices[op.cta % len(slices)].fill(line, version, remote=remote)
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.fill("l1", node, line)
 
     def _l1_store(self, op: MemOp, line: int, version: int,
                   remote: bool) -> None:
@@ -485,6 +498,9 @@ class CoherenceProtocol(abc.ABC):
         for sl in targets:
             dropped += len(sl.invalidate_all())
         self.bulk_invs_per_gpm[flat] += len(targets)
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.bulk_invalidate(node, "l1", dropped)
         return dropped
 
     # ------------------------------------------------------------------

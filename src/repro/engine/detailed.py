@@ -19,6 +19,7 @@ the full sweeps.
 
 from __future__ import annotations
 
+import time
 from collections import deque
 
 from repro.config import SystemConfig
@@ -126,8 +127,18 @@ class DetailedEngine:
     # ------------------------------------------------------------------
 
     def simulate(self, trace, protocol: str, placement: str = "first_touch",
-                 workload_name: str = "trace", sanitizer=None) -> SimResult:
-        """Replay a trace through simulated time under one protocol."""
+                 workload_name: str = "trace", sanitizer=None,
+                 telemetry=None) -> SimResult:
+        """Replay a trace through simulated time under one protocol.
+
+        ``telemetry`` is an optional
+        :class:`repro.telemetry.TelemetrySession`; when present, its
+        tracer receives every message delivery, retransmission,
+        fan-out, cache event and fault window (timestamped in
+        simulated cycles), and its interval sampler bins the run's
+        counters into cycle windows.  ``None`` (the default) leaves
+        the hot loop uninstrumented.
+        """
         cfg = self.cfg
         sink = BufferingSink()
         proto = make_protocol(protocol, cfg, sink=sink, placement=placement)
@@ -183,6 +194,24 @@ class DetailedEngine:
             plan is not None and plan.message_loss is not None
         ) else None
         loss = plan.message_loss if degradation is not None else None
+        # Telemetry wiring.  ``telemetry_on`` guards every per-event
+        # site; with the default None session the loop below is the
+        # same code path as before this subsystem existed.
+        telemetry_on = telemetry is not None
+        tracer = None
+        trace_events = False
+        sampler = None
+        if telemetry_on:
+            tracer = telemetry.active_tracer
+            trace_events = tracer.enabled
+            proto.tracer = tracer
+            sampler = telemetry.sampler
+            if sampler is not None:
+                from repro.telemetry.session import make_detailed_snapshot
+
+                sampler.attach(make_detailed_snapshot(
+                    proto, network, telemetry, degradation
+                ))
         watchdog = self.watchdog_limit
         if watchdog is None:
             watchdog = max(8 * ops, 10_000)
@@ -196,7 +225,7 @@ class DetailedEngine:
             watchdog *= plan.stall_grace()
 
         def deliver_with_retry(issue_time: float, src, dst, size: int,
-                               index: int) -> float:
+                               index: int, mtype=None) -> float:
             """Protocol-level recovery for droppable request messages.
 
             Each attempt arms a timeout (exponential backoff); a drawn
@@ -234,6 +263,9 @@ class DetailedEngine:
                 degradation.timeouts += 1
                 degradation.retries += 1
                 retry_events += 1
+                if trace_events:
+                    tracer.retransmit(mtype, src, dst, size, t_try,
+                                      t_try + timeout, attempt)
                 t_try += timeout
             # Budget exhausted with only late deliveries in flight.
             if was_dropped and best is not None:
@@ -241,6 +273,7 @@ class DetailedEngine:
             return best if best is not None else t_try
 
         end_time = 0.0
+        wall_start = time.perf_counter()
         while len(events):
             if processed + retry_events >= watchdog:
                 raise SimulationStalled(
@@ -253,6 +286,12 @@ class DetailedEngine:
                 )
             _t, flat = events.pop()
             op = queues[flat].popleft()
+            if telemetry_on:
+                # Protocol-side events this op emits stamp at its
+                # dequeue time; the sampler clock follows the queue.
+                tracer.set_time(_t)
+                if sampler is not None:
+                    sampler.tick(_t)
             outcome = proto.process(op)
             if sanitizer is not None:
                 sanitizer.after_op(proto, op, outcome, processed)
@@ -265,13 +304,21 @@ class DetailedEngine:
                 for _mtype, src, dst, size in messages:
                     if loss is not None and _mtype in _DROPPABLE:
                         at = deliver_with_retry(issue_time, src, dst,
-                                                size, msg_index)
+                                                size, msg_index,
+                                                mtype=_mtype)
                         msg_index += 1
                     else:
                         at = network.deliver(issue_time, src, dst, size)
                         if plan is not None:
                             at += plan.message_delay(msg_index)
                             msg_index += 1
+                    if telemetry_on:
+                        # The engine (not the protocol) knows the op's
+                        # scope, so the MsgType x scope tally lives here.
+                        telemetry.tally(_mtype, op.scope)
+                        if trace_events:
+                            tracer.message(_mtype, src, dst, size,
+                                           issue_time, at, scope=op.scope)
                     arrival = max(arrival, at)
                 # L2 port occupancy at the issuing GPM.
                 l2_links[flat].send(issue_time, cfg.line_size)
@@ -341,6 +388,20 @@ class DetailedEngine:
             + [link.free_at for link in network.all_links()]
             + [link.free_at for link in dram_links]
         )
+        if telemetry_on:
+            if sampler is not None:
+                sampler.finish(max(cycles, 1.0))
+            if trace_events and plan is not None:
+                # Fault windows are analytic (period/phase/duration), so
+                # they render as one pass at the end rather than being
+                # tracked during the run.
+                for link in (*network.all_links(), *dram_links, *l2_links):
+                    profile = getattr(link, "fault_profile", None)
+                    if profile is None:
+                        continue
+                    for w0, w1, factor in profile.windows_between(
+                            0.0, max(cycles, 1.0)):
+                        tracer.fault_window(link.name, w0, w1, factor)
         resources = self._resource_times(proto, network, dram_links,
                                          l2_links, sms)
         sink_bytes = self._link_bytes(network)
@@ -357,6 +418,7 @@ class DetailedEngine:
             ops=ops,
             link_bytes=sink_bytes,
             xbar_bytes=[x.stats.bytes for x in network.xbars],
+            wall_seconds=time.perf_counter() - wall_start,
             degradation=degradation,
         )
 

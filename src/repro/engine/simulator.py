@@ -34,7 +34,8 @@ ENGINES = ("throughput", "detailed")
 def simulate(trace, cfg: SystemConfig, protocol: str = "hmg",
              engine: str = "throughput", placement: str = "first_touch",
              workload_name: str = "trace", fault_plan=None,
-             sanitize: bool = False, sanitizer=None) -> SimResult:
+             sanitize: bool = False, sanitizer=None,
+             telemetry=None) -> SimResult:
     """Run one trace under one protocol and return its :class:`SimResult`.
 
     ``trace`` must be re-iterable (a list, or a
@@ -45,23 +46,36 @@ def simulate(trace, cfg: SystemConfig, protocol: str = "hmg",
     :class:`~repro.core.sanitizer.CoherenceSanitizer`; pass your own
     via ``sanitizer`` to control sampling or inspect its counters
     afterwards.
+
+    ``telemetry`` is an optional
+    :class:`repro.telemetry.TelemetrySession` collecting trace events,
+    interval samples and message tallies while the run executes.  The
+    default ``None`` keeps both engines on their uninstrumented hot
+    paths.
     """
     if sanitizer is None and sanitize:
         from repro.core.sanitizer import CoherenceSanitizer
 
         sanitizer = CoherenceSanitizer()
     if engine == "throughput":
-        sink = ThroughputSink(cfg.num_gpus)
+        if telemetry is not None:
+            from repro.telemetry.session import TallyingSink
+
+            sink = TallyingSink(cfg.num_gpus, telemetry)
+        else:
+            sink = ThroughputSink(cfg.num_gpus)
         proto = make_protocol(protocol, cfg, sink=sink, placement=placement)
         return ThroughputEngine(cfg, fault_plan=fault_plan).run(
-            proto, trace, workload_name=workload_name, sanitizer=sanitizer
+            proto, trace, workload_name=workload_name, sanitizer=sanitizer,
+            telemetry=telemetry
         )
     if engine == "detailed":
         from repro.engine.detailed import DetailedEngine
 
         return DetailedEngine(cfg, fault_plan=fault_plan).simulate(
             trace, protocol, placement=placement,
-            workload_name=workload_name, sanitizer=sanitizer
+            workload_name=workload_name, sanitizer=sanitizer,
+            telemetry=telemetry
         )
     raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
 

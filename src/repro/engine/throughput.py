@@ -78,8 +78,18 @@ class ThroughputEngine:
         self.fault_plan = fault_plan
 
     def run(self, protocol: CoherenceProtocol, trace,
-            workload_name: str = "trace", sanitizer=None) -> SimResult:
-        """Process every op of ``trace`` (an iterable of MemOp)."""
+            workload_name: str = "trace", sanitizer=None,
+            telemetry=None) -> SimResult:
+        """Process every op of ``trace`` (an iterable of MemOp).
+
+        ``telemetry`` is an optional
+        :class:`repro.telemetry.TelemetrySession`.  The clockless
+        engine samples analytically per phase: the sampler's clock is
+        the op index, and messages trace as zero-duration instants
+        (via :class:`repro.telemetry.session.TallyingSink`, which the
+        simulator front-end installs).  ``None`` keeps the
+        uninstrumented loops below untouched.
+        """
         cfg = self.cfg
         sink = protocol.sink
         if not isinstance(sink, ThroughputSink):
@@ -92,9 +102,21 @@ class ThroughputEngine:
         ops = 0
         # The per-op loop dominates a run's wall clock; bound lookups
         # are hoisted into locals and the sanitizer branch is lifted out
-        # of the loop entirely for plain runs.
+        # of the loop entirely for plain runs.  Telemetry gets its own
+        # loop variant for the same reason: plain runs never test for it.
         process = protocol.process
         gpms_per_gpu = cfg.gpms_per_gpu
+        tracer = sampler = None
+        if telemetry is not None:
+            tracer = telemetry.active_tracer
+            protocol.tracer = tracer
+            sampler = telemetry.sampler
+            if sampler is not None:
+                from repro.telemetry.session import make_throughput_snapshot
+
+                sampler.attach(make_throughput_snapshot(
+                    protocol, sink, telemetry
+                ))
         # The loop allocates millions of short-lived objects (outcomes,
         # cache lines); none of them form cycles, so the cyclic GC's
         # periodic generation scans are pure overhead — pause it for the
@@ -104,7 +126,23 @@ class ThroughputEngine:
             gc.disable()
         start = time.perf_counter()
         try:
-            if sanitizer is None:
+            if telemetry is not None:
+                has_scope = hasattr(sink, "scope")
+                for op in trace:
+                    tracer.set_time(float(ops))
+                    if has_scope:
+                        sink.scope = op.scope
+                    if sampler is not None:
+                        sampler.tick(float(ops))
+                    outcome = process(op)
+                    if sanitizer is not None:
+                        sanitizer.after_op(protocol, op, outcome, ops)
+                    ops += 1
+                    if outcome.exposed:
+                        node = op.node
+                        flat = node.gpu * gpms_per_gpu + node.gpm
+                        stall[flat] += outcome.latency / tolerance
+            elif sanitizer is None:
                 for op in trace:
                     outcome = process(op)
                     ops += 1
@@ -125,6 +163,8 @@ class ThroughputEngine:
             wall_seconds = time.perf_counter() - start
             if gc_was_enabled:
                 gc.enable()
+        if sampler is not None:
+            sampler.finish(float(max(ops, 1)))
 
         resources = self._resource_times(protocol, sink, stall)
         cycles = max(resources.total_cycles(cfg.timing.overlap_tax), 1.0)

@@ -66,6 +66,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="dump any sanitizer violation as a "
                              "replayable repro file in DIR (replay with "
                              "'verify repro run <file>')")
+    parser.add_argument("--telemetry", default=None, metavar="DIR",
+                        help="write per-cell metrics.json manifests, "
+                             "perf.json sidecars and a run.json index "
+                             "into DIR (deterministic: byte-identical "
+                             "for --jobs 1 and --jobs N)")
     parser.add_argument("--journal", default=None, metavar="DIR",
                         help="record completed experiments/cells in DIR "
                              f"(implied '{DEFAULT_JOURNAL}' by --resume)")
@@ -153,6 +158,13 @@ def main(argv=None) -> int:
         from repro.verify.cli import main as verify_main
 
         return verify_main(argv[1:])
+    if argv and argv[0] == "observe":
+        # Single-cell deep observation (full tracing + interval metrics
+        # + markdown report); its own arg structure lives with the
+        # telemetry subsystem.
+        from repro.telemetry.observe import main as observe_main
+
+        return observe_main(argv[1:])
     args = build_parser().parse_args(argv)
     ids = args.experiment
     if ids == ["all"]:
@@ -193,6 +205,8 @@ def main(argv=None) -> int:
         jobs=args.jobs,
         trace_cache=args.trace_cache,
         repro_dir=args.repro_dir,
+        telemetry_dir=args.telemetry,
+        progress=args.jobs > 1,
     )
 
     failures = []
@@ -228,6 +242,24 @@ def main(argv=None) -> int:
 
     if journal is not None:
         journal.close()
+    if args.telemetry is not None:
+        from repro.telemetry.manifest import write_run_manifest
+
+        # The index deliberately omits --jobs and wall times so a
+        # serial and a parallel run of the same sweep write identical
+        # bytes (the perf.json sidecars carry the host-speed story).
+        write_run_manifest(
+            args.telemetry,
+            experiments=ids,
+            settings={
+                "scale": args.scale,
+                "ops_scale": ops_scale,
+                "seed": args.seed,
+                "workloads": args.workloads,
+                "sanitize": args.sanitize,
+            },
+            cells=ctx.manifests_written,
+        )
     if failures:
         failed = ", ".join(experiment_id for experiment_id, _ in failures)
         print(f"{len(failures)} of {len(ids)} experiment(s) failed: "

@@ -28,7 +28,7 @@ Design constraints, in priority order:
 from __future__ import annotations
 
 import hashlib
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -172,9 +172,17 @@ class SweepExecutor:
     #: Cells simulated through this executor (observability/testing).
     cells_run: int = field(default=0, compare=False)
 
-    def run(self, cells):
+    def run(self, cells, progress=None):
         """Simulate ``cells`` (already deduplicated by the caller);
-        returns results in input order."""
+        returns results in input order.
+
+        ``progress`` is an optional
+        :class:`repro.telemetry.progress.SweepProgress`; it is updated
+        as cells *finish* (any order) while results are still returned
+        — and therefore journaled and written as manifests — in
+        submission order, keeping parallel output byte-identical to
+        serial.
+        """
         cells = list(cells)
         self.cells_run += len(cells)
         payloads = [
@@ -183,9 +191,22 @@ class SweepExecutor:
             for cell in cells
         ]
         if self.jobs <= 1 or len(cells) <= 1:
-            return [run_cell(p) for p in payloads]
+            results = []
+            for p in payloads:
+                result = run_cell(p)
+                if progress is not None:
+                    progress.update(result)
+                results.append(result)
+            return results
         workers = min(self.jobs, len(cells))
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            # Executor.map preserves submission order, so downstream
-            # journaling and table assembly see the serial ordering.
-            return list(pool.map(run_cell, payloads))
+            futures = [pool.submit(run_cell, p) for p in payloads]
+            if progress is not None:
+                for future in as_completed(futures):
+                    exc = future.exception()
+                    if exc is None:
+                        progress.update(future.result())
+            # Gathering in submission order keeps downstream journaling
+            # and table assembly on the serial ordering; the first
+            # failure (in that order) propagates, as with Executor.map.
+            return [future.result() for future in futures]

@@ -55,13 +55,20 @@ class ExperimentContext:
     persistent binary trace cache shared by parent and workers;
     ``repro_dir`` names a directory where any sanitizer violation is
     dumped as a replayable repro file
-    (:mod:`repro.verify.reprofile`) before the exception propagates.
+    (:mod:`repro.verify.reprofile`) before the exception propagates;
+    ``telemetry_dir`` names a directory where every completed cell
+    leaves a ``<slug>.metrics.json`` manifest + ``<slug>.perf.json``
+    sidecar (:mod:`repro.telemetry.manifest`) — manifests are written
+    here in the parent, in completion order, so serial and parallel
+    sweeps produce byte-identical files; ``progress`` draws a live
+    stderr line while sweep batches execute.
     """
 
     def __init__(self, cfg: SystemConfig = None, seed: int = 1,
                  ops_scale: float = 1.0, workloads=None,
                  fault_plan=None, sanitize: bool = False, journal=None,
-                 jobs: int = 1, trace_cache=None, repro_dir=None):
+                 jobs: int = 1, trace_cache=None, repro_dir=None,
+                 telemetry_dir=None, progress: bool = False):
         self.cfg = cfg if cfg is not None else SystemConfig.paper_scaled()
         self.seed = seed
         self.ops_scale = ops_scale
@@ -70,6 +77,12 @@ class ExperimentContext:
         self.sanitize = sanitize
         self.journal = journal
         self.repro_dir = repro_dir
+        self.telemetry_dir = telemetry_dir
+        self.progress = progress
+        #: Manifest slugs written under ``telemetry_dir``, in completion
+        #: order (the run-level manifest indexes these).
+        self.manifests_written: list = []
+        self._manifest_slugs: set = set()
         self.jobs = max(1, int(jobs))
         if trace_cache is not None and not hasattr(trace_cache, "load"):
             from repro.trace.cache import TraceCache
@@ -128,6 +141,19 @@ class ExperimentContext:
             self.journal.record_cell(cell.workload, cell.protocol,
                                      cell.cfg, fault_plan=cell.fault_plan,
                                      result=result)
+        if self.telemetry_dir is not None:
+            from repro.telemetry.manifest import write_cell_artifacts
+
+            slug = write_cell_artifacts(
+                self.telemetry_dir, result,
+                workload=cell.workload, protocol=cell.protocol,
+                cfg=cell.cfg, placement=cell.placement,
+                fault_plan=cell.fault_plan, seed=self.seed,
+                ops_scale=self.ops_scale, engine="throughput",
+            )
+            if slug not in self._manifest_slugs:
+                self._manifest_slugs.add(slug)
+                self.manifests_written.append(slug)
 
     def _dump_violation(self, cell: Cell, violation) -> None:
         """Write a replayable trace-kind repro for a sanitizer trip."""
@@ -212,11 +238,20 @@ class ExperimentContext:
                 seen.add(key)
                 fresh.append((cell, key))
 
+        progress = None
+        if self.progress and fresh:
+            from repro.telemetry.progress import SweepProgress
+
+            progress = SweepProgress(len(fresh))
         if fresh:
             if self.jobs > 1:
+                # The kwarg is only passed when live progress is on, so
+                # tests (and subclasses) stubbing ``executor.run(cells)``
+                # keep working.
+                kwargs = {} if progress is None else {"progress": progress}
                 try:
                     results = self._executor.run(
-                        [cell for cell, _ in fresh]
+                        [cell for cell, _ in fresh], **kwargs
                     )
                 except CoherenceViolation as violation:
                     # The worker tagged the violation with its cell
@@ -232,9 +267,13 @@ class ExperimentContext:
                 for (cell, key), result in zip(fresh, results):
                     self._complete(cell, key, result)
             else:
-                for cell, _ in fresh:
+                for cell, key in fresh:
                     self.run(cell.workload, cell.protocol, cell.cfg,
                              cell.placement, cell.fault_plan)
+                    if progress is not None:
+                        progress.update(self._results[key])
+        if progress is not None:
+            progress.close()
         return [self._results[key] for key in keys]
 
     # ------------------------------------------------------------------

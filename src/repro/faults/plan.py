@@ -170,6 +170,26 @@ class LinkFaultProfile:
                 extra += spec.extra_latency
         return factor, extra
 
+    def windows_between(self, t0: float, t1: float) -> list:
+        """Concrete ``(start, end, bandwidth_factor)`` degradation
+        windows overlapping ``[t0, t1)``, clamped to that range and
+        sorted by start — what the telemetry tracer renders as
+        fault-window open/close spans on the link's track."""
+        spans = []
+        for spec, phase in self.windows:
+            # Window k of this spec occupies
+            # [k * period - phase, k * period - phase + duration).
+            k = int((t0 + phase) // spec.period)
+            start = k * spec.period - phase
+            while start < t1:
+                end = start + spec.duration
+                if end > t0:
+                    spans.append((max(start, t0), min(end, t1),
+                                  spec.bandwidth_factor))
+                start += spec.period
+        spans.sort()
+        return spans
+
     def next_available(self, t: float) -> float:
         """Earliest time >= ``t`` at which the link is not in an outage."""
         # Windows can abut; each pass clears at most one, so |windows|+1

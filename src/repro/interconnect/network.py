@@ -67,6 +67,25 @@ class Network:
         """Every link resource (crossbars + both link directions)."""
         return list(self.xbars) + list(self.links_out) + list(self.links_in)
 
+    def telemetry_counters(self) -> dict:
+        """Cumulative per-GPU interconnect counters for the telemetry
+        interval sampler: bytes carried and busy cycles per direction,
+        plus crossbar bytes.  Lists index by GPU, matching the
+        throughput engine's sink layout so both engines' interval
+        series share a schema."""
+        return {
+            "link_out_bytes": [l.stats.bytes for l in self.links_out],
+            "link_in_bytes": [l.stats.bytes for l in self.links_in],
+            "xbar_bytes": [x.stats.bytes for x in self.xbars],
+            "link_out_busy": [l.stats.busy_cycles for l in self.links_out],
+            "link_in_busy": [l.stats.busy_cycles for l in self.links_in],
+            "fault_delay": [
+                self.links_out[g].stats.fault_delay_cycles
+                + self.links_in[g].stats.fault_delay_cycles
+                for g in range(self.cfg.num_gpus)
+            ],
+        }
+
     def reset(self) -> None:
         """Reset every link's backlog and statistics."""
         for link in self.all_links():

@@ -1,0 +1,156 @@
+"""Per-cell run manifests (``<slug>.metrics.json``) and perf sidecars.
+
+Every sweep cell run under ``--telemetry DIR`` leaves a manifest: a
+deterministic JSON digest of the cell's identity (workload, protocol,
+config fingerprint, placement, fault plan) and its results (cycles,
+bottleneck, hit rates, traffic, degradation counters).  Manifests are
+written by the *parent* process in request order regardless of
+``--jobs``, and contain no wall-clock fields, so a serial and a
+parallel sweep produce byte-identical files — the property CI diffs.
+
+Host-performance numbers (``SimResult.wall_seconds`` /
+``ops_per_second``) are inherently nondeterministic, so they live in a
+``<slug>.perf.json`` sidecar next to each manifest: the perf
+trajectory is captured per cell without poisoning the deterministic
+artifact set.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+# NOTE: annotations below reference repro.engine.stats.SimResult, but the
+# import stays out of module scope — the engines import
+# repro.core.protocol, which imports this package for NULL_TRACER.
+
+#: Manifest format version; bump on any key change.
+SCHEMA = 1
+
+
+def _fingerprints(cfg, fault_plan):
+    from repro.experiments.parallel import (config_fingerprint,
+                                            plan_fingerprint)
+
+    return config_fingerprint(cfg), plan_fingerprint(fault_plan)
+
+
+def cell_slug(workload: str, protocol: str, cfg, placement: str,
+              fault_plan=None) -> str:
+    """Filesystem-safe unique name for one sweep cell."""
+    cfg_fp, plan_fp = _fingerprints(cfg, fault_plan)
+    parts = [workload, protocol, cfg_fp[:8], placement]
+    if fault_plan is not None:
+        parts.append(f"{fault_plan.name}-{plan_fp[:8]}")
+    return "-".join(p.replace("/", "_") for p in parts)
+
+
+def cell_manifest(result: SimResult, *, workload: str, protocol: str,
+                  cfg, placement: str = "first_touch", fault_plan=None,
+                  seed: int = None, ops_scale: float = None,
+                  engine: str = "throughput") -> dict:
+    """Deterministic digest of one completed cell."""
+    cfg_fp, plan_fp = _fingerprints(cfg, fault_plan)
+    name, index, cycles = result.resources.bottleneck()
+    return {
+        "schema": SCHEMA,
+        "cell": {
+            "workload": workload,
+            "protocol": protocol,
+            "engine": engine,
+            "placement": placement,
+            "config_fingerprint": cfg_fp,
+            "fault_plan": (
+                {"name": fault_plan.name, "fingerprint": plan_fp}
+                if fault_plan is not None else None
+            ),
+            "seed": seed,
+            "ops_scale": ops_scale,
+        },
+        "platform": {
+            "num_gpus": cfg.num_gpus,
+            "gpms_per_gpu": cfg.gpms_per_gpu,
+        },
+        "time": {
+            "cycles": result.cycles,
+            "seconds": result.seconds,
+            "bottleneck": {"resource": name, "index": index,
+                           "cycles": cycles},
+            "resource_maxima": result.resources.class_maxima(),
+        },
+        "work": {
+            "ops": result.ops,
+            "l1": {"hits": result.l1_stats.hits,
+                   "misses": result.l1_stats.misses,
+                   "hit_rate": result.l1_stats.hit_rate},
+            "l2": {"hits": result.l2_stats.hits,
+                   "misses": result.l2_stats.misses,
+                   "hit_rate": result.l2_stats.hit_rate},
+        },
+        "traffic": {
+            "dram_bytes": result.dram_bytes,
+            "inter_gpu_bytes": result.inter_gpu_bytes,
+            "link_bytes": [list(pair) for pair in result.link_bytes],
+            "xbar_bytes": list(result.xbar_bytes),
+            "messages": {
+                mtype.name: {
+                    "count": result.stats.msg_counts.get(mtype, 0),
+                    "bytes": result.stats.msg_bytes.get(mtype, 0),
+                }
+                for mtype in sorted(result.stats.msg_counts)
+            },
+            "inv_messages": result.stats.inv_messages,
+            "inv_bytes": result.stats.inv_bytes,
+        },
+        "degradation": (result.degradation.as_dict()
+                        if result.degradation is not None else None),
+    }
+
+
+def perf_sidecar(result: SimResult) -> dict:
+    """Host-performance record (nondeterministic by nature)."""
+    return {
+        "schema": SCHEMA,
+        "wall_seconds": result.wall_seconds,
+        "ops_per_second": result.ops_per_second,
+    }
+
+
+def write_json(path, payload: dict) -> None:
+    """Canonical serialization: sorted keys, 2-space indent, newline."""
+    Path(path).write_text(
+        json.dumps(payload, sort_keys=True, indent=2) + "\n"
+    )
+
+
+def write_cell_artifacts(out_dir, result: SimResult, *, workload: str,
+                         protocol: str, cfg, placement: str,
+                         fault_plan=None, seed: int = None,
+                         ops_scale: float = None,
+                         engine: str = "throughput") -> str:
+    """Write ``<slug>.metrics.json`` + ``<slug>.perf.json``; returns slug."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    slug = cell_slug(workload, protocol, cfg, placement, fault_plan)
+    manifest = cell_manifest(
+        result, workload=workload, protocol=protocol, cfg=cfg,
+        placement=placement, fault_plan=fault_plan, seed=seed,
+        ops_scale=ops_scale, engine=engine,
+    )
+    write_json(out / f"{slug}.metrics.json", manifest)
+    write_json(out / f"{slug}.perf.json", perf_sidecar(result))
+    return slug
+
+
+def write_run_manifest(out_dir, *, experiments, settings: dict,
+                       cells: list) -> None:
+    """Sweep-level index: which experiments ran, with what settings,
+    and which cell manifests they produced.  Deliberately excludes
+    wall-clock times and the job count so serial and parallel runs of
+    the same sweep write identical bytes."""
+    write_json(Path(out_dir) / "run.json", {
+        "schema": SCHEMA,
+        "experiments": list(experiments),
+        "settings": settings,
+        "cells": list(cells),
+    })

@@ -1,0 +1,62 @@
+"""Live stderr progress line for parallel sweeps.
+
+Cheap and order-independent: the executor reports completions as they
+happen (any order), the progress line shows cells done, throughput,
+ETA, and the bottleneck class of the most recently finished cell.  On
+a TTY the line redraws in place; on a pipe (CI logs) intermediate
+updates are suppressed and a single summary prints at close, so
+captured output stays small and deterministic runs stay diffable
+(progress goes to stderr only — stdout is untouched).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+
+class SweepProgress:
+    """Tracks and renders completion of a batch of sweep cells."""
+
+    def __init__(self, total: int, stream=None, clock=time.monotonic):
+        self.total = total
+        self.stream = stream if stream is not None else sys.stderr
+        self.clock = clock
+        self.start = clock()
+        self.done = 0
+        self.last_bottleneck = "-"
+        self._live = getattr(self.stream, "isatty", lambda: False)()
+        self._dirty = False
+
+    def update(self, result=None) -> None:
+        """Record one completed cell (with its result, if available)."""
+        self.done += 1
+        if result is not None:
+            self.last_bottleneck = result.resources.bottleneck()[0]
+        if self._live:
+            self.stream.write("\r" + self._line())
+            self.stream.flush()
+            self._dirty = True
+
+    def _line(self) -> str:
+        elapsed = max(self.clock() - self.start, 1e-9)
+        rate = self.done / elapsed
+        remaining = self.total - self.done
+        eta = remaining / rate if rate > 0 else float("inf")
+        return (f"[sweep] {self.done}/{self.total} cells"
+                f" | {rate:.1f} cells/s"
+                f" | ETA {eta:.0f}s"
+                f" | bottleneck {self.last_bottleneck}")
+
+    def close(self) -> None:
+        """Finish the line (TTY) or print the one-shot summary (pipe)."""
+        if self._dirty:
+            self.stream.write("\n")
+        elif self.done:
+            elapsed = self.clock() - self.start
+            self.stream.write(
+                f"[sweep] {self.done}/{self.total} cells in "
+                f"{elapsed:.1f}s | last bottleneck "
+                f"{self.last_bottleneck}\n"
+            )
+        self.stream.flush()

@@ -1,0 +1,183 @@
+"""Markdown report rendered from one cell's telemetry artifacts.
+
+The ``observe`` CLI records a single cell with full tracing and then
+builds this report *from the written artifacts* (the Chrome trace JSON
+and the interval JSONL are re-loaded, proving they round-trip), so the
+report doubles as an end-to-end check of the artifact formats.
+"""
+
+from __future__ import annotations
+
+#: Eight-level block ramp for text sparklines.
+_SPARK = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values) -> str:
+    """Unicode sparkline of a numeric series (empty-safe)."""
+    values = list(values)
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    span = hi - lo
+    if span <= 0:
+        return _SPARK[0] * len(values)
+    return "".join(
+        _SPARK[min(int((v - lo) / span * len(_SPARK)), len(_SPARK) - 1)]
+        for v in values
+    )
+
+
+def _bar(value: float, peak: float, width: int = 24) -> str:
+    if peak <= 0:
+        return ""
+    return "█" * max(1, int(round(value / peak * width)))
+
+
+def _msg_events(trace_doc: dict):
+    for event in trace_doc.get("traceEvents", ()):
+        if event.get("cat") == "msg":
+            yield event
+
+
+def _gpu_of(label: str) -> str:
+    """``gpu0.gpm3`` -> ``gpu0``."""
+    return label.split(".")[0]
+
+
+def top_link_hogs(trace_doc: dict, top: int = 8) -> list:
+    """[(src_gpu, dst_gpu, bytes)] for inter-GPU traffic, descending."""
+    pairs: dict = {}
+    for event in _msg_events(trace_doc):
+        args = event.get("args", {})
+        src, dst = _gpu_of(args.get("src", "?")), _gpu_of(args.get("dst", "?"))
+        if src != dst:
+            key = (src, dst)
+            pairs[key] = pairs.get(key, 0) + args.get("bytes", 0)
+    ranked = sorted(pairs.items(), key=lambda kv: (-kv[1], kv[0]))
+    return [(src, dst, nbytes) for (src, dst), nbytes in ranked[:top]]
+
+
+def fanout_histogram(trace_doc: dict) -> dict:
+    """sharer count -> occurrences, from the recorded fan-out events."""
+    hist: dict = {}
+    for event in trace_doc.get("traceEvents", ()):
+        if event.get("cat") == "fanout":
+            sharers = event.get("args", {}).get("sharers", 0)
+            hist[sharers] = hist.get(sharers, 0) + 1
+    return hist
+
+
+def hit_rate_series(rows) -> tuple:
+    """(l1_rates, l2_rates) per interval bin; bins without accesses
+    repeat the previous value so the curve stays plottable."""
+    l1, l2 = [], []
+    for row in rows:
+        c = row.get("counters", {})
+        for rates, hits_key, miss_key in ((l1, "l1_hits", "l1_misses"),
+                                          (l2, "l2_hits", "l2_misses")):
+            hits = c.get(hits_key, 0)
+            accesses = hits + c.get(miss_key, 0)
+            if accesses > 0:
+                rates.append(hits / accesses)
+            else:
+                rates.append(rates[-1] if rates else 0.0)
+    return l1, l2
+
+
+def render_report(manifest: dict, intervals: list,
+                  trace_doc: dict) -> str:
+    """The full markdown report for one observed cell."""
+    cell = manifest["cell"]
+    t = manifest["time"]
+    work = manifest["work"]
+    lines = [
+        f"# Telemetry report — {cell['workload']} / {cell['protocol']}",
+        "",
+        f"- engine: `{cell['engine']}`, placement: `{cell['placement']}`"
+        f", seed {cell['seed']}, ops_scale {cell['ops_scale']}",
+        f"- fault plan: "
+        f"`{(cell['fault_plan'] or {}).get('name', 'none')}`",
+        f"- cycles: **{t['cycles']:.0f}** "
+        f"(bottleneck `{t['bottleneck']['resource']}"
+        f"[{t['bottleneck']['index']}]`)",
+        f"- ops: {work['ops']}, L1 hit rate "
+        f"{work['l1']['hit_rate']:.3f}, L2 hit rate "
+        f"{work['l2']['hit_rate']:.3f}",
+        f"- inter-GPU bytes: {manifest['traffic']['inter_gpu_bytes']:,}",
+    ]
+    degradation = manifest.get("degradation")
+    if degradation:
+        lines.append(
+            f"- degradation: {degradation['retries']} retries, "
+            f"{degradation['dropped_messages']} drops, "
+            f"{degradation['recovered_messages']} recovered"
+        )
+
+    lines += ["", "## Top link hogs (inter-GPU, by bytes)", ""]
+    hogs = top_link_hogs(trace_doc)
+    if hogs:
+        peak = hogs[0][2]
+        lines.append("| src | dst | bytes | |")
+        lines.append("|-----|-----|------:|---|")
+        for src, dst, nbytes in hogs:
+            lines.append(f"| {src} | {dst} | {nbytes:,} "
+                         f"| `{_bar(nbytes, peak)}` |")
+    else:
+        lines.append("_No inter-GPU messages recorded._")
+
+    lines += ["", "## Invalidation fan-out histogram", ""]
+    hist = fanout_histogram(trace_doc)
+    if hist:
+        peak = max(hist.values())
+        lines.append("| sharers invalidated | fan-outs | |")
+        lines.append("|--------------------:|---------:|---|")
+        for sharers in sorted(hist):
+            lines.append(f"| {sharers} | {hist[sharers]} "
+                         f"| `{_bar(hist[sharers], peak)}` |")
+    else:
+        lines.append("_No invalidation fan-outs recorded "
+                     "(software protocols invalidate in bulk)._")
+
+    lines += ["", "## Hit-rate curves (per interval bin)", ""]
+    if intervals:
+        l1, l2 = hit_rate_series(intervals)
+        unit = intervals[0].get("unit", "cycles")
+        lines.append(f"{len(intervals)} bins of "
+                     f"{intervals[0]['t1'] - intervals[0]['t0']:.0f} "
+                     f"{unit} each")
+        lines.append("")
+        lines.append(f"    L1  {sparkline(l1)}  "
+                     f"({min(l1):.2f}–{max(l1):.2f})")
+        lines.append(f"    L2  {sparkline(l2)}  "
+                     f"({min(l2):.2f}–{max(l2):.2f})")
+    else:
+        lines.append("_No interval samples recorded._")
+
+    lines += ["", "## Message mix (type x scope)", ""]
+    mix: dict = {}
+    for row in intervals:
+        for key, count in row.get("counters", {}).get("messages",
+                                                      {}).items():
+            mix[key] = mix.get(key, 0) + count
+    if mix:
+        peak = max(mix.values())
+        lines.append("| message.scope | count | |")
+        lines.append("|---------------|------:|---|")
+        for key in sorted(mix, key=lambda k: (-mix[k], k)):
+            lines.append(f"| {key} | {mix[key]:,} "
+                         f"| `{_bar(mix[key], peak)}` |")
+    else:
+        lines.append("_No messages recorded._")
+
+    faults = [e for e in trace_doc.get("traceEvents", ())
+              if e.get("cat") == "fault"]
+    if faults:
+        lines += ["", "## Fault windows", "",
+                  f"{len(faults)} degradation window(s) recorded on "
+                  f"{len({e['args']['link'] for e in faults})} link(s)."]
+
+    lines += ["", "---", "",
+              "Open the Chrome trace (`trace.json`) in "
+              "[Perfetto](https://ui.perfetto.dev) or "
+              "`chrome://tracing` to see the event timeline.", ""]
+    return "\n".join(lines)

@@ -1,0 +1,145 @@
+"""One run's telemetry collectors, bundled for the engines.
+
+A :class:`TelemetrySession` is what threads through
+:func:`repro.engine.simulator.simulate` — it carries an optional
+:class:`~repro.telemetry.tracer.ChromeTracer`, an optional
+:class:`~repro.telemetry.interval.IntervalSampler`, and the
+message-type x scope tally both engines feed.  ``None`` anywhere means
+that collector is off; a ``None`` session means telemetry is off
+entirely and the engines run their uninstrumented hot loops.
+"""
+
+from __future__ import annotations
+
+from repro.engine.throughput import ThroughputSink
+from repro.telemetry.interval import IntervalSampler
+from repro.telemetry.tracer import NULL_TRACER, ChromeTracer, Tracer
+
+
+class TelemetrySession:
+    """Collectors for one simulation run."""
+
+    def __init__(self, tracer: Tracer = None,
+                 sampler: IntervalSampler = None):
+        self.tracer = tracer
+        self.sampler = sampler
+        #: Cumulative "MSGTYPE.scope" -> message count, fed by the
+        #: engines (the protocols do not know the scope of the op that
+        #: triggered a message; the engines do).
+        self.msg_scope_counts: dict = {}
+
+    @classmethod
+    def recording(cls, cfg, interval: float = None,
+                  time_unit: str = "cycles") -> "TelemetrySession":
+        """Full recording session: Chrome tracer + interval sampler.
+
+        ``interval`` defaults to 10 000 cycles (detailed engine) or
+        2 048 ops (throughput engine's analytic phases).
+        """
+        if interval is None:
+            interval = 10_000.0 if time_unit == "cycles" else 2_048.0
+        return cls(
+            tracer=ChromeTracer(cfg.gpms_per_gpu, cfg.num_gpus,
+                                time_label=time_unit),
+            sampler=IntervalSampler(interval, time_unit=time_unit),
+        )
+
+    @property
+    def active_tracer(self) -> Tracer:
+        """The tracer to install on a protocol (never ``None``)."""
+        return self.tracer if self.tracer is not None else NULL_TRACER
+
+    def tally(self, mtype, scope) -> None:
+        """Count one message under its type and triggering-op scope."""
+        key = f"{mtype.name}.{scope.name.lower()}" if scope is not None \
+            else mtype.name
+        counts = self.msg_scope_counts
+        counts[key] = counts.get(key, 0) + 1
+
+
+class TallyingSink(ThroughputSink):
+    """ThroughputSink that also feeds a telemetry session.
+
+    Built by :func:`repro.engine.simulator.simulate` instead of the
+    plain sink when a session is attached, so the uninstrumented path
+    never pays for the tally.  The engine sets ``scope`` to the current
+    op's scope before processing it.
+    """
+
+    def __init__(self, num_gpus: int, session: TelemetrySession):
+        super().__init__(num_gpus)
+        self.session = session
+        self.tracer = session.active_tracer
+        self.scope = None
+
+    def send(self, mtype, src, dst, line, size_bytes):
+        ThroughputSink.send(self, mtype, src, dst, line, size_bytes)
+        self.session.tally(mtype, self.scope)
+        tracer = self.tracer
+        if tracer.enabled:
+            # The throughput engine has no delivery times; messages
+            # appear as zero-duration slices at the op-index clock.
+            tracer.message(mtype, src, dst, size_bytes,
+                           tracer.now, tracer.now, scope=self.scope)
+
+
+# ----------------------------------------------------------------------
+# Snapshot builders (what the interval sampler bins)
+# ----------------------------------------------------------------------
+
+
+def _cache_counters(proto) -> dict:
+    l1_hits = l1_misses = 0
+    for slices in proto.l1:
+        for sl in slices:
+            l1_hits += sl.stats.hits
+            l1_misses += sl.stats.misses
+    l2_hits = l2_misses = 0
+    for l2 in proto.l2:
+        l2_hits += l2.stats.hits
+        l2_misses += l2.stats.misses
+    return {
+        "l1_hits": l1_hits, "l1_misses": l1_misses,
+        "l2_hits": l2_hits, "l2_misses": l2_misses,
+    }
+
+
+def _gauges(proto) -> dict:
+    gauges = {}
+    if proto.has_directory:
+        gauges["dir_entries"] = [len(d) for d in proto.dirs]
+    return gauges
+
+
+def make_detailed_snapshot(proto, network, session: TelemetrySession,
+                           degradation=None):
+    """Snapshot closure for the detailed engine: exact per-link counters."""
+
+    def snapshot():
+        counters = _cache_counters(proto)
+        counters.update(network.telemetry_counters())
+        counters["dram_bytes"] = [d.stats.total_bytes for d in proto.dram]
+        counters["messages"] = dict(session.msg_scope_counts)
+        if degradation is not None:
+            counters["retries"] = degradation.retries
+            counters["dropped_messages"] = degradation.dropped_messages
+        return counters, _gauges(proto)
+
+    return snapshot
+
+
+def make_throughput_snapshot(proto, sink: ThroughputSink,
+                             session: TelemetrySession):
+    """Snapshot closure for the throughput engine: analytic per-phase
+    byte totals (the engine has no clock, so phases are op-count bins)."""
+
+    def snapshot():
+        counters = _cache_counters(proto)
+        counters["link_out_bytes"] = list(sink.link_out_bytes)
+        counters["link_in_bytes"] = list(sink.link_in_bytes)
+        counters["xbar_bytes"] = list(sink.xbar_bytes)
+        counters["dram_bytes"] = [d.stats.total_bytes for d in proto.dram]
+        counters["messages"] = dict(session.msg_scope_counts)
+        return counters, _gauges(proto)
+
+    return snapshot

@@ -1,0 +1,279 @@
+"""Structured event tracing with a zero-overhead-when-off contract.
+
+A :class:`Tracer` receives the protocol- and engine-level events one
+simulation produces: message sends/deliveries/retransmissions,
+invalidation fan-outs, cache fills and evictions, and fault-window
+open/close edges.  The default is the :data:`NULL_TRACER` singleton,
+whose ``enabled`` flag is ``False``; every instrumentation site in the
+hot path guards on that flag (one attribute load and branch), so a run
+without telemetry does no event formatting, no allocation, and no
+method dispatch — the contract :mod:`tools.check_perf` enforces.
+
+:class:`ChromeTracer` is the recording implementation.  It collects
+events in memory and exports them as Chrome trace-event JSON (the
+format ``chrome://tracing`` and Perfetto load): one thread track per
+GPM, plus per-GPU link tracks for inter-GPU traffic and crossbars.
+Timestamps are simulated cycles (detailed engine) or trace-op indices
+(throughput engine); either way they are deterministic, so two runs of
+the same cell produce byte-identical traces.
+"""
+
+from __future__ import annotations
+
+import json
+
+#: Synthetic thread ids for the non-GPM tracks of one GPU's process.
+TID_LINK_OUT = 100
+TID_LINK_IN = 101
+TID_XBAR = 102
+#: Per-GPM auxiliary tracks (offset by the GPM index within its GPU).
+TID_DRAM_BASE = 200
+TID_L2_BASE = 300
+
+
+class Tracer:
+    """Event-sink interface; the base class ignores everything.
+
+    ``enabled`` is the hot-path guard: instrumentation sites read it
+    before building event arguments, so a disabled tracer costs one
+    attribute load per *potential* event, not one call.
+    """
+
+    enabled = False
+
+    #: Current timestamp, advanced by the driving engine before each
+    #: trace op is processed; protocol-side events are stamped with it.
+    now = 0.0
+
+    def set_time(self, t: float) -> None:
+        self.now = t
+
+    # -- engine-side events (explicit timestamps) ----------------------
+
+    def message(self, mtype, src, dst, size: int, t0: float, t1: float,
+                scope=None) -> None:
+        """One coherence message in flight from ``t0`` to ``t1``."""
+
+    def retransmit(self, mtype, src, dst, size: int, t0: float,
+                   t1: float, attempt: int) -> None:
+        """One recovery retransmission (lossy fault plans)."""
+
+    def fault_window(self, link_name: str, t0: float, t1: float,
+                     bandwidth_factor: float) -> None:
+        """A fault-plan degradation window on one link."""
+
+    # -- protocol-side events (stamped with ``now``) -------------------
+
+    def fanout(self, home, sharers: int, dropped: int, cause: str,
+               scope=None) -> None:
+        """One invalidation fan-out from a home node."""
+
+    def fill(self, level: str, node, line: int) -> None:
+        """A cache fill at ``level`` ('l1'/'l2') of ``node``."""
+
+    def evict(self, level: str, node, line: int, dirty: bool) -> None:
+        """A cache eviction at ``level`` of ``node``."""
+
+    def bulk_invalidate(self, node, level: str, dropped: int) -> None:
+        """A flash/bulk invalidation (acquire or kernel boundary)."""
+
+    def instant(self, name: str, node, args: dict = None) -> None:
+        """A named instantaneous protocol event at ``now``."""
+
+
+class NullTracer(Tracer):
+    """Explicitly-named no-op tracer (``enabled`` stays ``False``)."""
+
+
+#: Shared default tracer; protocols are born pointing at it.
+NULL_TRACER = NullTracer()
+
+
+class ChromeTracer(Tracer):
+    """Records events and exports Chrome trace-event JSON.
+
+    ``gpms_per_gpu`` maps flat GPM indices and link names onto
+    (pid, tid) tracks: pid is the GPU index, tid the GPM index within
+    it, with synthetic tids for link/crossbar/DRAM/L2 tracks.
+    """
+
+    enabled = True
+
+    def __init__(self, gpms_per_gpu: int, num_gpus: int,
+                 time_label: str = "cycles"):
+        self.gpms_per_gpu = gpms_per_gpu
+        self.num_gpus = num_gpus
+        self.time_label = time_label
+        self.now = 0.0
+        #: Raw event dicts in emission order (pre-sort).
+        self.events: list = []
+        #: Fan-out sharer-count histogram (sharers -> occurrences).
+        self.fanout_hist: dict = {}
+        #: (src_gpu, dst_gpu) -> bytes, for the link-hog report.
+        self.pair_bytes: dict = {}
+
+    # ------------------------------------------------------------------
+    # Track mapping
+    # ------------------------------------------------------------------
+
+    def _node_track(self, node) -> tuple:
+        """(pid, tid) of a GPM's main track."""
+        return node.gpu, node.gpm
+
+    def _link_track(self, link_name: str) -> tuple:
+        """(pid, tid) for a named link resource.
+
+        ``link_out[g]``/``link_in[g]``/``xbar[g]`` index GPUs;
+        ``dram[i]``/``l2[i]`` index flat GPMs.
+        """
+        kind, _, rest = link_name.partition("[")
+        index = int(rest.rstrip("]"))
+        if kind == "link_out":
+            return index, TID_LINK_OUT
+        if kind == "link_in":
+            return index, TID_LINK_IN
+        if kind == "xbar":
+            return index, TID_XBAR
+        gpu, gpm = divmod(index, self.gpms_per_gpu)
+        base = TID_DRAM_BASE if kind == "dram" else TID_L2_BASE
+        return gpu, base + gpm
+
+    # ------------------------------------------------------------------
+    # Event sinks
+    # ------------------------------------------------------------------
+
+    def message(self, mtype, src, dst, size, t0, t1, scope=None):
+        pid, tid = self._node_track(src)
+        self.events.append({
+            "name": mtype.name, "cat": "msg", "ph": "X",
+            "ts": t0, "dur": max(t1 - t0, 0.0), "pid": pid, "tid": tid,
+            "args": {
+                "src": f"gpu{src.gpu}.gpm{src.gpm}",
+                "dst": f"gpu{dst.gpu}.gpm{dst.gpm}",
+                "bytes": size,
+                "scope": scope.name.lower() if scope is not None else None,
+            },
+        })
+        if src.gpu != dst.gpu:
+            key = (src.gpu, dst.gpu)
+            self.pair_bytes[key] = self.pair_bytes.get(key, 0) + size
+
+    def retransmit(self, mtype, src, dst, size, t0, t1, attempt):
+        pid, tid = self._node_track(src)
+        self.events.append({
+            "name": f"retry:{mtype.name}", "cat": "retransmit", "ph": "X",
+            "ts": t0, "dur": max(t1 - t0, 0.0), "pid": pid, "tid": tid,
+            "args": {
+                "dst": f"gpu{dst.gpu}.gpm{dst.gpm}",
+                "bytes": size, "attempt": attempt,
+            },
+        })
+
+    def fault_window(self, link_name, t0, t1, bandwidth_factor):
+        pid, tid = self._link_track(link_name)
+        self.events.append({
+            "name": ("outage" if bandwidth_factor == 0
+                     else f"degraded x{bandwidth_factor:g}"),
+            "cat": "fault", "ph": "X",
+            "ts": t0, "dur": max(t1 - t0, 0.0), "pid": pid, "tid": tid,
+            "args": {"link": link_name,
+                     "bandwidth_factor": bandwidth_factor},
+        })
+
+    def fanout(self, home, sharers, dropped, cause, scope=None):
+        pid, tid = self._node_track(home)
+        self.events.append({
+            "name": f"inv_fanout:{cause}", "cat": "fanout", "ph": "i",
+            "ts": self.now, "pid": pid, "tid": tid, "s": "t",
+            "args": {
+                "sharers": sharers, "lines_dropped": dropped,
+                "scope": scope.name.lower() if scope is not None else None,
+            },
+        })
+        self.fanout_hist[sharers] = self.fanout_hist.get(sharers, 0) + 1
+
+    def fill(self, level, node, line):
+        pid, tid = self._node_track(node)
+        self.events.append({
+            "name": f"{level}_fill", "cat": "cache", "ph": "i",
+            "ts": self.now, "pid": pid, "tid": tid, "s": "t",
+            "args": {"line": line},
+        })
+
+    def evict(self, level, node, line, dirty):
+        pid, tid = self._node_track(node)
+        self.events.append({
+            "name": f"{level}_evict", "cat": "cache", "ph": "i",
+            "ts": self.now, "pid": pid, "tid": tid, "s": "t",
+            "args": {"line": line, "dirty": dirty},
+        })
+
+    def bulk_invalidate(self, node, level, dropped):
+        pid, tid = self._node_track(node)
+        self.events.append({
+            "name": f"{level}_bulk_inv", "cat": "cache", "ph": "i",
+            "ts": self.now, "pid": pid, "tid": tid, "s": "t",
+            "args": {"lines_dropped": dropped},
+        })
+
+    def instant(self, name, node, args=None):
+        pid, tid = self._node_track(node)
+        self.events.append({
+            "name": name, "cat": "protocol", "ph": "i",
+            "ts": self.now, "pid": pid, "tid": tid, "s": "t",
+            "args": args or {},
+        })
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+
+    def _metadata_events(self) -> list:
+        """process/thread name records so Perfetto labels the tracks."""
+        meta = []
+        for gpu in range(self.num_gpus):
+            meta.append({"name": "process_name", "ph": "M", "pid": gpu,
+                         "tid": 0, "args": {"name": f"GPU {gpu}"}})
+            for gpm in range(self.gpms_per_gpu):
+                meta.append({"name": "thread_name", "ph": "M", "pid": gpu,
+                             "tid": gpm, "args": {"name": f"GPM {gpm}"}})
+                meta.append({
+                    "name": "thread_name", "ph": "M", "pid": gpu,
+                    "tid": TID_DRAM_BASE + gpm,
+                    "args": {"name": f"dram[{gpm}]"},
+                })
+                meta.append({
+                    "name": "thread_name", "ph": "M", "pid": gpu,
+                    "tid": TID_L2_BASE + gpm,
+                    "args": {"name": f"l2[{gpm}]"},
+                })
+            for tid, label in ((TID_LINK_OUT, "link out"),
+                               (TID_LINK_IN, "link in"),
+                               (TID_XBAR, "xbar")):
+                meta.append({"name": "thread_name", "ph": "M", "pid": gpu,
+                             "tid": tid, "args": {"name": label}})
+        return meta
+
+    def chrome_trace(self) -> dict:
+        """The full trace document, events sorted per track.
+
+        Sorting by ``(pid, tid, ts)`` guarantees monotonic timestamps
+        within every track regardless of the interleaving the event
+        loop emitted them in (retries and parked deliveries can
+        complete out of issue order).
+        """
+        events = sorted(
+            self.events,
+            key=lambda e: (e["pid"], e["tid"], e["ts"], e.get("dur", 0.0)),
+        )
+        return {
+            "traceEvents": self._metadata_events() + events,
+            "displayTimeUnit": "ms",
+            "otherData": {"time_unit": self.time_label},
+        }
+
+    def write(self, path) -> None:
+        """Serialize the trace document to ``path`` (deterministic)."""
+        with open(path, "w") as fh:
+            json.dump(self.chrome_trace(), fh, sort_keys=True)
+            fh.write("\n")

@@ -1,0 +1,130 @@
+"""The observe CLI: artifact round-trip and report rendering."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments import cli
+from repro.telemetry import observe
+from repro.telemetry.interval import read_jsonl
+from repro.telemetry.report import (
+    fanout_histogram,
+    hit_rate_series,
+    render_report,
+    sparkline,
+    top_link_hogs,
+)
+
+ARGS = ["--workload", "mst", "--protocol", "hmg",
+        "--scale", str(1 / 64), "--ops-scale", "0.05"]
+
+
+@pytest.fixture(scope="module")
+def observed(tmp_path_factory):
+    out = tmp_path_factory.mktemp("observe")
+    rc = observe.main([*ARGS, "--out", str(out)])
+    assert rc == 0
+    return out
+
+
+class TestObserveArtifacts:
+    def test_all_artifacts_written(self, observed):
+        for name in ("trace.json", "intervals.jsonl", "metrics.json",
+                     "perf.json", "report.md"):
+            assert (observed / name).exists(), name
+
+    def test_trace_loads_and_has_events(self, observed):
+        doc = json.loads((observed / "trace.json").read_text())
+        assert doc["otherData"]["time_unit"] == "cycles"
+        cats = {e.get("cat") for e in doc["traceEvents"]}
+        assert "msg" in cats
+
+    def test_intervals_load(self, observed):
+        rows = read_jsonl(observed / "intervals.jsonl")
+        assert rows
+        assert rows[0]["unit"] == "cycles"
+
+    def test_report_sections(self, observed):
+        report = (observed / "report.md").read_text()
+        assert "# Telemetry report — mst / hmg" in report
+        assert "## Top link hogs" in report
+        assert "## Invalidation fan-out histogram" in report
+        assert "## Hit-rate curves" in report
+        assert "## Message mix" in report
+        assert "perfetto" in report.lower()
+
+    def test_deterministic_artifacts(self, observed, tmp_path):
+        rc = observe.main([*ARGS, "--out", str(tmp_path)])
+        assert rc == 0
+        for name in ("trace.json", "intervals.jsonl", "metrics.json",
+                     "report.md"):
+            assert (tmp_path / name).read_bytes() == \
+                (observed / name).read_bytes(), name
+
+    def test_dispatch_through_experiments_cli(self, tmp_path, capsys):
+        rc = cli.main(["observe", *ARGS, "--engine", "throughput",
+                       "--out", str(tmp_path)])
+        assert rc == 0
+        assert "report.md" in capsys.readouterr().out
+        doc = json.loads((tmp_path / "trace.json").read_text())
+        assert doc["otherData"]["time_unit"] == "ops"
+
+    def test_unknown_workload_is_usage_error(self, tmp_path, capsys):
+        rc = observe.main(["--workload", "nope", "--out", str(tmp_path)])
+        assert rc == 2
+        assert "observe:" in capsys.readouterr().err
+
+
+class TestReportHelpers:
+    def test_sparkline(self):
+        assert sparkline([]) == ""
+        assert sparkline([1, 1, 1]) == "▁▁▁"
+        line = sparkline([0, 5, 10])
+        assert line[0] == "▁" and line[-1] == "█"
+
+    def test_top_link_hogs_ignores_intra_gpu(self):
+        doc = {"traceEvents": [
+            {"cat": "msg", "args": {"src": "gpu0.gpm0",
+                                    "dst": "gpu0.gpm1", "bytes": 100}},
+            {"cat": "msg", "args": {"src": "gpu0.gpm0",
+                                    "dst": "gpu1.gpm0", "bytes": 40}},
+            {"cat": "msg", "args": {"src": "gpu0.gpm1",
+                                    "dst": "gpu1.gpm2", "bytes": 60}},
+        ]}
+        assert top_link_hogs(doc) == [("gpu0", "gpu1", 100)]
+
+    def test_fanout_histogram(self):
+        doc = {"traceEvents": [
+            {"cat": "fanout", "args": {"sharers": 2}},
+            {"cat": "fanout", "args": {"sharers": 2}},
+            {"cat": "fanout", "args": {"sharers": 5}},
+        ]}
+        assert fanout_histogram(doc) == {2: 2, 5: 1}
+
+    def test_hit_rate_series_carries_forward(self):
+        rows = [
+            {"counters": {"l1_hits": 9, "l1_misses": 1,
+                          "l2_hits": 0, "l2_misses": 0}},
+            {"counters": {"l1_hits": 0, "l1_misses": 0,
+                          "l2_hits": 3, "l2_misses": 1}},
+        ]
+        l1, l2 = hit_rate_series(rows)
+        assert l1 == [0.9, 0.9]
+        assert l2 == [0.0, 0.75]
+
+    def test_render_report_empty_trace(self):
+        manifest = {
+            "cell": {"workload": "w", "protocol": "p", "engine": "e",
+                     "placement": "ft", "seed": 1, "ops_scale": 1.0,
+                     "fault_plan": None},
+            "time": {"cycles": 10.0,
+                     "bottleneck": {"resource": "issue", "index": 0}},
+            "work": {"ops": 1, "l1": {"hit_rate": 0.0},
+                     "l2": {"hit_rate": 0.0}},
+            "traffic": {"inter_gpu_bytes": 0},
+        }
+        report = render_report(manifest, [], {"traceEvents": []})
+        assert "_No inter-GPU messages recorded._" in report
+        assert "_No interval samples recorded._" in report

@@ -15,6 +15,13 @@ than ``--tolerance`` (default 30%) below the committed baseline in
 
     PYTHONPATH=src python tools/check_perf.py
     PYTHONPATH=src python tools/check_perf.py --update --repeats 5
+
+``--telemetry-overhead`` additionally measures the same microbench
+with a no-op :class:`repro.telemetry.TelemetrySession` attached — the
+telemetry-off contract says the instrumented engines must stay within
+``--tolerance`` of the uninstrumented path, and this before/after
+comparison enforces it directly (the main gate covers the default
+telemetry-free path against the committed baseline).
 """
 
 import argparse
@@ -37,8 +44,15 @@ OPS_SCALE = 0.25
 SEED = 1
 
 
-def measure_once() -> float:
-    """One full microbench pass; returns engine ops/sec."""
+def measure_once(null_telemetry: bool = False) -> float:
+    """One full microbench pass; returns engine ops/sec.
+
+    ``null_telemetry`` attaches an empty
+    :class:`~repro.telemetry.TelemetrySession` (no tracer, no sampler)
+    to every run — the cheapest possible telemetry configuration — so
+    the overhead of the instrumented engine loop itself can be compared
+    against the default uninstrumented path.
+    """
     ctx = ExperimentContext(SystemConfig.paper_scaled(SCALE), seed=SEED,
                             ops_scale=OPS_SCALE)
     for workload in WORKLOADS:
@@ -47,9 +61,18 @@ def measure_once() -> float:
     wall = 0.0
     for workload in WORKLOADS:
         for protocol in PROTOCOLS:
-            # Fresh simulation every pass: bypass the context memo.
-            ctx._results.clear()
-            result = ctx.run(workload, protocol)
+            if null_telemetry:
+                from repro.engine.simulator import simulate
+                from repro.telemetry.session import TelemetrySession
+
+                result = simulate(ctx.trace(workload), ctx.cfg,
+                                  protocol=protocol,
+                                  workload_name=workload,
+                                  telemetry=TelemetrySession())
+            else:
+                # Fresh simulation every pass: bypass the context memo.
+                ctx._results.clear()
+                result = ctx.run(workload, protocol)
             ops += result.ops
             wall += result.wall_seconds
     return ops / wall
@@ -68,6 +91,11 @@ def main(argv=None) -> int:
                              "BENCH_perf.json")
     parser.add_argument("--no-gate", action="store_true",
                         help="measure and report only; never fail")
+    parser.add_argument("--telemetry-overhead", action="store_true",
+                        help="also compare ops/sec with a no-op "
+                             "telemetry session attached; fails if the "
+                             "instrumented path loses more than "
+                             "--tolerance vs the plain path")
     args = parser.parse_args(argv)
 
     bench = json.loads(BENCH_FILE.read_text())
@@ -98,6 +126,22 @@ def main(argv=None) -> int:
               f"{args.tolerance:.0%} below the committed baseline "
               f"{baseline:,.0f}", file=sys.stderr)
         return 1
+
+    if args.telemetry_overhead:
+        best_tel = 0.0
+        for i in range(max(1, args.repeats)):
+            value = measure_once(null_telemetry=True)
+            best_tel = max(best_tel, value)
+            print(f"telemetry-off pass {i + 1}/{args.repeats}: "
+                  f"{value:,.0f} ops/sec")
+        overhead = 1.0 - best_tel / best
+        print(f"telemetry-off overhead: {overhead:+.1%} "
+              f"({best_tel:,.0f} vs {best:,.0f} ops/sec)")
+        if not args.no_gate and best_tel < best * (1.0 - args.tolerance):
+            print(f"TELEMETRY OVERHEAD REGRESSION: attaching a no-op "
+                  f"session costs {overhead:.0%} "
+                  f"(> {args.tolerance:.0%} allowed)", file=sys.stderr)
+            return 1
     return 0
 
 

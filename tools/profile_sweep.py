@@ -9,6 +9,12 @@ cumulative time.
     PYTHONPATH=src python tools/profile_sweep.py
     PYTHONPATH=src python tools/profile_sweep.py --workload mst \\
         --protocol nhcc --ops-scale 1.0 --sort tottime --top 40
+
+``--chrome-trace PATH`` additionally records the run with the
+telemetry tracer and writes a Chrome trace-event JSON next to the
+cProfile numbers, so host-side hotspots and simulated-time behavior
+can be inspected from one invocation.  (The profiled run then includes
+the tracer's overhead — use the plain mode for clean perf numbers.)
 """
 
 import argparse
@@ -38,6 +44,11 @@ def main(argv=None):
                         choices=["cumulative", "tottime", "ncalls"])
     parser.add_argument("--top", type=int, default=30, metavar="N",
                         help="rows to print (default 30)")
+    parser.add_argument("--engine", default="throughput",
+                        choices=["throughput", "detailed"])
+    parser.add_argument("--chrome-trace", default=None, metavar="PATH",
+                        help="also record the run with the telemetry "
+                             "tracer and write Chrome trace JSON here")
     args = parser.parse_args(argv)
 
     ctx = ExperimentContext(SystemConfig.paper_scaled(args.scale),
@@ -46,17 +57,32 @@ def main(argv=None):
     print(f"profiling {args.workload}/{args.protocol}: "
           f"{len(trace)} ops at scale {args.scale:g}", file=sys.stderr)
 
+    telemetry = None
+    if args.chrome_trace is not None:
+        from repro.telemetry.session import TelemetrySession
+
+        telemetry = TelemetrySession.recording(
+            ctx.cfg,
+            time_unit="cycles" if args.engine == "detailed" else "ops",
+        )
+
     profiler = cProfile.Profile()
     profiler.enable()
     result = simulate(trace, ctx.cfg, protocol=args.protocol,
+                      engine=args.engine,
                       placement="first_touch",
-                      workload_name=args.workload)
+                      workload_name=args.workload,
+                      telemetry=telemetry)
     profiler.disable()
 
     stats = pstats.Stats(profiler, stream=sys.stdout)
     stats.strip_dirs().sort_stats(args.sort).print_stats(args.top)
     print(f"cycles={result.cycles:.0f} ops={result.ops} "
           f"engine_ops_per_sec={result.ops_per_second:,.0f}")
+    if telemetry is not None:
+        telemetry.tracer.write(args.chrome_trace)
+        print(f"chrome trace: {args.chrome_trace} "
+              f"({len(telemetry.tracer.events)} events)", file=sys.stderr)
 
 
 if __name__ == "__main__":
