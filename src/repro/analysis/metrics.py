@@ -26,10 +26,17 @@ def arithmetic_mean(values: Iterable[float]) -> float:
 
 def normalized_speedups(results: Mapping[str, "SimResult"],
                         baseline: str = "noremote") -> Dict[str, float]:
-    """Speedup of every protocol over the baseline result."""
+    """Speedup of every protocol over the baseline result.
+
+    A ``None`` result — a cell the sweep fabric gave up on after
+    exhausting its retries — yields a ``None`` speedup (rendered as a
+    flagged gap downstream) rather than aborting the figure; a ``None``
+    baseline gaps the whole row.
+    """
     base = results[baseline]
     return {
-        name: base.cycles / r.cycles
+        name: (None if base is None or r is None
+               else base.cycles / r.cycles)
         for name, r in results.items()
         if name != baseline
     }
@@ -61,10 +68,24 @@ class SpeedupTable:
         return [row[protocol] for row in self.rows.values()]
 
     def geomeans(self) -> Dict[str, float]:
-        """Per-protocol geometric mean over all workloads."""
-        return {
-            p: geomean(self.series(p)) for p in self.protocols
-        }
+        """Per-protocol geometric mean over all workloads.
+
+        Gapped cells (``None``: permanently failed sweep cells) are
+        excluded from the mean; a protocol with no surviving cells
+        aggregates to ``None``.
+        """
+        out: Dict[str, float] = {}
+        for p in self.protocols:
+            values = [v for v in self.series(p) if v is not None]
+            out[p] = geomean(values) if values else None
+        return out
+
+    def gaps(self) -> int:
+        """Count of gapped (failed) cells across the table."""
+        return sum(
+            1 for row in self.rows.values()
+            for v in row.values() if v is None
+        )
 
     def row(self, workload: str) -> Dict[str, float]:
         """One workload's speedups as a fresh dict."""
@@ -72,8 +93,11 @@ class SpeedupTable:
 
     def relative(self, protocol: str, reference: str) -> float:
         """Geomean ratio protocol/reference — e.g. the paper's
-        "HMG improves over NHCC by 18%" is ``relative('hmg','nhcc')``."""
+        "HMG improves over NHCC by 18%" is ``relative('hmg','nhcc')``.
+        ``None`` when either side is fully gapped."""
         gm = self.geomeans()
+        if gm[protocol] is None or gm[reference] is None:
+            return None
         return gm[protocol] / gm[reference]
 
 

@@ -15,6 +15,8 @@ def format_table(headers: Sequence[str], rows: Sequence[Sequence],
                  precision: int = 2) -> str:
     """Render a list of rows as an aligned ASCII table."""
     def fmt(cell):
+        if cell is None:
+            return "--"
         if isinstance(cell, float):
             return f"{cell:.{precision}f}"
         return str(cell)
@@ -45,7 +47,14 @@ def format_speedup_table(table: SpeedupTable, labels: Mapping[str, str],
     if geomean_row and len(table.rows) > 1:
         gm = table.geomeans()
         rows.append(["GeoMean"] + [gm[p] for p in table.protocols])
-    return format_table(headers, rows)
+    text = format_table(headers, rows)
+    if table.gaps():
+        text += (
+            f"\n\n(-- = {table.gaps()} cell(s) failed permanently; "
+            "geomeans exclude them — see the sweep's failed-cells "
+            "manifest)"
+        )
+    return text
 
 
 def format_bars(values: Mapping[str, float], width: int = 40,

@@ -60,12 +60,11 @@ class GPUVIProtocol(NHCCProtocol):
             farthest = max(farthest, float(self.rtt(home, target)))
         self._pending_ack_latency = max(self._pending_ack_latency,
                                         farthest)
-        tracer = self.tracer
-        if tracer.enabled and farthest:
+        if self._tracing and farthest:
             # Multi-copy-atomicity made visible: the store at ``home``
             # cannot complete until this ack round trip closes.
-            tracer.instant("mca_ack_wait", home,
-                           {"farthest_rtt": farthest, "cause": cause})
+            self.tracer.instant("mca_ack_wait", home,
+                                {"farthest_rtt": farthest, "cause": cause})
         return dropped
 
     def _take_ack_latency(self) -> float:

@@ -56,11 +56,10 @@ class HMGProtocol(CoherenceProtocol):
                 dropped += self._drop_sector_lines(target, sector)
                 forwarded += 1
             directory.invalidate(sector)
-            tracer = self.tracer
-            if tracer.enabled and forwarded:
+            if self._tracing and forwarded:
                 # Table I's HMG-only transition: the peer GPU home
                 # forwards an arriving invalidation to its GPM sharers.
-                tracer.fanout(ghome, forwarded, dropped, "forward")
+                self.tracer.fanout(ghome, forwarded, dropped, "forward")
         return dropped
 
     def _inv_sharers(self, home: NodeId, entry: DirectoryEntry,
@@ -86,9 +85,8 @@ class HMGProtocol(CoherenceProtocol):
             self.stats.lines_inv_by_store += dropped
         else:
             self.stats.lines_inv_by_dir_evict += dropped
-        tracer = self.tracer
-        if tracer.enabled and fanned:
-            tracer.fanout(home, fanned, dropped, cause)
+        if self._tracing and fanned:
+            self.tracer.fanout(home, fanned, dropped, cause)
         return dropped
 
     def _dir_allocate(self, home: NodeId, sector: int) -> DirectoryEntry:

@@ -67,9 +67,8 @@ class NHCCProtocol(CoherenceProtocol):
             self.stats.lines_inv_by_store += dropped
         else:
             self.stats.lines_inv_by_dir_evict += dropped
-        tracer = self.tracer
-        if tracer.enabled and fanned:
-            tracer.fanout(home, fanned, dropped, cause)
+        if self._tracing and fanned:
+            self.tracer.fanout(home, fanned, dropped, cause)
         return dropped
 
     def _dir_allocate(self, home: NodeId, sector: int) -> DirectoryEntry:

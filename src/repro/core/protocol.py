@@ -171,11 +171,12 @@ class CoherenceProtocol(abc.ABC):
         self.cfg = cfg
         self.sink = sink if sink is not None else NullSink()
         #: Telemetry event sink (:mod:`repro.telemetry.tracer`).  The
-        #: default is the shared no-op tracer whose ``enabled`` flag is
-        #: ``False``; every instrumentation site below guards on that
-        #: flag, so an untraced run pays one attribute load per
-        #: potential event and nothing else.
+        #: default is the shared no-op tracer; install a recording one
+        #: with :meth:`set_tracer`.  Hot-path instrumentation sites
+        #: guard on the cached ``_tracing`` bool — one attribute load
+        #: and branch per potential event, nothing else, when off.
         self.tracer = NULL_TRACER
+        self._tracing = False
         self.amap = AddressMap.from_config(cfg)
         self.page_table = PageTable(
             cfg.page_size,
@@ -242,6 +243,17 @@ class CoherenceProtocol(abc.ABC):
         self.l2_bytes_per_gpm = [0.0] * n
         #: Per-GPM count of whole-cache bulk invalidations (timing cost).
         self.bulk_invs_per_gpm = [0] * n
+
+    def set_tracer(self, tracer) -> None:
+        """Install a telemetry tracer and refresh the hot-path guard.
+
+        ``_tracing`` caches ``tracer.enabled`` so instrumentation sites
+        branch on one bool attribute instead of dereferencing the
+        tracer first — the difference compiles telemetry out of the
+        per-op loop when the null tracer is active.
+        """
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._tracing = self.tracer.enabled
 
     def _make_l2(self, flat_index: int) -> SetAssociativeCache:
         return SetAssociativeCache(
@@ -389,9 +401,8 @@ class CoherenceProtocol(abc.ABC):
         downgrade handling."""
         if victim is None:
             return
-        tracer = self.tracer
-        if tracer.enabled:
-            tracer.evict("l2", node, victim.line, victim.dirty)
+        if self._tracing:
+            self.tracer.evict("l2", node, victim.line, victim.dirty)
         if victim.dirty:
             home = self.sys_home(victim.line, node)
             if home != node:
@@ -476,9 +487,8 @@ class CoherenceProtocol(abc.ABC):
         node = op.node
         slices = self.l1[node.gpu * self._gpms_per_gpu + node.gpm]
         slices[op.cta % len(slices)].fill(line, version, remote=remote)
-        tracer = self.tracer
-        if tracer.enabled:
-            tracer.fill("l1", node, line)
+        if self._tracing:
+            self.tracer.fill("l1", node, line)
 
     def _l1_store(self, op: MemOp, line: int, version: int,
                   remote: bool) -> None:
@@ -498,9 +508,8 @@ class CoherenceProtocol(abc.ABC):
         for sl in targets:
             dropped += len(sl.invalidate_all())
         self.bulk_invs_per_gpm[flat] += len(targets)
-        tracer = self.tracer
-        if tracer.enabled:
-            tracer.bulk_invalidate(node, "l1", dropped)
+        if self._tracing:
+            self.tracer.bulk_invalidate(node, "l1", dropped)
         return dropped
 
     # ------------------------------------------------------------------

@@ -47,9 +47,8 @@ class _SoftwareProtocolBase(CoherenceProtocol):
         dropped = self.l2[self.flat(node)].invalidate_where(predicate)
         self.bulk_invs_per_gpm[self.flat(node)] += 1
         self.stats.lines_inv_by_acquire += len(dropped)
-        tracer = self.tracer
-        if tracer.enabled:
-            tracer.bulk_invalidate(node, "l2", len(dropped))
+        if self._tracing:
+            self.tracer.bulk_invalidate(node, "l2", len(dropped))
         return len(dropped)
 
     # -- releases ----------------------------------------------------------

@@ -204,7 +204,7 @@ class DetailedEngine:
         if telemetry_on:
             tracer = telemetry.active_tracer
             trace_events = tracer.enabled
-            proto.tracer = tracer
+            proto.set_tracer(tracer)
             sampler = telemetry.sampler
             if sampler is not None:
                 from repro.telemetry.session import make_detailed_snapshot

@@ -109,7 +109,7 @@ class ThroughputEngine:
         tracer = sampler = None
         if telemetry is not None:
             tracer = telemetry.active_tracer
-            protocol.tracer = tracer
+            protocol.set_tracer(tracer)
             sampler = telemetry.sampler
             if sampler is not None:
                 from repro.telemetry.session import make_throughput_snapshot

@@ -62,6 +62,23 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--trace-cache", default=None, metavar="DIR",
                         help="persist generated traces in DIR and "
                              "reuse them across runs and workers")
+    parser.add_argument("--store", default=None, metavar="DIR",
+                        help="content-addressed results store: completed "
+                             "cells persist in DIR (append-only JSONL "
+                             "shards, CRC-checked) and replay for free "
+                             "on any later run that revisits them")
+    parser.add_argument("--cell-timeout", type=float, default=0.0,
+                        metavar="SECONDS",
+                        help="kill and retry any sweep cell running "
+                             "longer than this (0 = unlimited; "
+                             "parallel runs only)")
+    parser.add_argument("--max-retries", type=int, default=2,
+                        metavar="N",
+                        help="attempts beyond the first for a sweep "
+                             "cell that times out or fails transiently "
+                             "(default 2); a cell exhausting them is "
+                             "reported in the failed-cells manifest "
+                             "and rendered as a gap")
     parser.add_argument("--repro-dir", default=None, metavar="DIR",
                         help="dump any sanitizer violation as a "
                              "replayable repro file in DIR (replay with "
@@ -207,9 +224,14 @@ def main(argv=None) -> int:
         repro_dir=args.repro_dir,
         telemetry_dir=args.telemetry,
         progress=args.jobs > 1,
+        store=args.store,
+        cell_timeout=args.cell_timeout,
+        max_retries=args.max_retries,
+        retry_backoff=args.retry_backoff,
     )
 
     failures = []
+    interrupted = False
     for experiment_id in ids:
         if args.resume and journal is not None:
             cached = journal.completed(experiment_id)
@@ -228,7 +250,15 @@ def main(argv=None) -> int:
                 timeout=args.timeout, retries=args.retries,
                 backoff=args.retry_backoff,
             )
-        except (KeyboardInterrupt, SystemExit):
+        except KeyboardInterrupt:
+            # Graceful Ctrl-C: the fabric has already drained in-flight
+            # cells; stop taking new experiments and fall through to
+            # the flush below (journal/telemetry/store), then exit 130.
+            interrupted = True
+            print(f"\ninterrupted during {experiment_id}; flushing "
+                  "journal/telemetry and exiting", file=sys.stderr)
+            break
+        except SystemExit:
             raise
         except Exception as exc:
             failures.append((experiment_id, exc))
@@ -242,7 +272,18 @@ def main(argv=None) -> int:
 
     if journal is not None:
         journal.close()
+    if ctx.store is not None:
+        stats = ctx.store.stats()
+        print(f"results store: {stats['hits']} replayed, "
+              f"{stats['puts']} newly stored"
+              + (f", {stats['corrupt_records']} corrupt record(s) "
+                 "recomputed" if stats["corrupt_records"] else ""),
+              file=sys.stderr)
+        ctx.store.close()
     if args.telemetry is not None:
+        import json
+        from pathlib import Path
+
         from repro.telemetry.manifest import write_run_manifest
 
         # The index deliberately omits --jobs and wall times so a
@@ -260,6 +301,25 @@ def main(argv=None) -> int:
             },
             cells=ctx.manifests_written,
         )
+        if ctx.failed_cells:
+            Path(args.telemetry, "failed_cells.json").write_text(
+                json.dumps(ctx.failed_cells, indent=2) + "\n"
+            )
+        if ctx._executor.fabric_stats is not None:
+            Path(args.telemetry, "fabric.json").write_text(
+                json.dumps(ctx._executor.fabric_stats.as_dict(),
+                           indent=2) + "\n"
+            )
+    if ctx.failed_cells:
+        print(f"{len(ctx.failed_cells)} sweep cell(s) failed "
+              "permanently and render as gaps:", file=sys.stderr)
+        for record in ctx.failed_cells:
+            print(f"  {record['workload']}/{record['protocol']}: "
+                  f"{record['error']} "
+                  f"(after {record['attempts']} attempt(s))",
+                  file=sys.stderr)
+    if interrupted:
+        return 130
     if failures:
         failed = ", ".join(experiment_id for experiment_id, _ in failures)
         print(f"{len(failures)} of {len(ids)} experiment(s) failed: "
@@ -267,6 +327,8 @@ def main(argv=None) -> int:
         print(f"{len(ids) - len(failures)} completed successfully"
               + (f"; results journaled in {journal_dir}" if journal else ""),
               file=sys.stderr)
+        return 1
+    if ctx.failed_cells:
         return 1
     return 0
 

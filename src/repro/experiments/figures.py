@@ -34,7 +34,7 @@ def _ctx(ctx, **kwargs) -> ExperimentContext:
 
 
 def _headline(table: SpeedupTable) -> str:
-    gm = table.geomeans()
+    gm = {p: v for p, v in table.geomeans().items() if v is not None}
     lines = []
     if {"hmg", "sw"} <= set(gm):
         lines.append(

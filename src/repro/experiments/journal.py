@@ -24,8 +24,15 @@ from __future__ import annotations
 
 import json
 import os
+import sys
+import zlib
 from pathlib import Path
 from typing import Optional, Union
+
+
+def _line_crc(record: dict) -> int:
+    """Checksum of a cell record's content (order-independent)."""
+    return zlib.crc32(json.dumps(record, sort_keys=True).encode())
 
 
 def config_key(cfg) -> str:
@@ -77,8 +84,15 @@ class RunJournal:
     # ------------------------------------------------------------------
 
     def record_cell(self, workload: str, protocol: str, cfg,
-                    fault_plan=None, result=None) -> None:
-        """Append one completed simulation cell (flushed immediately)."""
+                    fault_plan=None, result=None, failed=None) -> None:
+        """Append one completed simulation cell.
+
+        Each line carries a CRC32 of its own content and is written
+        with a single unbuffered append, so a crash mid-write leaves at
+        most one torn (and detectable) trailing line.  ``failed`` is
+        the error string for a cell the fabric gave up on; it is
+        journaled so a resumed run knows the gap was deliberate.
+        """
         record = {
             "experiment": self._current_experiment,
             "workload": workload,
@@ -89,26 +103,59 @@ class RunJournal:
         if result is not None:
             record["cycles"] = result.cycles
             record["ops"] = result.ops
+        if failed is not None:
+            record["failed"] = str(failed)
+        record["crc"] = _line_crc(record)
         if self._cells_fh is None:
-            self._cells_fh = open(self._cells_path, "a")
-        self._cells_fh.write(json.dumps(record) + "\n")
-        self._cells_fh.flush()
+            # Heal a torn trailing line (crash mid-append) before
+            # writing, so the fresh record starts at a line boundary
+            # instead of gluing onto the garbage.
+            torn_tail = False
+            try:
+                with open(self._cells_path, "rb") as fh:
+                    fh.seek(-1, os.SEEK_END)
+                    torn_tail = fh.read(1) != b"\n"
+            except (OSError, ValueError):
+                pass
+            self._cells_fh = open(self._cells_path, "ab", buffering=0)
+            if torn_tail:
+                self._cells_fh.write(b"\n")
+        self._cells_fh.write((json.dumps(record) + "\n").encode())
 
     def cells(self) -> list:
-        """Every readable cell record (a torn final line is skipped)."""
+        """Every readable cell record.
+
+        Corrupt lines — a torn final append from a crashed run, or a
+        CRC mismatch from on-disk damage — are skipped with a warning
+        rather than aborting the resume.
+        """
         if not self._cells_path.exists():
             return []
         records = []
         with open(self._cells_path) as fh:
-            for line in fh:
+            for lineno, line in enumerate(fh, 1):
                 line = line.strip()
                 if not line:
                     continue
                 try:
-                    records.append(json.loads(line))
+                    record = json.loads(line)
                 except json.JSONDecodeError:
-                    continue  # torn append from a crashed run
+                    self._warn_corrupt(lineno, "torn or malformed line")
+                    continue
+                if isinstance(record, dict) and "crc" in record:
+                    crc = record.pop("crc")
+                    if crc != _line_crc(record):
+                        self._warn_corrupt(lineno, "checksum mismatch")
+                        continue
+                records.append(record)
         return records
+
+    def _warn_corrupt(self, lineno: int, why: str) -> None:
+        print(
+            f"warning: journal {self._cells_path}:{lineno}: {why}; "
+            "skipping record (cell will be re-simulated on resume)",
+            file=sys.stderr,
+        )
 
     # ------------------------------------------------------------------
     # Experiment-level results (what --resume replays)

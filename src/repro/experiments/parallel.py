@@ -28,7 +28,6 @@ Design constraints, in priority order:
 from __future__ import annotations
 
 import hashlib
-from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -84,6 +83,14 @@ def cell_key(workload: str, protocol: str, cfg: SystemConfig,
     """Memoization key under which a cell's result is stored."""
     return (workload, protocol, config_fingerprint(cfg), placement,
             plan_fingerprint(fault_plan), bool(sanitize))
+
+
+def cell_fingerprint(cell: "Cell", sanitize: bool = False) -> str:
+    """Compact stable fingerprint of one cell (fabric partitioning,
+    chaos targeting, and retry-schedule seeding all key on this)."""
+    key = cell_key(cell.workload, cell.protocol, cell.cfg,
+                   cell.placement, cell.fault_plan, sanitize)
+    return hashlib.sha256(repr(key).encode()).hexdigest()[:16]
 
 
 # ----------------------------------------------------------------------
@@ -157,11 +164,18 @@ def run_cell(payload):
 
 @dataclass
 class SweepExecutor:
-    """Maps unique cells onto a process pool, in deterministic order.
+    """Maps unique cells onto the sweep fabric, in deterministic order.
 
-    The executor owns no state between calls beyond its settings; the
-    caller (:class:`~repro.experiments.runner.ExperimentContext`) holds
-    the result memo and the journal.
+    The executor owns no state between calls beyond its settings and
+    counters; the caller
+    (:class:`~repro.experiments.runner.ExperimentContext`) holds the
+    result memo, the results store, and the journal.  With ``jobs > 1``
+    cells run on the fault-tolerant scheduler of
+    :mod:`repro.experiments.fabric` — per-cell timeouts, bounded seeded
+    retries, heartbeat-driven work stealing — and a cell that exhausts
+    its retries comes back as ``None`` with a
+    :class:`~repro.experiments.fabric.FailedCell` record in
+    :attr:`failed` instead of aborting the sweep.
     """
 
     jobs: int = 1
@@ -169,12 +183,28 @@ class SweepExecutor:
     ops_scale: float = 1.0
     sanitize: bool = False
     trace_cache_dir: Optional[str] = None
+    #: Fabric policy knobs (``--cell-timeout`` / ``--max-retries``).
+    cell_timeout: float = 0.0
+    max_retries: int = 2
+    retry_backoff: float = 0.5
+    heartbeat_interval: float = 0.25
+    #: Optional :class:`repro.faults.chaos.ChaosPlan` shipped into the
+    #: workers (the chaos harness's hook; None in normal operation).
+    chaos: object = None
+    #: Optional telemetry tracer receiving fabric events.
+    tracer: object = None
     #: Cells simulated through this executor (observability/testing).
     cells_run: int = field(default=0, compare=False)
+    #: ``(cell, FailedCell)`` pairs from every batch so far.
+    failed: list = field(default_factory=list, compare=False)
+    #: Aggregated :class:`~repro.experiments.fabric.FabricStats` over
+    #: every parallel batch (None until the fabric first runs).
+    fabric_stats: object = field(default=None, compare=False)
 
     def run(self, cells, progress=None):
         """Simulate ``cells`` (already deduplicated by the caller);
-        returns results in input order.
+        returns results in input order (``None`` for cells that failed
+        permanently — see :attr:`failed`).
 
         ``progress`` is an optional
         :class:`repro.telemetry.progress.SweepProgress`; it is updated
@@ -198,15 +228,30 @@ class SweepExecutor:
                     progress.update(result)
                 results.append(result)
             return results
-        workers = min(self.jobs, len(cells))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [pool.submit(run_cell, p) for p in payloads]
-            if progress is not None:
-                for future in as_completed(futures):
-                    exc = future.exception()
-                    if exc is None:
-                        progress.update(future.result())
-            # Gathering in submission order keeps downstream journaling
-            # and table assembly on the serial ordering; the first
-            # failure (in that order) propagates, as with Executor.map.
-            return [future.result() for future in futures]
+
+        from repro.experiments.fabric import FabricScheduler, FabricStats
+
+        scheduler = FabricScheduler(
+            min(self.jobs, len(cells)),
+            seed=self.seed,
+            cell_timeout=self.cell_timeout,
+            max_retries=self.max_retries,
+            retry_backoff=self.retry_backoff,
+            heartbeat_interval=self.heartbeat_interval,
+            chaos=self.chaos,
+            tracer=self.tracer,
+        )
+        tasks = [
+            (payload, cell_fingerprint(cell, self.sanitize))
+            for payload, cell in zip(payloads, cells)
+        ]
+        on_result = None
+        if progress is not None:
+            on_result = lambda _index, result: progress.update(result)  # noqa: E731
+        results = scheduler.run(tasks, on_result=on_result)
+        if self.fabric_stats is None:
+            self.fabric_stats = FabricStats()
+        self.fabric_stats.merge(scheduler.stats)
+        for failure in scheduler.failed:
+            self.failed.append((cells[failure.index], failure))
+        return results

@@ -68,7 +68,9 @@ class ExperimentContext:
                  ops_scale: float = 1.0, workloads=None,
                  fault_plan=None, sanitize: bool = False, journal=None,
                  jobs: int = 1, trace_cache=None, repro_dir=None,
-                 telemetry_dir=None, progress: bool = False):
+                 telemetry_dir=None, progress: bool = False,
+                 store=None, cell_timeout: float = 0.0,
+                 max_retries: int = 2, retry_backoff: float = 0.5):
         self.cfg = cfg if cfg is not None else SystemConfig.paper_scaled()
         self.seed = seed
         self.ops_scale = ops_scale
@@ -89,15 +91,30 @@ class ExperimentContext:
 
             trace_cache = TraceCache(trace_cache)
         self.trace_cache = trace_cache
+        if store is not None and not hasattr(store, "get"):
+            from repro.experiments.store import ResultStore
+
+            store = ResultStore(store)
+        #: Optional :class:`repro.experiments.store.ResultStore`:
+        #: completed cells persist across runs/branches, and a sweep
+        #: revisiting a stored cell replays it without an engine.
+        self.store = store
+        #: Cells that failed permanently (exhausted fabric retries):
+        #: manifest dicts, in completion order.  Figures render these
+        #: as gaps instead of the sweep aborting.
+        self.failed_cells: list = []
         self._traces: dict = {}
         #: Completed cells: :func:`repro.experiments.parallel.cell_key`
-        #: -> SimResult.  Shared by every driver using this context.
+        #: -> SimResult (or None for a permanently failed cell).
+        #: Shared by every driver using this context.
         self._results: dict = {}
         self._executor = SweepExecutor(
             jobs=self.jobs, seed=seed, ops_scale=ops_scale,
             sanitize=sanitize,
             trace_cache_dir=(str(self.trace_cache.root)
                              if self.trace_cache is not None else None),
+            cell_timeout=cell_timeout, max_retries=max_retries,
+            retry_backoff=retry_backoff,
         )
 
     def trace(self, workload: str) -> list:
@@ -135,8 +152,24 @@ class ExperimentContext:
         return cell_key(cell.workload, cell.protocol, cell.cfg,
                         cell.placement, cell.fault_plan, self.sanitize)
 
-    def _complete(self, cell: Cell, key: tuple, result) -> None:
+    def _store_key(self, key: tuple) -> str:
+        from repro.experiments.store import store_key
+
+        return store_key(key, self.seed, self.ops_scale)
+
+    def _store_get(self, key: tuple):
+        """The persisted result for a cell, if a store is attached."""
+        if self.store is None:
+            return None
+        return self.store.get(self._store_key(key))
+
+    def _complete(self, cell: Cell, key: tuple, result,
+                  from_store: bool = False) -> None:
         self._results[key] = result
+        if self.store is not None and not from_store:
+            self.store.put(self._store_key(key), result,
+                           workload=cell.workload,
+                           protocol=cell.protocol)
         if self.journal is not None:
             self.journal.record_cell(cell.workload, cell.protocol,
                                      cell.cfg, fault_plan=cell.fault_plan,
@@ -154,6 +187,26 @@ class ExperimentContext:
             if slug not in self._manifest_slugs:
                 self._manifest_slugs.add(slug)
                 self.manifests_written.append(slug)
+
+    def _complete_failure(self, cell: Cell, key: tuple,
+                          failure) -> None:
+        """Record a permanently failed cell: the sweep keeps going and
+        every downstream table renders this cell as a gap."""
+        self._results[key] = None
+        record = {
+            "workload": cell.workload,
+            "protocol": cell.protocol,
+            "placement": cell.placement,
+            "fault_plan": getattr(cell.fault_plan, "name", None),
+            "fingerprint": failure.fingerprint,
+            "attempts": failure.attempts,
+            "error": failure.error,
+        }
+        self.failed_cells.append(record)
+        if self.journal is not None:
+            self.journal.record_cell(cell.workload, cell.protocol,
+                                     cell.cfg, fault_plan=cell.fault_plan,
+                                     failed=failure.error)
 
     def _dump_violation(self, cell: Cell, violation) -> None:
         """Write a replayable trace-kind repro for a sanitizer trip."""
@@ -189,9 +242,12 @@ class ExperimentContext:
         """
         cell = self._cell(workload, protocol, cfg, placement, fault_plan)
         key = self._key(cell)
-        hit = self._results.get(key)
-        if hit is not None:
-            return hit
+        if key in self._results:  # may be None: a permanently failed cell
+            return self._results[key]
+        stored = self._store_get(key)
+        if stored is not None:
+            self._complete(cell, key, stored, from_store=True)
+            return stored
         try:
             result = simulate(
                 self.trace(workload),
@@ -243,35 +299,71 @@ class ExperimentContext:
             from repro.telemetry.progress import SweepProgress
 
             progress = SweepProgress(len(fresh))
-        if fresh:
+
+        # Cells already persisted in the results store replay without
+        # an engine (the cross-run analogue of the in-process memo);
+        # only the remaining frontier is dispatched.
+        prefetched: dict = {}
+        replayed: set = set()  # keys satisfied by the store
+        to_run: list = []  # (cell, key) needing simulation
+        for cell, key in fresh:
+            stored = self._store_get(key)
+            if stored is not None:
+                prefetched[key] = stored
+                replayed.add(key)
+                if progress is not None:
+                    progress.update(stored)
+            else:
+                to_run.append((cell, key))
+
+        if to_run:
             if self.jobs > 1:
                 # The kwarg is only passed when live progress is on, so
                 # tests (and subclasses) stubbing ``executor.run(cells)``
                 # keep working.
                 kwargs = {} if progress is None else {"progress": progress}
+                failures_before = len(self._executor.failed)
                 try:
                     results = self._executor.run(
-                        [cell for cell, _ in fresh], **kwargs
+                        [cell for cell, _ in to_run], **kwargs
                     )
                 except CoherenceViolation as violation:
                     # The worker tagged the violation with its cell
                     # (see parallel.run_cell); dump a repro here in the
                     # parent, where repro_dir lives.
                     info = violation.cell_info or {}
-                    for cell, _key in fresh:
+                    for cell, _key in to_run:
                         if (cell.workload == info.get("workload")
                                 and cell.protocol == info.get("protocol")):
                             self._dump_violation(cell, violation)
                             break
                     raise
-                for (cell, key), result in zip(fresh, results):
-                    self._complete(cell, key, result)
+                failures = {
+                    id(cell): failure
+                    for cell, failure in
+                    self._executor.failed[failures_before:]
+                }
+                for (cell, key), result in zip(to_run, results):
+                    if result is None:
+                        self._complete_failure(cell, key,
+                                               failures[id(cell)])
+                    else:
+                        prefetched[key] = result
             else:
-                for cell, key in fresh:
+                for cell, key in to_run:
                     self.run(cell.workload, cell.protocol, cell.cfg,
                              cell.placement, cell.fault_plan)
                     if progress is not None:
                         progress.update(self._results[key])
+
+        # Journal/memoize every fresh cell in request order — store
+        # replays, parallel completions and serial runs all land in the
+        # same deterministic sequence.
+        for cell, key in fresh:
+            if key in self._results:
+                continue  # serial path completed (or failed) it already
+            self._complete(cell, key, prefetched[key],
+                           from_store=key in replayed)
         if progress is not None:
             progress.close()
         return [self._results[key] for key in keys]

@@ -1,9 +1,11 @@
 """Fault injection: deterministic interconnect degradation plans.
 
-See :mod:`repro.faults.plan` for the model and
+See :mod:`repro.faults.plan` for the simulated-fabric model,
+:mod:`repro.faults.chaos` for the host-level sweep adversary, and
 :mod:`repro.experiments.faults` for the experiment built on it.
 """
 
+from repro.faults.chaos import ChaosError, ChaosPlan, ChaosSpec
 from repro.faults.plan import (
     FAULT_PLANS,
     FaultPlan,
@@ -16,6 +18,9 @@ from repro.faults.plan import (
 
 __all__ = [
     "FAULT_PLANS",
+    "ChaosError",
+    "ChaosPlan",
+    "ChaosSpec",
     "FaultPlan",
     "LinkFaultProfile",
     "LinkFaultSpec",

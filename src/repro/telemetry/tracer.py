@@ -80,6 +80,12 @@ class Tracer:
     def instant(self, name: str, node, args: dict = None) -> None:
         """A named instantaneous protocol event at ``now``."""
 
+    # -- fabric-side events (host wall-clock domain) -------------------
+
+    def fabric(self, kind: str, args: dict = None) -> None:
+        """One sweep-fabric scheduling event (retry, steal, timeout,
+        reassign, failure) — host-level orchestration, not simulation."""
+
 
 class NullTracer(Tracer):
     """Explicitly-named no-op tracer (``enabled`` stays ``False``)."""
@@ -221,6 +227,15 @@ class ChromeTracer(Tracer):
         self.events.append({
             "name": name, "cat": "protocol", "ph": "i",
             "ts": self.now, "pid": pid, "tid": tid, "s": "t",
+            "args": args or {},
+        })
+
+    def fabric(self, kind, args=None):
+        # Fabric events are host-side and have no GPM track; they land
+        # on a synthetic pid so simulation tracks stay untouched.
+        self.events.append({
+            "name": f"fabric:{kind}", "cat": "fabric", "ph": "i",
+            "ts": self.now, "pid": -1, "tid": 0, "s": "g",
             "args": args or {},
         })
 
