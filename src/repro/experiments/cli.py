@@ -88,6 +88,13 @@ def build_parser() -> argparse.ArgumentParser:
                              "perf.json sidecars and a run.json index "
                              "into DIR (deterministic: byte-identical "
                              "for --jobs 1 and --jobs N)")
+    parser.add_argument("--registry", default=None, metavar="DIR",
+                        help="run registry the sweep announces itself "
+                             "in when --telemetry/--store are given, so "
+                             "'observe --serve' sees it the moment it "
+                             "starts (default .repro-registry)")
+    parser.add_argument("--no-registry", action="store_true",
+                        help="do not register this run")
     parser.add_argument("--journal", default=None, metavar="DIR",
                         help="record completed experiments/cells in DIR "
                              f"(implied '{DEFAULT_JOURNAL}' by --resume)")
@@ -177,11 +184,17 @@ def main(argv=None) -> int:
         return verify_main(argv[1:])
     if argv and argv[0] == "observe":
         # Single-cell deep observation (full tracing + interval metrics
-        # + markdown report); its own arg structure lives with the
-        # telemetry subsystem.
+        # + markdown report), or — with --serve — the live
+        # observability service; both live with the telemetry subsystem.
         from repro.telemetry.observe import main as observe_main
 
         return observe_main(argv[1:])
+    if argv and argv[0] == "store":
+        # Offline results-store queries (scan / get KEY), sharing the
+        # query code with the service's /store endpoints.
+        from repro.experiments.store import cli_main as store_main
+
+        return store_main(argv[1:])
     args = build_parser().parse_args(argv)
     ids = args.experiment
     if ids == ["all"]:
@@ -211,6 +224,30 @@ def main(argv=None) -> int:
             print(f"journal {journal_dir} was written under different "
                   f"settings; ignoring its completed results",
                   file=sys.stderr)
+
+    # Announce the run before the first cell simulates: a live
+    # `observe --serve` discovers sweeps through the registry, and
+    # "the moment they start" is the contract.  The registry lives
+    # outside the telemetry dir, which must stay byte-identical
+    # between serial and parallel runs.
+    registry = None
+    run_settings = {
+        "scale": args.scale,
+        "ops_scale": ops_scale,
+        "seed": args.seed,
+        "workloads": args.workloads,
+        "sanitize": args.sanitize,
+    }
+    if not args.no_registry and (args.telemetry or args.store):
+        from repro.telemetry.session import DEFAULT_REGISTRY, RunRegistry
+
+        registry = RunRegistry(args.registry or DEFAULT_REGISTRY)
+        if args.telemetry:
+            registry.register_run(args.telemetry, experiments=ids,
+                                  settings=run_settings,
+                                  status="running")
+        if args.store:
+            registry.register_store(args.store)
 
     ctx = ExperimentContext(
         SystemConfig.paper_scaled(args.scale),
@@ -292,13 +329,7 @@ def main(argv=None) -> int:
         write_run_manifest(
             args.telemetry,
             experiments=ids,
-            settings={
-                "scale": args.scale,
-                "ops_scale": ops_scale,
-                "seed": args.seed,
-                "workloads": args.workloads,
-                "sanitize": args.sanitize,
-            },
+            settings=run_settings,
             cells=ctx.manifests_written,
         )
         if ctx.failed_cells:
@@ -310,6 +341,14 @@ def main(argv=None) -> int:
                 json.dumps(ctx._executor.fabric_stats.as_dict(),
                            indent=2) + "\n"
             )
+    if registry is not None and args.telemetry:
+        # Flip the registry record to its final status (last writer
+        # wins per directory); dashboards stop showing it as live.
+        status = "interrupted" if interrupted else (
+            "failed" if failures or ctx.failed_cells else "completed")
+        registry.register_run(args.telemetry, experiments=ids,
+                              settings=run_settings, status=status,
+                              cells=len(ctx.manifests_written))
     if ctx.failed_cells:
         print(f"{len(ctx.failed_cells)} sweep cell(s) failed "
               "permanently and render as gaps:", file=sys.stderr)

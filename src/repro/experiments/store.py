@@ -226,3 +226,143 @@ class ResultStore:
 
     def __exit__(self, *_exc):
         self.close()
+
+    # ------------------------------------------------------------------
+    # Query API (shared by the ``store`` CLI and the HTTP service)
+    # ------------------------------------------------------------------
+
+    def records(self) -> list:
+        """Metadata for every live record, without unpickling blobs.
+
+        One dict per unique key (last writer wins), in shard order:
+        ``{"key", "workload", "protocol", "shard"}``.  Corrupt lines
+        count in ``corrupt_records`` exactly as :meth:`scan` does.
+        """
+        merged: dict = {}
+        for digit in _SHARD_DIGITS:
+            path = self._shard_path(digit)
+            if not path.exists():
+                continue
+            bad = 0
+            with open(path, "rb") as fh:
+                for raw in fh:
+                    line = raw.strip()
+                    if not line:
+                        continue
+                    meta = self._decode_meta(line)
+                    if meta is None:
+                        bad += 1
+                        continue
+                    meta["shard"] = path.name
+                    merged[meta["key"]] = meta
+            if bad:
+                self.corrupt_records += bad
+                self._warn(f"{path.name}: skipped {bad} corrupt "
+                           f"record(s) during scan")
+        return list(merged.values())
+
+    @staticmethod
+    def _decode_meta(line: bytes):
+        """Record metadata (CRC-validated) without the pickle cost."""
+        try:
+            record = json.loads(line)
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            return None
+        if not isinstance(record, dict) or record.get("v") != SCHEMA:
+            return None
+        key = record.get("key")
+        blob = record.get("blob")
+        if not isinstance(key, str) or not isinstance(blob, str):
+            return None
+        if zlib.crc32(blob.encode("ascii")) != record.get("crc"):
+            return None
+        return {
+            "key": key,
+            "workload": record.get("workload"),
+            "protocol": record.get("protocol"),
+        }
+
+    def summary(self) -> dict:
+        """Scan digest: totals plus per-protocol/workload counts."""
+        records = self.records()
+        by_protocol: dict = {}
+        by_workload: dict = {}
+        for meta in records:
+            if meta["protocol"]:
+                by_protocol[meta["protocol"]] = \
+                    by_protocol.get(meta["protocol"], 0) + 1
+            if meta["workload"]:
+                by_workload[meta["workload"]] = \
+                    by_workload.get(meta["workload"], 0) + 1
+        return {
+            "dir": str(self.root),
+            "records": len(records),
+            "corrupt_records": self.corrupt_records,
+            "by_protocol": dict(sorted(by_protocol.items())),
+            "by_workload": dict(sorted(by_workload.items())),
+            "cells": sorted(records, key=lambda m: m["key"]),
+        }
+
+
+# ----------------------------------------------------------------------
+# ``python -m repro.experiments store scan|get KEY`` — offline queries
+# ----------------------------------------------------------------------
+
+
+def build_cli_parser():
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments store",
+        description="Query a content-addressed results store offline — "
+                    "the same code path the observability service's "
+                    "/store endpoints answer from.",
+    )
+    parser.add_argument("command", choices=("scan", "get"),
+                        help="scan: list every stored cell; "
+                             "get: digest one cell by its store key")
+    parser.add_argument("key", nargs="?", default=None,
+                        help="store key (sha256 hex) for 'get'")
+    parser.add_argument("--store", default=".repro-store", metavar="DIR",
+                        help="store directory (default .repro-store)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit raw JSON instead of a table")
+    return parser
+
+
+def cli_main(argv=None) -> int:
+    """Entry point for the ``store`` subcommand; returns an exit code."""
+    args = build_cli_parser().parse_args(argv)
+    root = Path(args.store)
+    if not root.is_dir():
+        print(f"store: no store directory at {root}", file=sys.stderr)
+        return 2
+    store = ResultStore(root)
+    try:
+        if args.command == "scan":
+            summary = store.summary()
+            if args.json:
+                print(json.dumps(summary, indent=2, sort_keys=True))
+                return 0
+            print(f"store {summary['dir']}: {summary['records']} "
+                  f"record(s), {summary['corrupt_records']} corrupt")
+            for meta in summary["cells"]:
+                print(f"  {meta['key'][:16]}  "
+                      f"{meta['workload'] or '?'}/"
+                      f"{meta['protocol'] or '?'}  ({meta['shard']})")
+            return 0
+        if args.key is None:
+            print("store get: missing KEY", file=sys.stderr)
+            return 2
+        result = store.get(args.key)
+        if result is None:
+            print(f"store: no record under key {args.key}",
+                  file=sys.stderr)
+            return 1
+        from repro.telemetry.aggregate import result_digest
+
+        print(json.dumps(result_digest(result), indent=2,
+                         sort_keys=True))
+        return 0
+    finally:
+        store.close()

@@ -31,7 +31,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments observe",
         description="Record one simulation cell with full telemetry "
-                    "and render a markdown report.",
+                    "and render a markdown report.  With --serve, "
+                    "start the live observability service instead "
+                    "(see 'observe --serve --help').",
     )
     parser.add_argument("--workload", default="mst",
                         help="workload name (default mst)")
@@ -58,6 +60,12 @@ def build_parser() -> argparse.ArgumentParser:
                              "engine-appropriate default otherwise)")
     parser.add_argument("--out", default="observe-out", metavar="DIR",
                         help="artifact directory (default observe-out)")
+    parser.add_argument("--registry", default=None, metavar="DIR",
+                        help="run registry to announce this capture in "
+                             "(default .repro-registry; the service "
+                             "streams its intervals live from there)")
+    parser.add_argument("--no-registry", action="store_true",
+                        help="do not register the capture")
     return parser
 
 
@@ -65,8 +73,8 @@ def observe(args) -> Path:
     """Run the cell and write all artifacts; returns the out dir."""
     from repro.engine.simulator import simulate
     from repro.telemetry.interval import read_jsonl
-    from repro.telemetry.manifest import (cell_manifest, perf_sidecar,
-                                          write_json)
+    from repro.telemetry.manifest import (cell_manifest, cell_slug,
+                                          perf_sidecar, write_json)
     from repro.telemetry.report import render_report
     from repro.telemetry.session import TelemetrySession
     from repro.trace.workloads import WORKLOADS
@@ -81,6 +89,21 @@ def observe(args) -> Path:
 
         plan = make_fault_plan(args.fault_plan, seed=args.seed)
 
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    if not getattr(args, "no_registry", False):
+        # Announce the capture up front so a running observability
+        # service can stream its intervals the moment they land.
+        from repro.telemetry.session import DEFAULT_REGISTRY, RunRegistry
+
+        RunRegistry(args.registry or DEFAULT_REGISTRY).register_observe(
+            out,
+            slug=cell_slug(args.workload, args.protocol, cfg,
+                           args.placement, plan),
+            cell={"workload": args.workload, "protocol": args.protocol,
+                  "engine": args.engine, "seed": args.seed},
+        )
+
     time_unit = "cycles" if args.engine == "detailed" else "ops"
     session = TelemetrySession.recording(cfg, interval=args.interval,
                                          time_unit=time_unit)
@@ -94,8 +117,6 @@ def observe(args) -> Path:
         telemetry=session,
     )
 
-    out = Path(args.out)
-    out.mkdir(parents=True, exist_ok=True)
     session.tracer.write(out / "trace.json")
     session.sampler.write_jsonl(out / "intervals.jsonl")
     manifest = cell_manifest(
@@ -118,6 +139,14 @@ def observe(args) -> Path:
 
 
 def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if "--serve" in argv:
+        # The long-running observability service has its own argument
+        # structure; hand everything else through to it.
+        from repro.telemetry.serve import main as serve_main
+
+        argv.remove("--serve")
+        return serve_main(argv)
     args = build_parser().parse_args(argv)
     try:
         out = observe(args)

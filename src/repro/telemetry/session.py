@@ -7,13 +7,166 @@ A :class:`TelemetrySession` is what threads through
 message-type x scope tally both engines feed.  ``None`` anywhere means
 that collector is off; a ``None`` session means telemetry is off
 entirely and the engines run their uninstrumented hot loops.
+
+A :class:`RunRegistry` is the cross-run session object: a durable
+index of every telemetry run directory, results store, and observe
+capture produced on this host, which the sweep CLI registers into the
+moment a sweep *starts* and the observability service
+(``observe --serve``) discovers from.  It follows the repo's
+append-only durability contract (single-write ``O_APPEND`` records,
+per-line CRC, corrupt lines warn and skip, last writer wins per
+directory).
 """
 
 from __future__ import annotations
 
+import json
+import os
+import sys
+import time
+import zlib
+from pathlib import Path
+
 from repro.engine.throughput import ThroughputSink
 from repro.telemetry.interval import IntervalSampler
 from repro.telemetry.tracer import NULL_TRACER, ChromeTracer, Tracer
+
+#: Registry directory used when the CLI is not told otherwise (the
+#: sibling of the journal's ``.repro-journal`` convention).
+DEFAULT_REGISTRY = ".repro-registry"
+
+#: Registry record schema; bump on any incompatible change (old lines
+#: then parse as corrupt and are skipped).
+REGISTRY_SCHEMA = 1
+
+
+class RunRegistry:
+    """Durable index of run/telemetry/store directories on this host.
+
+    One JSONL file (``registry.jsonl``) of records, each describing a
+    directory of artifacts: a sweep's ``--telemetry`` output
+    (``kind="run"``), a ``--store`` results store (``kind="store"``),
+    or a single-cell ``observe`` capture (``kind="observe"``).
+    Registration is idempotent per ``(kind, dir)``: re-registering a
+    directory appends a fresh record that supersedes the old one, which
+    is how a sweep flips its own status from ``running`` to
+    ``completed`` without rewriting history.
+    """
+
+    def __init__(self, root):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.path = self.root / "registry.jsonl"
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+
+    def register(self, kind: str, directory, **info) -> dict:
+        """Append one record; returns the record dict."""
+        record = {
+            "kind": kind,
+            "dir": str(Path(directory).resolve()),
+            "registered": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            "pid": os.getpid(),
+            "info": {k: v for k, v in info.items() if v is not None},
+        }
+        payload = json.dumps(record, sort_keys=True)
+        line = json.dumps({
+            "v": REGISTRY_SCHEMA,
+            "crc": zlib.crc32(payload.encode()),
+            "record": record,
+        }, sort_keys=True) + "\n"
+        fd = os.open(self.path,
+                     os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
+        try:
+            os.write(fd, line.encode())
+        finally:
+            os.close(fd)
+        return record
+
+    def register_run(self, directory, *, experiments=None, settings=None,
+                     status: str = "running", cells: int = None) -> dict:
+        """Register a sweep's ``--telemetry`` directory.
+
+        Called once with ``status="running"`` before the first cell
+        simulates (so a live service sees the sweep immediately) and
+        again at exit with the final status and cell count.
+        """
+        return self.register("run", directory,
+                             experiments=list(experiments or []),
+                             settings=settings, status=status,
+                             cells=cells)
+
+    def register_store(self, directory) -> dict:
+        """Register a ``--store`` results-store directory."""
+        return self.register("store", directory)
+
+    def register_observe(self, directory, *, slug: str = None,
+                         cell: dict = None) -> dict:
+        """Register one ``observe`` capture (has ``intervals.jsonl``)."""
+        return self.register("observe", directory, slug=slug, cell=cell)
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+
+    def entries(self) -> list:
+        """Every registered directory, deduped by ``(kind, dir)``.
+
+        First-registration order is preserved; the *latest* record for
+        a directory wins (so ``info.status`` reflects the last update).
+        Corrupt lines warn and are skipped, never raised.
+        """
+        merged: dict = {}
+        bad = 0
+        if self.path.exists():
+            with open(self.path, "rb") as fh:
+                for raw in fh:
+                    line = raw.strip()
+                    if not line:
+                        continue
+                    record = self._decode(line)
+                    if record is None:
+                        bad += 1
+                        continue
+                    # Last record wins; dict assignment keeps the
+                    # key's first-registration position.
+                    merged[(record["kind"], record["dir"])] = record
+        if bad:
+            print(f"run registry: skipped {bad} corrupt record(s) in "
+                  f"{self.path}", file=sys.stderr)
+        return list(merged.values())
+
+    @staticmethod
+    def _decode(line: bytes):
+        try:
+            wrapper = json.loads(line)
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            return None
+        if not isinstance(wrapper, dict) \
+                or wrapper.get("v") != REGISTRY_SCHEMA:
+            return None
+        record = wrapper.get("record")
+        if not isinstance(record, dict) or "kind" not in record \
+                or "dir" not in record:
+            return None
+        payload = json.dumps(record, sort_keys=True)
+        if zlib.crc32(payload.encode()) != wrapper.get("crc"):
+            return None
+        return record
+
+    def _kind(self, kind: str) -> list:
+        return [r for r in self.entries() if r["kind"] == kind]
+
+    def runs(self) -> list:
+        return self._kind("run")
+
+    def stores(self) -> list:
+        return self._kind("store")
+
+    def observations(self) -> list:
+        return self._kind("observe")
 
 
 class TelemetrySession:

@@ -225,7 +225,8 @@ class TestCliIntegration:
         assert "GeoMean" in capsys.readouterr().out
 
     def test_store_flag_round_trip(self, tmp_path, capsys):
-        args = [*self.ARGS, "--store", str(tmp_path / "s")]
+        args = [*self.ARGS, "--store", str(tmp_path / "s"),
+                "--registry", str(tmp_path / "reg")]
         assert cli.main(args) == 0
         cold = capsys.readouterr()
         assert cli.main(args) == 0
@@ -262,7 +263,8 @@ class TestCliIntegration:
 
         monkeypatch.setattr(ExperimentContext, "__init__", chaotic_init)
         code = cli.main([*self.ARGS, "--jobs", "2", "--telemetry",
-                         str(tmp_path / "t")])
+                         str(tmp_path / "t"),
+                         "--registry", str(tmp_path / "reg")])
         assert code == 1
         err = capsys.readouterr().err
         assert "failed permanently" in err
@@ -273,3 +275,7 @@ class TestCliIntegration:
         assert manifest[0]["protocol"] == "hmg"
         fabric = json.loads((tmp_path / "t" / "fabric.json").read_text())
         assert fabric["failed"] == 1
+        from repro.telemetry.session import RunRegistry
+
+        runs = RunRegistry(tmp_path / "reg").runs()
+        assert runs and runs[-1]["info"]["status"] == "failed"

@@ -221,7 +221,8 @@ class TestManifests:
         rc = cli.main(["fig2", "--scale", str(1 / 64),
                        "--ops-scale", "0.05",
                        "--workloads", "CoMD",
-                       "--telemetry", str(out)])
+                       "--telemetry", str(out),
+                       "--registry", str(tmp_path / "reg")])
         assert rc == 0
         run = json.loads((out / "run.json").read_text())
         assert run["experiments"] == ["fig2"]

@@ -26,6 +26,7 @@ telemetry-free path against the committed baseline).
 
 import argparse
 import json
+import subprocess
 import sys
 import time
 from pathlib import Path
@@ -78,6 +79,38 @@ def measure_once(null_telemetry: bool = False) -> float:
     return ops / wall
 
 
+def current_commit() -> str:
+    """Short git head of the repo, or None outside a checkout."""
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=BENCH_FILE.parent, capture_output=True, text=True,
+            timeout=10, check=True,
+        ).stdout.strip() or None
+    except (OSError, subprocess.SubprocessError):
+        return None
+
+
+def append_history(bench: dict, ops_per_second: float, *,
+                   passes: int, commit: str = None,
+                   recorded: str = None) -> dict:
+    """Append one measurement to the bench file's ``history`` list.
+
+    The history is the perf *trajectory* the observability dashboard
+    plots — ``latest`` alone is a single point and can't show drift.
+    Returns the appended entry.
+    """
+    entry = {
+        "ops_per_second": round(ops_per_second),
+        "passes": passes,
+        "recorded": recorded or time.strftime("%Y-%m-%d"),
+    }
+    if commit:
+        entry["commit"] = commit
+    bench.setdefault("history", []).append(entry)
+    return entry
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--repeats", type=int, default=3,
@@ -89,6 +122,11 @@ def main(argv=None) -> int:
     parser.add_argument("--update", action="store_true",
                         help="record this measurement as 'latest' in "
                              "BENCH_perf.json")
+    parser.add_argument("--record", action="store_true",
+                        help="append this measurement (timestamp, "
+                             "ops/sec, commit) to BENCH_perf.json's "
+                             "'history' list — the perf trajectory the "
+                             "observability dashboard plots")
     parser.add_argument("--no-gate", action="store_true",
                         help="measure and report only; never fail")
     parser.add_argument("--telemetry-overhead", action="store_true",
@@ -118,6 +156,12 @@ def main(argv=None) -> int:
             "passes": max(1, args.repeats),
             "recorded": time.strftime("%Y-%m-%d"),
         }
+    if args.record:
+        entry = append_history(bench, best,
+                               passes=max(1, args.repeats),
+                               commit=current_commit())
+        print(f"recorded history point: {entry}")
+    if args.update or args.record:
         BENCH_FILE.write_text(json.dumps(bench, indent=2) + "\n")
         print(f"updated {BENCH_FILE.name}")
 
