@@ -5,9 +5,14 @@ from repro.engine.events import EventQueue, SimulationClock
 from repro.engine.simulator import compare, simulate, speedups
 from repro.engine.stats import ResourceTimes, SimResult
 from repro.engine.throughput import ThroughputEngine, ThroughputSink
+from repro.engine.vectorized import (
+    VECTORIZED_PROTOCOLS,
+    VectorizedThroughputEngine,
+)
 
 __all__ = [
     "BufferingSink", "DetailedEngine", "EventQueue", "ResourceTimes",
     "SimResult", "SimulationClock", "ThroughputEngine", "ThroughputSink",
+    "VECTORIZED_PROTOCOLS", "VectorizedThroughputEngine",
     "compare", "simulate", "speedups",
 ]

@@ -28,7 +28,7 @@ from repro.core.registry import make_protocol
 from repro.engine.stats import SimResult
 from repro.engine.throughput import ThroughputEngine, ThroughputSink
 
-ENGINES = ("throughput", "detailed")
+ENGINES = ("throughput", "vectorized", "detailed")
 
 
 def simulate(trace, cfg: SystemConfig, protocol: str = "hmg",
@@ -57,6 +57,23 @@ def simulate(trace, cfg: SystemConfig, protocol: str = "hmg",
         from repro.core.sanitizer import CoherenceSanitizer
 
         sanitizer = CoherenceSanitizer()
+    if engine == "vectorized":
+        from repro.engine.vectorized import (
+            VECTORIZED_PROTOCOLS,
+            VectorizedThroughputEngine,
+        )
+
+        # The batch engine has no per-op hook to hang a sanitizer or
+        # tracer on, and only models the registry protocols it was
+        # differentially validated against — anything else falls back
+        # to the scalar reference engine rather than failing.
+        if (sanitizer is None and telemetry is None
+                and protocol in VECTORIZED_PROTOCOLS):
+            return VectorizedThroughputEngine(cfg, fault_plan=fault_plan).run(
+                protocol, trace, workload_name=workload_name,
+                placement=placement
+            )
+        engine = "throughput"
     if engine == "throughput":
         if telemetry is not None:
             from repro.telemetry.session import TallyingSink

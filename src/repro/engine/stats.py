@@ -169,6 +169,31 @@ class SimResult:
         return "\n".join(lines)
 
 
+def apply_fault_expansion(plan, l2, dram, xbar, link):
+    """Degrade busy times under a :class:`repro.faults.FaultPlan`.
+
+    Shared by the scalar and vectorized throughput engines: each
+    affected resource class is stretched by the plan's duty-cycle
+    time-expansion factor, and message loss additionally inflates the
+    network classes by the expected retransmission attempts.  Returns
+    the four (possibly new) lists in the same order.
+    """
+    if plan is None or plan.is_noop:
+        return l2, dram, xbar, link
+    l2 = [t * plan.time_expansion("l2") for t in l2]
+    dram = [t * plan.time_expansion("dram") for t in dram]
+    xbar = [t * plan.time_expansion("xbar") for t in xbar]
+    link = [t * plan.time_expansion("link") for t in link]
+    if plan.message_loss is not None:
+        # Retransmitted requests re-cross the interconnect; the
+        # expected extra attempts inflate network busy time (the
+        # detailed engine draws the exact per-message retries).
+        expansion = plan.retry_expansion()
+        xbar = [t * expansion for t in xbar]
+        link = [t * expansion for t in link]
+    return l2, dram, xbar, link
+
+
 def aggregate_l1_stats(protocol: CoherenceProtocol) -> CacheStats:
     """Machine-wide L1 counters, summed over every slice."""
     total = CacheStats()

@@ -31,6 +31,7 @@ from repro.engine.stats import (
     SimResult,
     aggregate_l1_stats,
     aggregate_l2_stats,
+    apply_fault_expansion,
     total_dram_bytes,
 )
 
@@ -227,18 +228,8 @@ class ThroughputEngine:
             max(sink.link_out_bytes[g], sink.link_in_bytes[g]) / link_bpc
             for g in range(cfg.num_gpus)
         ]
-        if self.fault_plan is not None and not self.fault_plan.is_noop:
-            plan = self.fault_plan
-            l2 = [t * plan.time_expansion("l2") for t in l2]
-            dram = [t * plan.time_expansion("dram") for t in dram]
-            xbar = [t * plan.time_expansion("xbar") for t in xbar]
-            link = [t * plan.time_expansion("link") for t in link]
-            if plan.message_loss is not None:
-                # Retransmitted requests re-cross the interconnect; the
-                # expected extra attempts inflate network busy time (the
-                # detailed engine draws the exact per-message retries).
-                expansion = plan.retry_expansion()
-                xbar = [t * expansion for t in xbar]
-                link = [t * expansion for t in link]
+        l2, dram, xbar, link = apply_fault_expansion(
+            self.fault_plan, l2, dram, xbar, link
+        )
         return ResourceTimes(issue=issue, l2=l2, dram=dram, xbar=xbar,
                              link=link)

@@ -1,0 +1,185 @@
+"""Sorted-key state tables and epoch helpers for the vectorized engine.
+
+The vectorized throughput engine (:mod:`repro.engine.vectorized`)
+models every set-associative structure (L1 slices, L2 partitions,
+directories) as one *global* table of sorted int64 keys::
+
+    key = (unit << UNIT_SHIFT) | item
+
+where ``unit`` is a flat structure index (GPM, L1 slice, or directory
+partition) and ``item`` is a line or sector index.  Membership tests,
+duplicate detection inside an epoch, state merges and capacity
+evictions are then plain numpy sorts/searches over the whole epoch at
+once instead of per-op dict lookups.
+
+Within an epoch, order is approximated: a probe hits when its key was
+resident at epoch start *or* some earlier event in the epoch made it
+resident.  Capacity is enforced only at epoch boundaries (keep the
+most recently touched ``ways`` entries per set).  These are the
+documented-tolerance approximations of DESIGN §15; everything exact
+lives in :mod:`repro.engine.vectorized` itself.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Bits reserved for the item (line/sector) index inside a table key.
+UNIT_SHIFT = 40
+
+_EMPTY_I64 = np.empty(0, np.int64)
+_EMPTY_BOOL = np.empty(0, bool)
+
+
+def make_keys(units, items) -> np.ndarray:
+    """Pack ``(unit, item)`` pairs into table keys."""
+    return (np.asarray(units, np.int64) << UNIT_SHIFT) | np.asarray(
+        items, np.int64
+    )
+
+
+def items_of(keys: np.ndarray) -> np.ndarray:
+    """Item (line/sector) component of packed keys."""
+    return keys & ((np.int64(1) << UNIT_SHIFT) - 1)
+
+
+def units_of(keys: np.ndarray) -> np.ndarray:
+    """Unit component of packed keys."""
+    return keys >> UNIT_SHIFT
+
+
+def member(sorted_keys: np.ndarray, query: np.ndarray) -> np.ndarray:
+    """Vectorized set membership: is each query key in ``sorted_keys``?"""
+    if sorted_keys.size == 0 or query.size == 0:
+        return np.zeros(query.shape, bool)
+    idx = np.searchsorted(sorted_keys, query)
+    idx[idx >= sorted_keys.size] = sorted_keys.size - 1
+    return sorted_keys[idx] == query
+
+
+def has_prior(keys: np.ndarray, pos: np.ndarray) -> np.ndarray:
+    """For each event, True when the same key occurs earlier in the
+    event stream (any earlier event leaves the key resident, so later
+    probes of it hit regardless of the earlier outcome)."""
+    if keys.size == 0:
+        return _EMPTY_BOOL.copy()
+    order = np.lexsort((pos, keys))
+    k = keys[order]
+    dup = np.empty(k.size, bool)
+    dup[0] = False
+    dup[1:] = k[1:] == k[:-1]
+    out = np.empty(k.size, bool)
+    out[order] = dup
+    return out
+
+
+class Table:
+    """One global structure state: sorted keys + last-touch positions +
+    a per-entry payload (dirty flag for L2, sharer mask for dirs)."""
+
+    __slots__ = ("keys", "pos", "val")
+
+    def __init__(self, keys=None, pos=None, val=None):
+        self.keys = _EMPTY_I64.copy() if keys is None else keys
+        self.pos = _EMPTY_I64.copy() if pos is None else pos
+        self.val = _EMPTY_I64.copy() if val is None else val
+
+    def merge(self, ev_keys, ev_pos, ev_val=None):
+        """Fold epoch events into the table (last event wins ``pos``;
+        int64 payloads are OR-combined per key, matching dirty-flag and
+        sharer-mask semantics).  Returns a mask over the merged entries
+        marking keys that were newly inserted (absent at epoch start).
+        """
+        if ev_keys.size == 0:
+            return np.zeros(self.keys.size, bool)
+        old_keys = self.keys
+        if ev_val is None:
+            ev_val = np.zeros(ev_keys.size, np.int64)
+        keys = np.concatenate([self.keys, ev_keys])
+        pos = np.concatenate([self.pos, ev_pos])
+        val = np.concatenate([self.val, ev_val])
+        order = np.lexsort((pos, keys))
+        keys, pos, val = keys[order], pos[order], val[order]
+        first = np.empty(keys.size, bool)
+        first[0] = True
+        first[1:] = keys[1:] != keys[:-1]
+        starts = np.flatnonzero(first)
+        # Last event per key wins the position; payloads OR together.
+        last = np.empty(starts.size, np.int64)
+        last[:-1] = starts[1:] - 1
+        last[-1] = keys.size - 1
+        self.keys = keys[starts]
+        self.pos = pos[last]
+        self.val = np.bitwise_or.reduceat(val, starts)
+        return ~member(old_keys, self.keys)
+
+    def drop(self, mask):
+        """Remove entries where ``mask`` is True; returns dropped count."""
+        n = int(np.count_nonzero(mask))
+        if n:
+            keep = ~mask
+            self.keys = self.keys[keep]
+            self.pos = self.pos[keep]
+            self.val = self.val[keep]
+        return n
+
+    def drop_keys(self, victim_keys) -> int:
+        """Remove specific keys (if present); returns how many existed."""
+        if victim_keys.size == 0 or self.keys.size == 0:
+            return 0
+        return self.drop(member(np.sort(victim_keys), self.keys))
+
+    def capacity_evict(self, set_ids, ways: int):
+        """Enforce per-set capacity, keeping the ``ways`` most recently
+        touched entries of each set (``set_ids`` aligns with
+        ``self.keys``: a combined (unit, set) group id per entry).
+
+        Returns ``(keys, val)`` of the evicted entries.
+        """
+        if self.keys.size == 0:
+            return _EMPTY_I64, _EMPTY_I64
+        # Fast path: no set over capacity (common for the roomy L2).
+        if int(np.bincount(set_ids).max()) <= ways:
+            return _EMPTY_I64, _EMPTY_I64
+        order = np.lexsort((-self.pos, set_ids))
+        gid = set_ids[order]
+        first = np.empty(gid.size, bool)
+        first[0] = True
+        first[1:] = gid[1:] != gid[:-1]
+        # Rank of each entry within its set, newest first.
+        idx = np.arange(gid.size)
+        start_of_group = np.maximum.accumulate(np.where(first, idx, 0))
+        rank = idx - start_of_group
+        evict_sorted = rank >= ways
+        if not evict_sorted.any():
+            return _EMPTY_I64, _EMPTY_I64
+        evict = np.zeros(self.keys.size, bool)
+        evict[order] = evict_sorted
+        keys, val = self.keys[evict], self.val[evict]
+        self.drop(evict)
+        return keys, val
+
+
+def epoch_bounds(kb_positions: np.ndarray, total_ops: int,
+                 wave_gap: int = 64, max_span: int = 4096):
+    """Epoch segmentation: cut after each kernel-boundary *wave* (runs
+    of boundary ops less than ``wave_gap`` apart), then subdivide any
+    remaining span longer than ``max_span`` ops.  Returns a sorted
+    int64 array of cut positions, ending with ``total_ops``."""
+    cuts = []
+    if kb_positions.size:
+        gaps = np.flatnonzero(np.diff(kb_positions) > wave_gap)
+        wave_ends = np.concatenate([kb_positions[gaps],
+                                    kb_positions[-1:]])
+        cuts.extend(int(p) + 1 for p in wave_ends)
+    cuts.append(total_ops)
+    bounds = sorted(set(c for c in cuts if 0 < c <= total_ops))
+    out = []
+    prev = 0
+    for b in bounds:
+        while b - prev > max_span:
+            prev += max_span
+            out.append(prev)
+        out.append(b)
+        prev = b
+    return np.asarray(out, np.int64)

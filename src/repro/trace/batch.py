@@ -1,0 +1,118 @@
+"""Columnar (numpy) batch trace representation.
+
+The scalar engines iterate a trace as a list of
+:class:`~repro.core.types.MemOp` objects — one Python object per op,
+one attribute dereference per field read.  The vectorized throughput
+engine (:mod:`repro.engine.vectorized`) instead consumes the whole
+trace as a handful of numpy arrays, one per field, and classifies ops
+with array predicates.
+
+:class:`BatchTrace` holds exactly the raw trace columns.  The binary
+trace cache (:mod:`repro.trace.cache`) packs each op as 18 bytes of
+``<BQBBHBI>`` — (op, address, gpu, gpm, cta, scope, size) — which is
+precisely a packed numpy structured dtype, so :meth:`from_payload`
+decodes a cached trace into columns with a single ``np.frombuffer``
+and seven column copies, never materializing a ``MemOp``.
+:meth:`from_ops` is the fallback for traces that only exist as op
+lists (freshly generated, hand-built in tests).
+
+Engine-derived columns (line indices, home mappings, epoch segment
+boundaries) are *not* stored here: they depend on the platform
+geometry and placement policy, and are cached per ``(geometry,
+placement)`` by the vectorized engine via the :attr:`prepared` dict.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Packed layout of one cached op — must mirror
+#: ``repro.trace.cache._OP`` (``struct.Struct("<BQBBHBI")``, 18 bytes).
+OP_DTYPE = np.dtype({
+    "names": ["op", "address", "gpu", "gpm", "cta", "scope", "size"],
+    "formats": ["u1", "<u8", "u1", "u1", "<u2", "u1", "<u4"],
+    "offsets": [0, 1, 9, 10, 11, 13, 14],
+    "itemsize": 18,
+})
+
+
+class BatchTrace:
+    """One trace as columnar numpy arrays (see module docstring)."""
+
+    __slots__ = ("kind", "address", "gpu", "gpm", "cta", "scope", "size",
+                 "prepared")
+
+    def __init__(self, kind, address, gpu, gpm, cta, scope, size):
+        self.kind = kind          # uint8, OpType values
+        self.address = address    # uint64 byte addresses
+        self.gpu = gpu            # int64
+        self.gpm = gpm            # int64
+        self.cta = cta            # int64
+        self.scope = scope        # uint8, Scope values
+        self.size = size          # int64
+        #: Cache of engine-prepared derived columns, keyed by
+        #: ``(geometry fingerprint, placement)``.
+        self.prepared: dict = {}
+
+    def __len__(self) -> int:
+        return int(self.kind.size)
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_payload(cls, payload: bytes, count: int = None) -> "BatchTrace":
+        """Decode the trace cache's packed op payload directly.
+
+        ``payload`` is the raw bytes between the JSON header and the CRC
+        trailer of a ``.trc`` file (``count * 18`` bytes).  Columns are
+        copied out of the structured view so the result does not alias
+        the (possibly memory-mapped) input buffer.
+        """
+        raw = np.frombuffer(payload, dtype=OP_DTYPE, count=-1 if count is None
+                            else count)
+        return cls(
+            kind=raw["op"].copy(),
+            address=raw["address"].copy(),
+            gpu=raw["gpu"].astype(np.int64),
+            gpm=raw["gpm"].astype(np.int64),
+            cta=raw["cta"].astype(np.int64),
+            scope=raw["scope"].copy(),
+            size=raw["size"].astype(np.int64),
+        )
+
+    @classmethod
+    def from_ops(cls, ops) -> "BatchTrace":
+        """Build columns from a sequence of :class:`MemOp` (fallback for
+        traces that never went through the binary cache)."""
+        n = len(ops)
+        kind = np.fromiter((int(op.op) for op in ops), np.uint8, count=n)
+        address = np.fromiter((op.address for op in ops), np.uint64, count=n)
+        gpu = np.fromiter((op.node.gpu for op in ops), np.int64, count=n)
+        gpm = np.fromiter((op.node.gpm for op in ops), np.int64, count=n)
+        cta = np.fromiter((op.cta for op in ops), np.int64, count=n)
+        scope = np.fromiter((int(op.scope) for op in ops), np.uint8, count=n)
+        size = np.fromiter((op.size for op in ops), np.int64, count=n)
+        return cls(kind, address, gpu, gpm, cta, scope, size)
+
+
+def as_batch(trace) -> BatchTrace:
+    """Columnar view of ``trace``, memoized on the trace object.
+
+    Accepts a :class:`BatchTrace` (returned as-is), a
+    :class:`repro.trace.stream.Trace` (columns cached on the instance —
+    traces loaded from the binary cache arrive with the columns already
+    decoded), or any sequence of :class:`MemOp`.
+    """
+    if isinstance(trace, BatchTrace):
+        return trace
+    cached = getattr(trace, "_batch", None)
+    if cached is not None:
+        return cached
+    batch = BatchTrace.from_ops(
+        trace.ops if hasattr(trace, "ops") else list(trace)
+    )
+    try:
+        trace._batch = batch
+    except (AttributeError, TypeError):
+        pass  # plain lists/tuples can't memoize; caller keeps the ref
+    return batch

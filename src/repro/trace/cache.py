@@ -182,13 +182,23 @@ class TraceCache:
                 )
             append(MemOp(OpType(kind), address, NodeId(gpu, gpm),
                          cta=cta, scope=Scope(scope), size=size))
-        return Trace(
+        trace = Trace(
             name=header.get("name", "trace"),
             ops=ops,
             footprint_bytes=header.get("footprint_bytes", 0),
             kernels=header.get("kernels", 0),
             meta=header.get("meta", {}) or {},
         )
+        # The packed payload is already the vectorized engine's columnar
+        # layout; decode it once here so batch consumers skip the
+        # per-MemOp fallback path entirely.
+        try:
+            from repro.trace.batch import BatchTrace
+
+            trace._batch = BatchTrace.from_payload(payload, count)
+        except ImportError:  # numpy-free installs still get scalar runs
+            pass
+        return trace
 
     def load(self, workload: str, cfg, seed: int,
              ops_scale: float) -> Optional[Trace]:

@@ -256,12 +256,15 @@ class TestCheckPerfHistory:
             bench, 123456.7, passes=3, commit="abc1234",
             recorded="2026-08-08")
         assert bench["history"] == [entry]
-        assert entry == {"ops_per_second": 123457, "passes": 3,
-                         "recorded": "2026-08-08", "commit": "abc1234"}
+        assert entry == {"ops_per_second": 123457, "engine": "scalar",
+                         "passes": 3, "recorded": "2026-08-08",
+                         "commit": "abc1234"}
         check_perf.append_history(bench, 200000, passes=1,
+                                  engine="vectorized",
                                   recorded="2026-08-09")
         assert len(bench["history"]) == 2
         assert "commit" not in bench["history"][1]
+        assert bench["history"][1]["engine"] == "vectorized"
 
     def test_committed_bench_has_history(self):
         bench = json.loads(
@@ -270,6 +273,16 @@ class TestCheckPerfHistory:
         history = bench["history"]
         assert len(history) >= 2
         assert all(h["ops_per_second"] > 0 for h in history)
-        # The trajectory ends at the recovered post-PR-6 measurement.
-        assert history[-1]["ops_per_second"] == \
+        # The scalar trajectory ends at the recovered post-PR-6
+        # measurement; entries without an engine tag predate the
+        # vectorized engine and are scalar.
+        scalar = [h for h in history
+                  if h.get("engine", "scalar") == "scalar"]
+        assert scalar[-1]["ops_per_second"] == \
             bench["latest"]["ops_per_second"]
+        # The vectorized trajectory starts at its committed baseline.
+        vectorized = [h for h in history
+                      if h.get("engine") == "vectorized"]
+        assert vectorized, "vectorized baseline point missing"
+        assert vectorized[-1]["ops_per_second"] == \
+            bench["baseline_vectorized"]["ops_per_second"]

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Scalar vs vectorized engine differential gate (CI entry point).
+
+Runs every protocol x workload cell of the fig8 grid through both the
+scalar reference :class:`~repro.engine.throughput.ThroughputEngine`
+and the batch :class:`~repro.engine.vectorized.VectorizedThroughputEngine`,
+and diffs their results field by field against the documented bounds in
+:data:`repro.engine.equivalence.BOUNDS`.  Exits 1 when any cell drifts
+outside its band.
+
+    PYTHONPATH=src python tools/check_equivalence.py
+    PYTHONPATH=src python tools/check_equivalence.py --lossy --quick
+
+``--lossy`` repeats the sweep under a 2% message-loss fault plan, which
+additionally exercises the analytic degradation counters both engines
+must agree on.
+"""
+
+import argparse
+import sys
+
+from repro.engine.equivalence import (
+    GRID_PROTOCOLS,
+    GRID_WORKLOADS,
+    check_grid,
+    grid_passed,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workloads", nargs="*", default=None,
+                        metavar="NAME",
+                        help=f"workloads to sweep "
+                             f"(default {' '.join(GRID_WORKLOADS)})")
+    parser.add_argument("--protocols", nargs="*", default=None,
+                        metavar="NAME",
+                        help=f"protocols to sweep "
+                             f"(default {' '.join(GRID_PROTOCOLS)})")
+    parser.add_argument("--quick", action="store_true",
+                        help="one workload (CoMD) only — fast CI smoke")
+    parser.add_argument("--lossy", action="store_true",
+                        help="also sweep under a 2%% message-loss fault "
+                             "plan (checks degradation counters)")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="trace seed override")
+    args = parser.parse_args(argv)
+
+    workloads = tuple(args.workloads) if args.workloads else GRID_WORKLOADS
+    if args.quick:
+        workloads = workloads[:1]
+    protocols = tuple(args.protocols) if args.protocols else GRID_PROTOCOLS
+    kwargs = {}
+    if args.seed is not None:
+        kwargs["seed"] = args.seed
+
+    print("== equivalence sweep (no faults) ==")
+    results = check_grid(workloads=workloads, protocols=protocols,
+                         report=print, **kwargs)
+    ok = grid_passed(results)
+
+    if args.lossy:
+        from repro.faults import FAULT_PLANS
+
+        plan = FAULT_PLANS["lossy"](0)
+        print("== equivalence sweep (2% message loss) ==")
+        lossy = check_grid(workloads=workloads, protocols=protocols,
+                           fault_plan=plan, report=print, **kwargs)
+        ok = ok and grid_passed(lossy)
+
+    if not ok:
+        print("EQUIVALENCE GATE FAILED: engines disagree beyond the "
+              "documented bounds", file=sys.stderr)
+        return 1
+    print("equivalence gate: all cells within bounds")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

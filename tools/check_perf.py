@@ -45,14 +45,23 @@ OPS_SCALE = 0.25
 SEED = 1
 
 
-def measure_once(null_telemetry: bool = False) -> float:
+def measure_once(engine: str = "scalar",
+                 null_telemetry: bool = False) -> float:
     """One full microbench pass; returns engine ops/sec.
+
+    ``engine`` selects the scalar per-op loop (``"scalar"``, the
+    historical microbench) or the batch path (``"vectorized"``, via
+    ``simulate(engine="vectorized")``).  Both report
+    ``SimResult.wall_seconds`` — engine accounting time only; trace
+    decode and column preparation are one-time costs outside it.
 
     ``null_telemetry`` attaches an empty
     :class:`~repro.telemetry.TelemetrySession` (no tracer, no sampler)
     to every run — the cheapest possible telemetry configuration — so
     the overhead of the instrumented engine loop itself can be compared
-    against the default uninstrumented path.
+    against the default uninstrumented path.  (Scalar only: the
+    vectorized path falls back to the scalar engine whenever telemetry
+    is attached.)
     """
     ctx = ExperimentContext(SystemConfig.paper_scaled(SCALE), seed=SEED,
                             ops_scale=OPS_SCALE)
@@ -62,7 +71,13 @@ def measure_once(null_telemetry: bool = False) -> float:
     wall = 0.0
     for workload in WORKLOADS:
         for protocol in PROTOCOLS:
-            if null_telemetry:
+            if engine == "vectorized":
+                from repro.engine.simulator import simulate
+
+                result = simulate(ctx.trace(workload), ctx.cfg,
+                                  protocol=protocol, engine="vectorized",
+                                  workload_name=workload)
+            elif null_telemetry:
                 from repro.engine.simulator import simulate
                 from repro.telemetry.session import TelemetrySession
 
@@ -92,16 +107,18 @@ def current_commit() -> str:
 
 
 def append_history(bench: dict, ops_per_second: float, *,
-                   passes: int, commit: str = None,
-                   recorded: str = None) -> dict:
+                   passes: int, engine: str = "scalar",
+                   commit: str = None, recorded: str = None) -> dict:
     """Append one measurement to the bench file's ``history`` list.
 
     The history is the perf *trajectory* the observability dashboard
     plots — ``latest`` alone is a single point and can't show drift.
-    Returns the appended entry.
+    ``engine`` tags which loop was measured so the two trajectories
+    stay separable in one list.  Returns the appended entry.
     """
     entry = {
         "ops_per_second": round(ops_per_second),
+        "engine": engine,
         "passes": passes,
         "recorded": recorded or time.strftime("%Y-%m-%d"),
     }
@@ -113,6 +130,12 @@ def append_history(bench: dict, ops_per_second: float, *,
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--engine", choices=("scalar", "vectorized", "both"),
+                        default="scalar",
+                        help="which engine loop to measure and gate: the "
+                             "scalar reference, the vectorized batch "
+                             "path, or both back to back "
+                             "(default scalar)")
     parser.add_argument("--repeats", type=int, default=3,
                         help="microbench passes; best is kept "
                              "(default 3)")
@@ -137,41 +160,62 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     bench = json.loads(BENCH_FILE.read_text())
-    baseline = bench["baseline"]["ops_per_second"]
+    engines = (("scalar", "vectorized") if args.engine == "both"
+               else (args.engine,))
 
-    best = 0.0
-    for i in range(max(1, args.repeats)):
-        value = measure_once()
-        best = max(best, value)
-        print(f"pass {i + 1}/{args.repeats}: {value:,.0f} ops/sec")
-    ratio = best / baseline
-    floor = baseline * (1.0 - args.tolerance)
-    print(f"best: {best:,.0f} ops/sec "
-          f"(baseline {baseline:,.0f}, ratio {ratio:.2f}x, "
-          f"floor {floor:,.0f})")
+    failed = False
+    best = 0.0  # last engine's best; telemetry compare uses scalar's
+    scalar_best = None
+    for engine in engines:
+        baseline_key = ("baseline" if engine == "scalar"
+                        else "baseline_vectorized")
+        baseline = bench[baseline_key]["ops_per_second"]
+        best = 0.0
+        for i in range(max(1, args.repeats)):
+            value = measure_once(engine=engine)
+            best = max(best, value)
+            print(f"[{engine}] pass {i + 1}/{args.repeats}: "
+                  f"{value:,.0f} ops/sec")
+        if engine == "scalar":
+            scalar_best = best
+        ratio = best / baseline
+        floor = baseline * (1.0 - args.tolerance)
+        print(f"[{engine}] best: {best:,.0f} ops/sec "
+              f"(baseline {baseline:,.0f}, ratio {ratio:.2f}x, "
+              f"floor {floor:,.0f})")
 
-    if args.update:
-        bench["latest"] = {
-            "ops_per_second": round(best),
-            "passes": max(1, args.repeats),
-            "recorded": time.strftime("%Y-%m-%d"),
-        }
-    if args.record:
-        entry = append_history(bench, best,
-                               passes=max(1, args.repeats),
-                               commit=current_commit())
-        print(f"recorded history point: {entry}")
+        if args.update:
+            latest_key = ("latest" if engine == "scalar"
+                          else "latest_vectorized")
+            bench[latest_key] = {
+                "ops_per_second": round(best),
+                "passes": max(1, args.repeats),
+                "recorded": time.strftime("%Y-%m-%d"),
+            }
+        if args.record:
+            entry = append_history(bench, best, engine=engine,
+                                   passes=max(1, args.repeats),
+                                   commit=current_commit())
+            print(f"recorded history point: {entry}")
+
+        if not args.no_gate and best < floor:
+            print(f"PERF REGRESSION [{engine}]: {best:,.0f} ops/sec is "
+                  f"more than {args.tolerance:.0%} below the committed "
+                  f"baseline {baseline:,.0f}", file=sys.stderr)
+            failed = True
+
     if args.update or args.record:
         BENCH_FILE.write_text(json.dumps(bench, indent=2) + "\n")
         print(f"updated {BENCH_FILE.name}")
-
-    if not args.no_gate and best < floor:
-        print(f"PERF REGRESSION: {best:,.0f} ops/sec is more than "
-              f"{args.tolerance:.0%} below the committed baseline "
-              f"{baseline:,.0f}", file=sys.stderr)
+    if failed:
         return 1
+    if scalar_best is not None:
+        best = scalar_best  # telemetry overhead is a scalar-loop property
 
-    if args.telemetry_overhead:
+    if args.telemetry_overhead and scalar_best is None:
+        print("skipping --telemetry-overhead: it compares against the "
+              "scalar loop, which this invocation did not measure")
+    elif args.telemetry_overhead:
         best_tel = 0.0
         for i in range(max(1, args.repeats)):
             value = measure_once(null_telemetry=True)

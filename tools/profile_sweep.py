@@ -45,7 +45,11 @@ def main(argv=None):
     parser.add_argument("--top", type=int, default=30, metavar="N",
                         help="rows to print (default 30)")
     parser.add_argument("--engine", default="throughput",
-                        choices=["throughput", "detailed"])
+                        choices=["throughput", "vectorized", "detailed"],
+                        help="vectorized profiles the batch epoch path "
+                             "(note: combining it with --chrome-trace "
+                             "falls back to the scalar loop, since the "
+                             "batch engine has no per-op tracer hook)")
     parser.add_argument("--chrome-trace", default=None, metavar="PATH",
                         help="also record the run with the telemetry "
                              "tracer and write Chrome trace JSON here")
