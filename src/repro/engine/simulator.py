@@ -30,6 +30,22 @@ from repro.engine.throughput import ThroughputEngine, ThroughputSink
 
 ENGINES = ("throughput", "vectorized", "detailed")
 
+#: Fallback reasons already warned about (once per process per reason:
+#: a sweep that falls back on every cell complains once, not per cell).
+_FALLBACK_WARNED: set = set()
+
+
+def _warn_fallback(reason: str) -> None:
+    if reason in _FALLBACK_WARNED:
+        return
+    _FALLBACK_WARNED.add(reason)
+    import sys
+
+    print(f"simulate: engine='vectorized' falling back to the scalar "
+          f"throughput engine ({reason}); results are identical but "
+          f"slower — manifests record engine_used='throughput'",
+          file=sys.stderr)
+
 
 def simulate(trace, cfg: SystemConfig, protocol: str = "hmg",
              engine: str = "throughput", placement: str = "first_touch",
@@ -69,10 +85,23 @@ def simulate(trace, cfg: SystemConfig, protocol: str = "hmg",
         # to the scalar reference engine rather than failing.
         if (sanitizer is None and telemetry is None
                 and protocol in VECTORIZED_PROTOCOLS):
-            return VectorizedThroughputEngine(cfg, fault_plan=fault_plan).run(
+            result = VectorizedThroughputEngine(
+                cfg, fault_plan=fault_plan
+            ).run(
                 protocol, trace, workload_name=workload_name,
                 placement=placement
             )
+            result.engine_used = "vectorized"
+            return result
+        if protocol not in VECTORIZED_PROTOCOLS:
+            _warn_fallback(f"protocol {protocol!r} has no vectorized "
+                           "twin")
+        elif sanitizer is not None:
+            _warn_fallback("sanitizer attached (no per-op hook in the "
+                           "batch engine)")
+        else:
+            _warn_fallback("telemetry attached (no per-op hook in the "
+                           "batch engine)")
         engine = "throughput"
     if engine == "throughput":
         if telemetry is not None:
@@ -82,18 +111,22 @@ def simulate(trace, cfg: SystemConfig, protocol: str = "hmg",
         else:
             sink = ThroughputSink(cfg.num_gpus)
         proto = make_protocol(protocol, cfg, sink=sink, placement=placement)
-        return ThroughputEngine(cfg, fault_plan=fault_plan).run(
+        result = ThroughputEngine(cfg, fault_plan=fault_plan).run(
             proto, trace, workload_name=workload_name, sanitizer=sanitizer,
             telemetry=telemetry
         )
+        result.engine_used = "throughput"
+        return result
     if engine == "detailed":
         from repro.engine.detailed import DetailedEngine
 
-        return DetailedEngine(cfg, fault_plan=fault_plan).simulate(
+        result = DetailedEngine(cfg, fault_plan=fault_plan).simulate(
             trace, protocol, placement=placement,
             workload_name=workload_name, sanitizer=sanitizer,
             telemetry=telemetry
         )
+        result.engine_used = "detailed"
+        return result
     raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
 
 

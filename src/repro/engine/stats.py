@@ -119,6 +119,13 @@ class SimResult:
     #: Message-loss recovery counters; None when the run had no lossy
     #: fault plan.
     degradation: DegradationStats = None
+    #: Which engine actually produced this result ("throughput",
+    #: "vectorized", or "detailed"); set by
+    #: :func:`repro.engine.simulator.simulate` so an accidental
+    #: vectorized->scalar fallback is diagnosable from manifests.
+    #: Results unpickled from pre-existing stores may lack the
+    #: attribute — read via ``getattr(result, "engine_used", "")``.
+    engine_used: str = ""
 
     @property
     def seconds(self) -> float:

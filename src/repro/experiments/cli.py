@@ -30,6 +30,38 @@ class ExperimentTimeout(RuntimeError):
     """An experiment exceeded its --timeout budget."""
 
 
+class SigTermInterrupt(KeyboardInterrupt):
+    """SIGTERM, routed through the KeyboardInterrupt machinery.
+
+    Subclassing KeyboardInterrupt means every graceful-interrupt path —
+    fabric drain, journal/store/telemetry flush, registry finalization —
+    handles SIGTERM exactly like Ctrl-C; only the exit code differs
+    (143, the conventional 128+SIGTERM)."""
+
+
+@contextlib.contextmanager
+def _sigterm_as_interrupt():
+    """Deliver SIGTERM as :class:`SigTermInterrupt` for the duration.
+
+    No-op off the main thread or where SIGTERM is unavailable (signal
+    handlers can only be installed from the main thread)."""
+    import threading
+
+    if (not hasattr(signal, "SIGTERM")
+            or threading.current_thread() is not threading.main_thread()):
+        yield
+        return
+
+    def _terminated(signum, frame):
+        raise SigTermInterrupt("SIGTERM")
+
+    previous = signal.signal(signal.SIGTERM, _terminated)
+    try:
+        yield
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI's argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -67,6 +99,24 @@ def build_parser() -> argparse.ArgumentParser:
                              "cells persist in DIR (append-only JSONL "
                              "shards, CRC-checked) and replay for free "
                              "on any later run that revisits them")
+    parser.add_argument("--listen", default=None, metavar="HOST:PORT",
+                        help="serve sweep cells to remote workers from "
+                             "this address instead of local processes "
+                             "(start workers with 'python -m "
+                             "repro.experiments worker --connect "
+                             "HOST:PORT'; port 0 picks a free port). "
+                             "Output stays byte-identical to serial "
+                             "regardless of worker count or failures")
+    parser.add_argument("--min-workers", type=int, default=1, metavar="N",
+                        help="wait for N connected workers before "
+                             "leasing the first cell (default 1)")
+    parser.add_argument("--lease-ttl", type=float, default=30.0,
+                        metavar="SECONDS",
+                        help="base lease deadline per cell; an expired "
+                             "lease is reclaimed and re-dispatched "
+                             "(default 30; jittered 100-150% per cell)")
+    parser.add_argument("--lease-size", type=int, default=1, metavar="N",
+                        help="cells handed out per lease (default 1)")
     parser.add_argument("--cell-timeout", type=float, default=0.0,
                         metavar="SECONDS",
                         help="kill and retry any sweep cell running "
@@ -195,6 +245,12 @@ def main(argv=None) -> int:
         from repro.experiments.store import cli_main as store_main
 
         return store_main(argv[1:])
+    if argv and argv[0] == "worker":
+        # Distributed-sweep worker: joins a coordinator started with
+        # --listen and executes leased cells until dismissed.
+        from repro.experiments.fabric_net import worker_cli
+
+        return worker_cli(argv[1:])
     args = build_parser().parse_args(argv)
     ids = args.experiment
     if ids == ["all"]:
@@ -238,7 +294,8 @@ def main(argv=None) -> int:
         "workloads": args.workloads,
         "sanitize": args.sanitize,
     }
-    if not args.no_registry and (args.telemetry or args.store):
+    if not args.no_registry and (args.telemetry or args.store
+                                 or args.listen):
         from repro.telemetry.session import DEFAULT_REGISTRY, RunRegistry
 
         registry = RunRegistry(args.registry or DEFAULT_REGISTRY)
@@ -248,6 +305,13 @@ def main(argv=None) -> int:
                                   status="running")
         if args.store:
             registry.register_store(args.store)
+
+    # Fleet liveness records (kind="fleet") key on a directory like
+    # every registry record; the telemetry dir when present, else a
+    # conventional anchor.
+    fleet_dir = None
+    if args.listen is not None and registry is not None:
+        fleet_dir = args.telemetry or ".repro-fabric"
 
     ctx = ExperimentContext(
         SystemConfig.paper_scaled(args.scale),
@@ -265,48 +329,60 @@ def main(argv=None) -> int:
         cell_timeout=args.cell_timeout,
         max_retries=args.max_retries,
         retry_backoff=args.retry_backoff,
+        listen=args.listen,
+        lease_ttl=args.lease_ttl,
+        lease_size=args.lease_size,
+        min_workers=args.min_workers,
+        fleet_registry=registry if fleet_dir is not None else None,
+        fleet_dir=fleet_dir,
     )
 
     failures = []
     interrupted = False
-    for experiment_id in ids:
-        if args.resume and journal is not None:
-            cached = journal.completed(experiment_id)
-            if cached is not None:
-                print(f"{cached['title']}\n"
-                      f"{'=' * max(len(cached['title']), 8)}\n"
-                      f"{cached['text']}")
-                print(f"\n[{experiment_id}: cached from journal]\n")
+    terminated = False
+    with _sigterm_as_interrupt():
+        for experiment_id in ids:
+            if args.resume and journal is not None:
+                cached = journal.completed(experiment_id)
+                if cached is not None:
+                    print(f"{cached['title']}\n"
+                          f"{'=' * max(len(cached['title']), 8)}\n"
+                          f"{cached['text']}")
+                    print(f"\n[{experiment_id}: cached from journal]\n")
+                    continue
+            if journal is not None:
+                journal.begin_experiment(experiment_id)
+            start = time.time()
+            try:
+                result = run_with_retries(
+                    EXPERIMENTS[experiment_id], ctx, experiment_id,
+                    timeout=args.timeout, retries=args.retries,
+                    backoff=args.retry_backoff,
+                )
+            except KeyboardInterrupt as interrupt:
+                # Graceful Ctrl-C/SIGTERM: the fabric has already
+                # drained in-flight cells; stop taking new experiments
+                # and fall through to the flush below
+                # (journal/telemetry/store), then exit 130/143.
+                interrupted = True
+                terminated = isinstance(interrupt, SigTermInterrupt)
+                cause = "SIGTERM" if terminated else "interrupted"
+                print(f"\n{cause} during {experiment_id}; flushing "
+                      "journal/telemetry and exiting", file=sys.stderr)
+                break
+            except SystemExit:
+                raise
+            except Exception as exc:
+                failures.append((experiment_id, exc))
+                print(f"experiment {experiment_id} FAILED: "
+                      f"{type(exc).__name__}: {exc}", file=sys.stderr)
                 continue
-        if journal is not None:
-            journal.begin_experiment(experiment_id)
-        start = time.time()
-        try:
-            result = run_with_retries(
-                EXPERIMENTS[experiment_id], ctx, experiment_id,
-                timeout=args.timeout, retries=args.retries,
-                backoff=args.retry_backoff,
-            )
-        except KeyboardInterrupt:
-            # Graceful Ctrl-C: the fabric has already drained in-flight
-            # cells; stop taking new experiments and fall through to
-            # the flush below (journal/telemetry/store), then exit 130.
-            interrupted = True
-            print(f"\ninterrupted during {experiment_id}; flushing "
-                  "journal/telemetry and exiting", file=sys.stderr)
-            break
-        except SystemExit:
-            raise
-        except Exception as exc:
-            failures.append((experiment_id, exc))
-            print(f"experiment {experiment_id} FAILED: "
-                  f"{type(exc).__name__}: {exc}", file=sys.stderr)
-            continue
-        print(str(result))
-        print(f"\n[{experiment_id}: {time.time() - start:.1f}s]\n")
-        if journal is not None:
-            journal.record_experiment(result, time.time() - start)
+            print(str(result))
+            print(f"\n[{experiment_id}: {time.time() - start:.1f}s]\n")
+            if journal is not None:
+                journal.record_experiment(result, time.time() - start)
 
+    ctx.close()  # dismisses a --listen fleet; no-op otherwise
     if journal is not None:
         journal.close()
     if ctx.store is not None:
@@ -358,7 +434,7 @@ def main(argv=None) -> int:
                   f"(after {record['attempts']} attempt(s))",
                   file=sys.stderr)
     if interrupted:
-        return 130
+        return 143 if terminated else 130
     if failures:
         failed = ", ".join(experiment_id for experiment_id, _ in failures)
         print(f"{len(failures)} of {len(ids)} experiment(s) failed: "

@@ -188,6 +188,19 @@ class SweepExecutor:
     max_retries: int = 2
     retry_backoff: float = 0.5
     heartbeat_interval: float = 0.25
+    #: ``HOST:PORT`` to serve a distributed fleet from (``--listen``).
+    #: When set, cells run on remote workers via the lease coordinator
+    #: of :mod:`repro.experiments.fabric_net` instead of local
+    #: processes; ``jobs`` is ignored.
+    listen: Optional[str] = None
+    #: Distributed-fabric policy knobs (``--lease-ttl`` etc.).
+    lease_ttl: float = 30.0
+    lease_size: int = 1
+    min_workers: int = 1
+    #: Run registry + directory for fleet liveness records
+    #: (``observe --serve`` reads these back at ``/fleet``).
+    fleet_registry: object = None
+    fleet_dir: Optional[str] = None
     #: Optional :class:`repro.faults.chaos.ChaosPlan` shipped into the
     #: workers (the chaos harness's hook; None in normal operation).
     chaos: object = None
@@ -200,6 +213,46 @@ class SweepExecutor:
     #: Aggregated :class:`~repro.experiments.fabric.FabricStats` over
     #: every parallel batch (None until the fabric first runs).
     fabric_stats: object = field(default=None, compare=False)
+    #: Lazily-created persistent lease coordinator (distributed mode).
+    _coordinator: object = field(default=None, compare=False, repr=False)
+
+    @property
+    def distributed(self) -> bool:
+        return self.listen is not None
+
+    def coordinator(self):
+        """The persistent lease coordinator (created on first use so a
+        fully-memoized sweep never binds a socket)."""
+        if self._coordinator is None:
+            from repro.experiments.fabric_net import (
+                NetFabricCoordinator,
+                parse_address,
+            )
+
+            self._coordinator = NetFabricCoordinator(
+                parse_address(self.listen),
+                seed=self.seed,
+                lease_ttl=self.lease_ttl,
+                lease_size=self.lease_size,
+                max_retries=self.max_retries,
+                retry_backoff=self.retry_backoff,
+                heartbeat_interval=self.heartbeat_interval,
+                min_workers=self.min_workers,
+                registry=self.fleet_registry,
+                fleet_dir=self.fleet_dir,
+                tracer=self.tracer,
+            )
+            import sys
+
+            print("fabric-net: coordinating on %s:%d"
+                  % self._coordinator.address, file=sys.stderr)
+        return self._coordinator
+
+    def close(self) -> None:
+        """Dismiss the distributed fleet, if one was ever convened."""
+        if self._coordinator is not None:
+            self._coordinator.close()
+            self._coordinator = None
 
     def run(self, cells, progress=None):
         """Simulate ``cells`` (already deduplicated by the caller);
@@ -220,6 +273,8 @@ class SweepExecutor:
              self.trace_cache_dir)
             for cell in cells
         ]
+        if self.distributed and cells:
+            return self._run_distributed(cells, payloads, progress)
         if self.jobs <= 1 or len(cells) <= 1:
             results = []
             for p in payloads:
@@ -253,5 +308,27 @@ class SweepExecutor:
             self.fabric_stats = FabricStats()
         self.fabric_stats.merge(scheduler.stats)
         for failure in scheduler.failed:
+            self.failed.append((cells[failure.index], failure))
+        return results
+
+    def _run_distributed(self, cells, payloads, progress):
+        """One batch on the lease coordinator (``--listen`` mode)."""
+        from repro.experiments.fabric_net import NetFabricStats
+
+        coordinator = self.coordinator()
+        tasks = [
+            (payload, cell_fingerprint(cell, self.sanitize))
+            for payload, cell in zip(payloads, cells)
+        ]
+        on_result = None
+        if progress is not None:
+            on_result = lambda _index, result: progress.update(result)  # noqa: E731
+        base_failed = len(coordinator.failed)
+        results = coordinator.run(tasks, on_result=on_result)
+        # The coordinator persists across batches and accumulates its
+        # own counters, so expose its stats object directly.
+        if not isinstance(self.fabric_stats, NetFabricStats):
+            self.fabric_stats = coordinator.stats
+        for failure in coordinator.failed[base_failed:]:
             self.failed.append((cells[failure.index], failure))
         return results

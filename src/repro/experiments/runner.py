@@ -70,7 +70,10 @@ class ExperimentContext:
                  jobs: int = 1, trace_cache=None, repro_dir=None,
                  telemetry_dir=None, progress: bool = False,
                  store=None, cell_timeout: float = 0.0,
-                 max_retries: int = 2, retry_backoff: float = 0.5):
+                 max_retries: int = 2, retry_backoff: float = 0.5,
+                 listen=None, lease_ttl: float = 30.0,
+                 lease_size: int = 1, min_workers: int = 1,
+                 fleet_registry=None, fleet_dir=None):
         self.cfg = cfg if cfg is not None else SystemConfig.paper_scaled()
         self.seed = seed
         self.ops_scale = ops_scale
@@ -115,7 +118,14 @@ class ExperimentContext:
                              if self.trace_cache is not None else None),
             cell_timeout=cell_timeout, max_retries=max_retries,
             retry_backoff=retry_backoff,
+            listen=listen, lease_ttl=lease_ttl, lease_size=lease_size,
+            min_workers=min_workers, fleet_registry=fleet_registry,
+            fleet_dir=fleet_dir,
         )
+
+    def close(self) -> None:
+        """Release executor resources (dismisses a distributed fleet)."""
+        self._executor.close()
 
     def trace(self, workload: str) -> list:
         """Generate (or fetch the cached) trace for a workload.
@@ -182,7 +192,8 @@ class ExperimentContext:
                 workload=cell.workload, protocol=cell.protocol,
                 cfg=cell.cfg, placement=cell.placement,
                 fault_plan=cell.fault_plan, seed=self.seed,
-                ops_scale=self.ops_scale, engine="throughput",
+                ops_scale=self.ops_scale,
+                engine=getattr(result, "engine_used", "") or "throughput",
             )
             if slug not in self._manifest_slugs:
                 self._manifest_slugs.add(slug)
@@ -317,7 +328,7 @@ class ExperimentContext:
                 to_run.append((cell, key))
 
         if to_run:
-            if self.jobs > 1:
+            if self.jobs > 1 or self._executor.distributed:
                 # The kwarg is only passed when live progress is on, so
                 # tests (and subclasses) stubbing ``executor.run(cells)``
                 # keep working.

@@ -138,8 +138,58 @@ def observe(args) -> Path:
     return out
 
 
+def build_registry_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments observe registry",
+        description="Run-registry maintenance.",
+    )
+    sub = parser.add_subparsers(dest="action", required=True)
+    prune = sub.add_parser(
+        "prune",
+        help="compact registry.jsonl to its live records",
+        description="Rewrite the registry to just its winning "
+                    "(last-writer-wins) records, atomically.  The "
+                    "registry is append-only — every status flip adds "
+                    "a superseding line — so long-lived registries "
+                    "accrete dead history this reclaims.",
+    )
+    prune.add_argument("--registry", default=None, metavar="DIR",
+                       help="registry directory "
+                            "(default .repro-registry)")
+    prune.add_argument("--drop-missing", action="store_true",
+                       help="also drop records whose directory no "
+                            "longer exists on disk")
+    prune.add_argument("--older-than", type=float, default=None,
+                       metavar="DAYS",
+                       help="also drop records last registered more "
+                            "than DAYS days ago")
+    prune.add_argument("--dry-run", action="store_true",
+                       help="report what would be pruned; write nothing")
+    return parser
+
+
+def registry_main(argv) -> int:
+    from repro.telemetry.session import DEFAULT_REGISTRY, RunRegistry
+
+    args = build_registry_parser().parse_args(argv)
+    registry = RunRegistry(args.registry or DEFAULT_REGISTRY)
+    stats = registry.prune(drop_missing=args.drop_missing,
+                           older_than_days=args.older_than,
+                           dry_run=args.dry_run)
+    verb = "would keep" if args.dry_run else "kept"
+    print(f"registry {registry.path}: {verb} {stats['kept']} of "
+          f"{stats['records_before']} record(s) "
+          f"({stats['superseded']} superseded, "
+          f"{stats['dropped']} dropped; "
+          f"{stats['bytes_before']} -> {stats['bytes_after']} bytes)")
+    return 0
+
+
 def main(argv=None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "registry":
+        # Registry maintenance ('observe registry prune ...').
+        return registry_main(argv[1:])
     if "--serve" in argv:
         # The long-running observability service has its own argument
         # structure; hand everything else through to it.

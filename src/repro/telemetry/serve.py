@@ -136,6 +136,25 @@ class Observatory:
                                load_bench(self.bench_path),
                                tolerance=self.tolerance)
 
+    def fleet_payload(self) -> dict:
+        """Distributed-sweep fleets the registry knows about: worker
+        liveness and lease state, as last published by each fabric-net
+        coordinator (kind="fleet" records)."""
+        fleets = []
+        for entry in self.registry_entries():
+            if entry["kind"] != "fleet":
+                continue
+            info = entry.get("info", {})
+            fleets.append({
+                "dir": entry["dir"],
+                "registered": entry.get("registered"),
+                "status": info.get("status"),
+                "coordinator": info.get("coordinator"),
+                "workers": info.get("workers", []),
+                "leases": info.get("leases"),
+            })
+        return {"fleets": fleets}
+
     def store_scan_payload(self) -> dict:
         from repro.experiments.store import ResultStore
 
@@ -271,6 +290,8 @@ class ObservatoryHandler(BaseHTTPRequestHandler):
                 return self._send_json(obs.runs_payload())
             if parts == ["regressions"]:
                 return self._send_json(obs.regressions_payload())
+            if parts == ["fleet"]:
+                return self._send_json(obs.fleet_payload())
             if parts == ["store", "scan"]:
                 return self._send_json(obs.store_scan_payload())
             if len(parts) == 3 and parts[:2] == ["store", "cell"]:
@@ -536,6 +557,13 @@ BENCH_perf.json history + discovered runs)</span></h2>
   <th class="num">failed</th><th class="num">ops/sec</th>
   <th class="num">vs baseline</th><th>gate</th>
 </tr></thead><tbody></tbody></table>
+<h2>Fleet <span class="sub">(distributed sweep workers and lease
+state, as last published by each fabric-net coordinator)</span></h2>
+<table id="fleet"><thead><tr>
+  <th>sweep</th><th>coordinator</th><th>worker</th><th>state</th>
+  <th class="num">cells done</th><th class="num">silent (s)</th>
+  <th class="num">leases out</th><th class="num">reclaimed</th>
+</tr></thead><tbody></tbody></table>
 <h2>Geomean-speedup drift <span class="sub">(per protocol, newest run
 vs earliest; simulated results are deterministic, so drift means the
 code changed the physics)</span></h2>
@@ -634,10 +662,11 @@ function drawPerf(reg) {
 }
 
 async function refresh() {
-  const [runs, reg, store] = await Promise.all([
+  const [runs, reg, store, fleet] = await Promise.all([
     fetch("/runs").then(r => r.json()),
     fetch("/regressions").then(r => r.json()),
     fetch("/store/scan").then(r => r.json()),
+    fetch("/fleet").then(r => r.json()),
   ]);
   const bench = reg.bench || {};
   document.getElementById("tiles").innerHTML =
@@ -661,6 +690,21 @@ async function refresh() {
         `<td>${gateCell(p.flagged)}</td></tr>`;
     }).join("") || "<tr><td colspan=7>no runs registered yet — " +
       "sweep with --telemetry DIR</td></tr>";
+  document.querySelector("#fleet tbody").innerHTML =
+    (fleet.fleets || []).flatMap(f => {
+      const coord = f.coordinator ? f.coordinator.addr : "—";
+      const leases = f.leases || {};
+      const rows = (f.workers && f.workers.length ? f.workers
+        : [{name: "(no workers yet)", state: f.status}]);
+      return rows.map(w =>
+        `<tr><td>${f.dir}</td><td>${coord}</td><td>${w.name}</td>` +
+        `<td>${w.state || "—"}</td>` +
+        `<td class="num">${fmt(w.cells_done)}</td>` +
+        `<td class="num">${w.silence_s == null ? "—" : w.silence_s}</td>` +
+        `<td class="num">${fmt(leases.outstanding)}</td>` +
+        `<td class="num">${fmt(leases.reclaimed)}</td></tr>`);
+    }).join("") || "<tr><td colspan=8>no distributed fleets " +
+      "registered — sweep with --listen HOST:PORT</td></tr>";
   document.querySelector("#drift tbody").innerHTML =
     Object.entries(reg.speedup_drift || {}).map(([proto, d]) =>
       `<tr><td>${proto}</td><td class="num">${d.first.toFixed(3)}</td>` +

@@ -107,6 +107,21 @@ class RunRegistry:
         """Register one ``observe`` capture (has ``intervals.jsonl``)."""
         return self.register("observe", directory, slug=slug, cell=cell)
 
+    def register_fleet(self, directory, *, coordinator: dict = None,
+                       status: str = "running", workers=None,
+                       leases: dict = None) -> dict:
+        """Register a distributed sweep fleet's liveness snapshot.
+
+        The fabric-net coordinator republishes this periodically (and on
+        membership changes), so ``observe --serve`` can render worker
+        liveness and lease state at ``/fleet`` while a multi-host sweep
+        runs.  Keyed on the sweep's telemetry directory like every
+        other record; last writer wins.
+        """
+        return self.register("fleet", directory, coordinator=coordinator,
+                             status=status, workers=list(workers or []),
+                             leases=leases)
+
     # ------------------------------------------------------------------
     # Reading
     # ------------------------------------------------------------------
@@ -167,6 +182,79 @@ class RunRegistry:
 
     def observations(self) -> list:
         return self._kind("observe")
+
+    def fleets(self) -> list:
+        return self._kind("fleet")
+
+    # ------------------------------------------------------------------
+    # Retention
+    # ------------------------------------------------------------------
+
+    def prune(self, *, drop_missing: bool = False,
+              older_than_days: float = None,
+              dry_run: bool = False) -> dict:
+        """Compact ``registry.jsonl`` to its live records.
+
+        The registry is append-only — every status flip appends a
+        superseding record — so a long-lived registry accretes history
+        it never reads (only the last record per ``(kind, dir)`` ever
+        wins).  Pruning rewrites the file to exactly those winning
+        records, optionally also dropping entries whose directory no
+        longer exists (``drop_missing``) or whose last registration is
+        older than ``older_than_days``.
+
+        The rewrite is atomic (temp file + ``os.replace``), so a crash
+        mid-prune leaves either the old file or the new one, never a
+        mix, and concurrent readers always see a complete file.
+        Returns a stats dict: kept/superseded/dropped counts and bytes
+        before/after.
+        """
+        raw_lines = 0
+        if self.path.exists():
+            with open(self.path, "rb") as fh:
+                raw_lines = sum(1 for line in fh if line.strip())
+        bytes_before = (self.path.stat().st_size
+                        if self.path.exists() else 0)
+        live = self.entries()  # last-writer-wins, corrupt lines dropped
+        kept, dropped = [], []
+        cutoff = None
+        if older_than_days is not None:
+            cutoff = time.strftime(
+                "%Y-%m-%dT%H:%M:%S",
+                time.localtime(time.time() - older_than_days * 86400),
+            )
+        for record in live:
+            if drop_missing and not os.path.isdir(record["dir"]):
+                dropped.append(record)
+                continue
+            if cutoff is not None and record["registered"] < cutoff:
+                dropped.append(record)
+                continue
+            kept.append(record)
+        stats = {
+            "records_before": raw_lines,
+            "kept": len(kept),
+            "superseded": raw_lines - len(live),
+            "dropped": len(dropped),
+            "bytes_before": bytes_before,
+            "bytes_after": bytes_before,
+        }
+        if dry_run:
+            return stats
+        tmp = self.path.with_suffix(".jsonl.tmp")
+        with open(tmp, "wb") as fh:
+            for record in kept:
+                payload = json.dumps(record, sort_keys=True)
+                fh.write((json.dumps({
+                    "v": REGISTRY_SCHEMA,
+                    "crc": zlib.crc32(payload.encode()),
+                    "record": record,
+                }, sort_keys=True) + "\n").encode())
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self.path)
+        stats["bytes_after"] = self.path.stat().st_size
+        return stats
 
 
 class TelemetrySession:

@@ -1,0 +1,90 @@
+"""``SimResult.engine_used`` provenance and the loud fallback warning.
+
+``engine='vectorized'`` silently routed to the scalar engine whenever a
+sanitizer/telemetry hook or an unregistered protocol forced it to; the
+result was correct but the run was quietly ~10x slower and nothing
+recorded which engine actually produced the numbers.  Now every engine
+stamps ``engine_used`` on its result and the first fallback per reason
+warns once on stderr.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.engine.simulator as simulator
+from repro.config import SystemConfig
+from repro.engine.simulator import simulate
+from repro.engine.stats import SimResult
+from repro.trace.workloads import WORKLOADS
+
+CFG = SystemConfig.paper_scaled(1 / 64)
+
+
+@pytest.fixture()
+def trace():
+    return list(WORKLOADS["mst"].generate(CFG, seed=1, ops_scale=0.05))
+
+
+@pytest.fixture(autouse=True)
+def _reset_warned():
+    simulator._FALLBACK_WARNED.clear()
+    yield
+    simulator._FALLBACK_WARNED.clear()
+
+
+class TestEngineUsed:
+    def test_throughput_stamps_result(self, trace):
+        result = simulate(trace, CFG, protocol="hmg", engine="throughput")
+        assert result.engine_used == "throughput"
+
+    def test_vectorized_stamps_result(self, trace):
+        result = simulate(trace, CFG, protocol="hmg", engine="vectorized")
+        assert result.engine_used == "vectorized"
+
+    def test_detailed_stamps_result(self, trace):
+        result = simulate(trace, CFG, protocol="hmg", engine="detailed")
+        assert result.engine_used == "detailed"
+
+    def test_default_is_empty_for_old_pickles(self):
+        # Records stored before this field existed unpickle without it;
+        # readers go through getattr with a fallback.
+        assert SimResult.__dataclass_fields__["engine_used"].default == ""
+
+
+class TestFallbackWarning:
+    def test_sanitizer_fallback_warns_once_and_stamps(self, trace, capsys):
+        first = simulate(trace, CFG, protocol="hmg", engine="vectorized",
+                         sanitize=True)
+        assert first.engine_used == "throughput"
+        err = capsys.readouterr().err
+        assert "falling back" in err
+        assert "sanitizer attached" in err
+
+        second = simulate(trace, CFG, protocol="hmg", engine="vectorized",
+                          sanitize=True)
+        assert second.engine_used == "throughput"
+        assert "falling back" not in capsys.readouterr().err  # once only
+
+    def test_distinct_reasons_each_warn(self, trace, capsys):
+        from repro.telemetry.session import TelemetrySession
+
+        simulate(trace, CFG, protocol="hmg", engine="vectorized",
+                 sanitize=True)
+        session = TelemetrySession.recording(CFG, time_unit="ops")
+        simulate(trace, CFG, protocol="hmg", engine="vectorized",
+                 telemetry=session)
+        err = capsys.readouterr().err
+        assert "sanitizer attached" in err
+        assert "telemetry attached" in err
+
+    def test_clean_vectorized_run_is_silent(self, trace, capsys):
+        simulate(trace, CFG, protocol="hmg", engine="vectorized")
+        assert "falling back" not in capsys.readouterr().err
+
+    def test_results_identical_across_fallback(self, trace):
+        scalar = simulate(trace, CFG, protocol="hmg", engine="throughput")
+        fell_back = simulate(trace, CFG, protocol="hmg",
+                             engine="vectorized", sanitize=True)
+        assert fell_back.cycles == scalar.cycles
+        assert fell_back.ops == scalar.ops

@@ -1,0 +1,374 @@
+"""Fabric-net: frames, leases, host chaos, fleet liveness, recovery.
+
+Unit coverage for the wire format and the deterministic lease/chaos
+math, plus one real coordinator + subprocess-worker sweep that loses a
+worker to SIGKILL and absorbs a duplicated result frame while staying
+byte-identical to the serial reference.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import struct
+import subprocess
+import sys
+import threading
+import time
+import zlib
+from pathlib import Path
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.experiments.fabric_net import (
+    FrameBuffer,
+    FrameError,
+    NetFabricStats,
+    build_worker_parser,
+    encode_frame,
+    lease_ttl_for,
+    parse_address,
+)
+from repro.experiments.journal import RunJournal
+from repro.experiments.runner import ExperimentContext
+from repro.faults.chaos import (
+    HOST_ATTACKS,
+    HostChaosPlan,
+    HostChaosSpec,
+    OneShotHostChaos,
+    host_chaos_from_json,
+)
+from repro.telemetry.session import REGISTRY_SCHEMA, RunRegistry
+
+REPO = Path(__file__).resolve().parent.parent
+CFG = SystemConfig.paper_scaled(1 / 64)
+QUICK = dict(seed=1, ops_scale=0.05)
+WORKLOADS = ["CoMD", "mst"]
+PROTOCOLS = ["sw", "hmg"]
+
+
+class TestFrames:
+    def test_round_trip_in_ragged_chunks(self):
+        messages = [("hello", "w1"), ("heartbeat", 7),
+                    ("result", 3, 0, {"cycles": 123})]
+        stream = b"".join(encode_frame(m) for m in messages)
+        buf = FrameBuffer()
+        decoded = []
+        for i in range(0, len(stream), 3):  # worst-case fragmentation
+            buf.feed(stream[i:i + 3])
+            decoded.extend(buf)
+        assert decoded == messages
+
+    def test_crc_mismatch_poisons_connection(self):
+        frame = bytearray(encode_frame(("hello", "w1")))
+        frame[-1] ^= 0xFF  # flip a payload bit
+        buf = FrameBuffer()
+        buf.feed(bytes(frame))
+        with pytest.raises(FrameError):
+            list(buf)
+
+    def test_bad_magic_rejected(self):
+        frame = b"XXXX" + encode_frame(("hello",))[4:]
+        buf = FrameBuffer()
+        buf.feed(frame)
+        with pytest.raises(FrameError):
+            list(buf)
+
+    def test_absurd_length_rejected_before_buffering(self):
+        header = struct.pack("!4sII", b"RFN1", 2 ** 31, 0)
+        buf = FrameBuffer()
+        buf.feed(header)
+        with pytest.raises(FrameError):
+            list(buf)
+
+
+class TestParseAddress:
+    def test_host_and_port(self):
+        assert parse_address("example.org:9100") == ("example.org", 9100)
+
+    def test_bare_port_binds_localhost(self):
+        assert parse_address(":0") == ("127.0.0.1", 0)
+        assert parse_address("4242") == ("127.0.0.1", 4242)
+
+
+class TestLeaseTtl:
+    def test_deterministic_and_bounded(self):
+        ttl = lease_ttl_for(1, "abcd", 1, 10.0)
+        assert ttl == lease_ttl_for(1, "abcd", 1, 10.0)
+        assert 10.0 <= ttl <= 15.0
+        assert lease_ttl_for(1, "abcd", 2, 10.0) != ttl
+        assert lease_ttl_for(2, "abcd", 1, 10.0) != ttl
+        assert lease_ttl_for(1, "abcd", 1, 10.0, cells=3) == ttl * 3
+
+
+class TestHostChaos:
+    def test_spec_rejects_bad_fractions(self):
+        with pytest.raises(ValueError):
+            HostChaosSpec(kill_fraction=0.6, blackhole_fraction=0.6)
+        with pytest.raises(ValueError):
+            HostChaosSpec(blackhole_seconds=0.0)
+
+    def test_plan_is_pure_and_partitioned(self):
+        spec = HostChaosSpec(kill_fraction=0.2, freeze_fraction=0.2,
+                             sever_fraction=0.2, blackhole_fraction=0.2,
+                             dup_fraction=0.2)
+        a = HostChaosPlan(spec, seed=5)
+        b = HostChaosPlan(spec, seed=5)
+        decisions = [a.decide(f"cell{i}", 1) for i in range(100)]
+        assert decisions == [b.decide(f"cell{i}", 1) for i in range(100)]
+        kinds = set().union(*decisions)
+        assert kinds == set(HOST_ATTACKS)  # every attack reachable
+        # Retries are clean: attacks_per_cell defaults to 1.
+        assert all(a.decide(f"cell{i}", 2) == frozenset()
+                   for i in range(100))
+
+    def test_one_shot_fires_exactly_once(self):
+        chaos = OneShotHostChaos(["kill", "dup"])
+        assert chaos.decide("first", 1) == frozenset({"kill", "dup"})
+        assert chaos.decide("second", 1) == frozenset()
+        assert chaos.decide("first", 2) == frozenset()
+
+    def test_one_shot_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            OneShotHostChaos(["kill", "meteor"])
+
+    def test_from_json(self):
+        plan = host_chaos_from_json(
+            '{"kill_fraction": 1.0, "blackhole_seconds": 2.5}', seed=3
+        )
+        assert plan.decide("x", 1) == frozenset({"kill"})
+        assert plan.blackhole_seconds == 2.5
+        with pytest.raises(ValueError):
+            host_chaos_from_json("[1, 2]")
+
+
+class TestStats:
+    def test_merge_sums_counters(self):
+        a = NetFabricStats(cells=4, completed=4, reclaims=1,
+                           reclaims_eof=1, worker_connects=2)
+        b = NetFabricStats(cells=2, completed=2, duplicate_results=1,
+                           worker_connects=1)
+        a.merge(b)
+        assert a.cells == 6
+        assert a.completed == 6
+        assert a.reclaims == 1
+        assert a.duplicate_results == 1
+        assert a.worker_connects == 3
+        assert a.as_dict()["reclaims_eof"] == 1
+
+
+class TestWorkerCli:
+    def test_parser_round_trip(self):
+        args = build_worker_parser().parse_args(
+            ["--connect", ":9100", "--chaos-once", "kill,dup",
+             "--blackhole-seconds", "3.5", "--name", "w1"]
+        )
+        assert parse_address(args.connect) == ("127.0.0.1", 9100)
+        assert args.chaos_once == "kill,dup"
+        assert args.blackhole_seconds == 3.5
+        assert args.name == "w1"
+
+
+class TestRegistryFleet:
+    def test_register_and_last_writer_wins(self, tmp_path):
+        registry = RunRegistry(tmp_path / "reg")
+        fleet_dir = tmp_path / "sweep"
+        fleet_dir.mkdir()
+        registry.register_fleet(
+            fleet_dir, coordinator={"addr": "127.0.0.1:9}"},
+            workers=[{"name": "w1", "state": "leased"}],
+            leases={"outstanding": 1},
+        )
+        registry.register_fleet(fleet_dir, status="completed",
+                                workers=[], leases={"outstanding": 0})
+        fleets = registry.fleets()
+        assert len(fleets) == 1
+        assert fleets[0]["info"]["status"] == "completed"
+        assert fleets[0]["info"]["leases"] == {"outstanding": 0}
+
+    def test_observatory_fleet_payload(self, tmp_path):
+        from repro.telemetry.serve import Observatory
+
+        registry = RunRegistry(tmp_path / "reg")
+        fleet_dir = tmp_path / "sweep"
+        fleet_dir.mkdir()
+        registry.register_fleet(
+            fleet_dir, coordinator={"addr": "127.0.0.1:9100", "pid": 42},
+            workers=[{"name": "w1", "state": "idle", "cells_done": 3}],
+            leases={"outstanding": 0, "completed": 8},
+        )
+        payload = Observatory(registry_dir=tmp_path / "reg").fleet_payload()
+        assert len(payload["fleets"]) == 1
+        fleet = payload["fleets"][0]
+        assert fleet["coordinator"]["addr"] == "127.0.0.1:9100"
+        assert fleet["workers"][0]["name"] == "w1"
+        assert fleet["leases"]["completed"] == 8
+
+
+def _crafted_record(directory, kind="run", registered="2000-01-01T00:00:00"):
+    """A registry line with a forged timestamp (prune retention tests)."""
+    record = {"kind": kind, "dir": str(Path(directory).resolve()),
+              "registered": registered, "pid": 1, "info": {}}
+    payload = json.dumps(record, sort_keys=True)
+    return json.dumps({"v": REGISTRY_SCHEMA,
+                       "crc": zlib.crc32(payload.encode()),
+                       "record": record}, sort_keys=True) + "\n"
+
+
+class TestRegistryPrune:
+    def test_compacts_superseded_records(self, tmp_path):
+        registry = RunRegistry(tmp_path / "reg")
+        run_dir = tmp_path / "run"
+        run_dir.mkdir()
+        for status in ("running", "running", "completed"):
+            registry.register_run(run_dir, status=status)
+        before = registry.path.read_bytes()
+        stats = registry.prune(dry_run=True)
+        assert stats["records_before"] == 3
+        assert stats["kept"] == 1
+        assert stats["superseded"] == 2
+        assert registry.path.read_bytes() == before  # dry run wrote nothing
+
+        stats = registry.prune()
+        assert stats["kept"] == 1
+        assert stats["bytes_after"] < stats["bytes_before"]
+        entries = registry.entries()
+        assert len(entries) == 1
+        assert entries[0]["info"]["status"] == "completed"
+
+    def test_drop_missing_directories(self, tmp_path):
+        registry = RunRegistry(tmp_path / "reg")
+        gone = tmp_path / "gone"
+        gone.mkdir()
+        kept_dir = tmp_path / "kept"
+        kept_dir.mkdir()
+        registry.register_run(gone, status="completed")
+        registry.register_run(kept_dir, status="completed")
+        gone.rmdir()
+        stats = registry.prune(drop_missing=True)
+        assert stats["dropped"] == 1
+        assert stats["kept"] == 1
+        assert [e["dir"] for e in registry.entries()] == [str(kept_dir)]
+
+    def test_older_than_retention(self, tmp_path):
+        registry = RunRegistry(tmp_path / "reg")
+        old_dir = tmp_path / "old"
+        old_dir.mkdir()
+        new_dir = tmp_path / "new"
+        new_dir.mkdir()
+        with open(registry.path, "a") as fh:
+            fh.write(_crafted_record(old_dir))
+        registry.register_run(new_dir, status="completed")
+        stats = registry.prune(older_than_days=365)
+        assert stats["dropped"] == 1
+        assert stats["kept"] == 1
+        assert [e["dir"] for e in registry.entries()] == [str(new_dir)]
+
+
+def _spawn_worker(address, attacks=None):
+    cmd = [sys.executable, "-m", "repro.experiments", "worker",
+           "--connect", address]
+    if attacks:
+        cmd += ["--chaos-once", attacks]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return subprocess.Popen(cmd, env=env, stderr=subprocess.DEVNULL)
+
+
+class TestDistributedRecovery:
+    def test_kill_and_dup_recover_byte_identical(self, tmp_path):
+        serial_journal = RunJournal(tmp_path / "serial", context_key={})
+        serial_ctx = ExperimentContext(CFG, workloads=WORKLOADS,
+                                       journal=serial_journal, **QUICK)
+        reference = serial_ctx.speedup_table(PROTOCOLS)
+        serial_journal.close()
+
+        registry = RunRegistry(tmp_path / "reg")
+        fleet_dir = tmp_path / "fleet"
+        fleet_dir.mkdir()
+        journal = RunJournal(tmp_path / "dist", context_key={})
+        ctx = ExperimentContext(
+            CFG, workloads=WORKLOADS, journal=journal, **QUICK,
+            listen="127.0.0.1:0", lease_ttl=5.0, min_workers=1,
+            fleet_registry=registry, fleet_dir=fleet_dir,
+        )
+        coordinator = ctx._executor.coordinator()
+        address = "%s:%d" % coordinator.address
+        workers = [_spawn_worker(address, "kill"),
+                   _spawn_worker(address, "dup")]
+        try:
+            recovered = ctx.speedup_table(PROTOCOLS)
+            journal.close()
+            stats = coordinator.stats
+            ctx.close()
+
+            assert recovered.rows == reference.rows
+            assert not ctx.failed_cells
+            assert ((tmp_path / "serial" / "cells.jsonl").read_bytes()
+                    == (tmp_path / "dist" / "cells.jsonl").read_bytes())
+            assert stats.worker_eofs >= 1  # the SIGKILLed worker
+            assert stats.reclaims >= 1
+            assert stats.duplicate_results >= 1
+            assert stats.retries >= 1
+
+            # SIGKILLed worker died by signal; the survivor exits 0 on
+            # the coordinator's stop broadcast.
+            assert workers[0].wait(timeout=15) == -signal.SIGKILL
+            assert workers[1].wait(timeout=15) == 0
+        finally:
+            for proc in workers:
+                if proc.poll() is None:
+                    proc.kill()
+                proc.wait()
+
+        # The coordinator published fleet liveness; final status is
+        # "completed" once the sweep closed.
+        fleets = registry.fleets()
+        assert len(fleets) == 1
+        assert fleets[0]["info"]["status"] == "completed"
+        assert fleets[0]["info"]["coordinator"]["addr"] == address
+
+
+class TestSigterm:
+    def test_sweep_drains_and_exits_143(self, tmp_path):
+        # A --listen sweep with no workers parks in the dispatch loop
+        # cheaply, which makes SIGTERM timing deterministic.
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO / "src") + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.experiments", "fig8",
+             "--quick", "--scale", str(1 / 64), "--ops-scale", "0.05",
+             "--listen", "127.0.0.1:0", "--no-registry"],
+            cwd=tmp_path, env=env,
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+        )
+        try:
+            # Wait until the coordinator announces its port, so the
+            # signal lands mid-sweep rather than mid-startup.
+            ready = threading.Event()
+
+            def _watch():
+                for raw in proc.stderr:
+                    if b"coordinating" in raw:
+                        ready.set()
+                        return
+
+            watcher = threading.Thread(target=_watch, daemon=True)
+            watcher.start()
+            assert ready.wait(timeout=60), "coordinator never started"
+            time.sleep(0.2)
+            proc.send_signal(signal.SIGTERM)
+            rc = proc.wait(timeout=30)
+            assert rc == 143  # 128 + SIGTERM, the conventional code
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+            proc.wait()
+            proc.stdout.close()
+            proc.stderr.close()
