@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import argparse
 import contextlib
+import os
 import signal
 import sys
 import time
@@ -107,6 +108,16 @@ def build_parser() -> argparse.ArgumentParser:
                              "HOST:PORT'; port 0 picks a free port). "
                              "Output stays byte-identical to serial "
                              "regardless of worker count or failures")
+    parser.add_argument("--fabric-authkey", default=None, metavar="KEY",
+                        help="shared secret authenticating --listen "
+                             "workers via an HMAC handshake (default: "
+                             "$REPRO_FABRIC_AUTHKEY); required for "
+                             "non-loopback --listen addresses")
+    parser.add_argument("--insecure-fabric", action="store_true",
+                        help="allow a non-loopback --listen with no "
+                             "authkey (the wire format is pickle: "
+                             "anyone reaching the port can execute "
+                             "code — only for isolated networks)")
     parser.add_argument("--min-workers", type=int, default=1, metavar="N",
                         help="wait for N connected workers before "
                              "leasing the first cell (default 1)")
@@ -264,6 +275,20 @@ def main(argv=None) -> int:
         return 2
     ops_scale = 0.25 if args.quick else args.ops_scale
 
+    # Fail fast on an unsafe --listen (non-loopback bind, no authkey,
+    # no explicit opt-in) before any sweep state is created.
+    fabric_authkey = (args.fabric_authkey
+                      or os.environ.get("REPRO_FABRIC_AUTHKEY"))
+    if args.listen is not None:
+        from repro.experiments.fabric_net import check_listen_security
+
+        try:
+            check_listen_security(args.listen, fabric_authkey,
+                                  args.insecure_fabric)
+        except ValueError as exc:
+            print(f"fabric-net: {exc}", file=sys.stderr)
+            return 2
+
     journal = None
     journal_dir = args.journal
     if journal_dir is None and args.resume:
@@ -335,6 +360,8 @@ def main(argv=None) -> int:
         min_workers=args.min_workers,
         fleet_registry=registry if fleet_dir is not None else None,
         fleet_dir=fleet_dir,
+        fabric_authkey=fabric_authkey,
+        insecure_fabric=args.insecure_fabric,
     )
 
     failures = []

@@ -37,13 +37,24 @@ latency.  Concretely:
   coordinator periodically publishes worker liveness and lease state
   (``kind="fleet"``), which ``observe --serve`` exposes at ``/fleet``.
 
-The wire format is pickle over a trusted network (the same trust model
-as ``multiprocessing``): run coordinators and workers only on hosts
-and networks you control.
+The wire format is pickle over TCP, so anyone who can speak to the
+socket can execute code in the peer (the same trust model as
+``multiprocessing``).  Two guards keep that model honest:
+
+* **HMAC handshake.**  With ``authkey`` set on both sides, every
+  connection starts with a challenge-response (HMAC-SHA256 over a
+  random nonce, like ``multiprocessing.connection``) *before the
+  first pickled frame is parsed*; a peer that fails it is dropped.
+* **Loopback by default.**  A coordinator refuses to bind a
+  non-loopback address without an ``authkey`` unless
+  ``allow_unauthenticated=True`` (CLI: ``--insecure-fabric``) opts in
+  explicitly.
 """
 
 from __future__ import annotations
 
+import hmac
+import ipaddress
 import os
 import pickle
 import selectors
@@ -67,9 +78,22 @@ _MAGIC = b"RFN1"
 #: the reader wait forever for bytes that never come).
 MAX_FRAME = 256 * 1024 * 1024
 
+#: Auth handshake: the coordinator opens with ``RFNA`` + 32 random
+#: bytes; the worker answers with HMAC-SHA256(authkey, challenge) and
+#: receives the fixed welcome.  All raw bytes — no pickle is parsed
+#: from an unauthenticated peer.
+_AUTH_MAGIC = b"RFNA"
+_AUTH_NONCE = 32
+_AUTH_DIGEST = 32  # sha256
+_WELCOME = b"RFN-WELCOME."
+
 
 class FrameError(RuntimeError):
     """A frame failed its magic/length/CRC check (connection poison)."""
+
+
+class AuthRequired(FrameError):
+    """The peer opened with an auth challenge we have no key for."""
 
 
 def parse_address(spec: str) -> tuple:
@@ -80,6 +104,44 @@ def parse_address(spec: str) -> tuple:
     if not host:
         host = "127.0.0.1"
     return host, int(port or 0)
+
+
+def _as_authkey(key):
+    """Normalise an authkey to bytes (None stays None)."""
+    if key is None:
+        return None
+    if isinstance(key, str):
+        key = key.encode()
+    if not key:
+        return None
+    return bytes(key)
+
+
+def _is_loopback(host: str) -> bool:
+    if host == "localhost":
+        return True
+    try:
+        return ipaddress.ip_address(host).is_loopback
+    except ValueError:
+        return False  # a hostname or wildcard: assume reachable
+
+
+def check_listen_security(listen, authkey, allow_unauthenticated):
+    """Refuse a non-loopback bind with no authkey unless explicitly
+    opted in — the wire format is pickle, so an open port is remote
+    code execution for anyone who can reach it."""
+    host = listen[0] if not isinstance(listen, str) \
+        else parse_address(listen)[0]
+    if _as_authkey(authkey) is not None or allow_unauthenticated:
+        return
+    if not _is_loopback(host):
+        raise ValueError(
+            f"refusing to listen on non-loopback {host!r} without "
+            "authentication: the wire format is pickle, so an open "
+            "port grants code execution.  Set an authkey "
+            "(--fabric-authkey / REPRO_FABRIC_AUTHKEY) or opt in "
+            "explicitly with --insecure-fabric."
+        )
 
 
 def encode_frame(message) -> bytes:
@@ -135,10 +197,15 @@ class NetFabricStats:
     reclaims_eof: int = 0  # ... because the socket died
     reclaims_heartbeat: int = 0  # ... because heartbeats went silent
     reclaims_deadline: int = 0  # ... because the lease expired
+    reclaims_admin: int = 0  # ... administrative (replaced / bye)
     duplicate_results: int = 0  # late/extra frames for finished cells
+    stale_frames: int = 0  # frames for a cell not in the current batch
     worker_connects: int = 0
-    worker_eofs: int = 0
+    worker_eofs: int = 0  # sockets that genuinely died underneath us
+    worker_replaced: int = 0  # superseded by a reconnect reusing a name
+    worker_byes: int = 0  # orderly departures on the stop broadcast
     frames_rejected: int = 0  # connections dropped for bad frames
+    auth_rejected: int = 0  # connections that failed the HMAC handshake
 
     def as_dict(self) -> dict:
         return dict(self.__dict__)
@@ -177,6 +244,12 @@ class _NetWorker:
     #: Hello received; only greeted workers receive leases (a lease
     #: must record the worker's final name, or it can never settle).
     greeted: bool = False
+    #: HMAC handshake passed (immediately True when the coordinator
+    #: has no authkey).  Nothing a pre-auth peer sends is ever parsed
+    #: as a frame.
+    authed: bool = False
+    challenge: bytes = None
+    auth_buf: bytearray = field(default_factory=bytearray)
 
     def fresh(self, now: float, timeout: float) -> bool:
         return not self.dead and now - self.last_seen <= timeout
@@ -220,7 +293,10 @@ class NetFabricCoordinator:
                  max_retries: int = 2, retry_backoff: float = 0.5,
                  heartbeat_interval: float = 0.25,
                  heartbeat_timeout: float = None, min_workers: int = 1,
-                 registry=None, fleet_dir=None, tracer=None):
+                 registry=None, fleet_dir=None, tracer=None,
+                 authkey=None, allow_unauthenticated: bool = False):
+        self.authkey = _as_authkey(authkey)
+        check_listen_security(listen, self.authkey, allow_unauthenticated)
         self.seed = seed
         self.lease_ttl = lease_ttl
         self.lease_size = max(1, int(lease_size))
@@ -290,13 +366,33 @@ class NetFabricCoordinator:
         self._workers[worker.name] = worker
         self._selector.register(conn, selectors.EVENT_READ,
                                 ("worker", worker))
+        if self.authkey is None:
+            worker.authed = True
+        else:
+            worker.challenge = _AUTH_MAGIC + os.urandom(_AUTH_NONCE)
+            try:
+                conn.sendall(worker.challenge)
+            except OSError:
+                self._drop_worker(worker, cause="send-failed")
+
+    #: Drop causes that mean the socket genuinely died underneath us;
+    #: everything else is a replacement or an administrative departure
+    #: and is counted separately so chaos analysis can tell them apart.
+    _EOF_CAUSES = frozenset(
+        {"eof", "recv-error", "send-failed", "bad-frame"}
+    )
 
     def _drop_worker(self, worker: _NetWorker, cause: str) -> None:
         """Remove a dead connection and reclaim anything it held."""
         if worker.dead:
             return
         worker.dead = True
-        self.stats.worker_eofs += 1
+        if cause in self._EOF_CAUSES:
+            self.stats.worker_eofs += 1
+        elif cause == "replaced":
+            self.stats.worker_replaced += 1
+        elif cause == "bye":
+            self.stats.worker_byes += 1
         self._trace("worker-lost", name=worker.name, cause=cause)
         try:
             self._selector.unregister(worker.sock)
@@ -308,7 +404,7 @@ class NetFabricCoordinator:
             pass
         self._workers.pop(worker.name, None)
         if worker.lease is not None:
-            self._reclaim(worker.lease, cause="eof")
+            self._reclaim(worker.lease, cause=cause)
 
     # ------------------------------------------------------------------
     # Lease lifecycle
@@ -344,6 +440,16 @@ class NetFabricCoordinator:
         else:
             self._give_up(task, reason)
 
+    #: Reclaim-cause stat buckets: socket-death causes fold into
+    #: ``reclaims_eof``, administrative drops into ``reclaims_admin``;
+    #: traces keep the precise cause string.
+    _RECLAIM_BUCKETS = {
+        "heartbeat": "reclaims_heartbeat",
+        "deadline": "reclaims_deadline",
+        "replaced": "reclaims_admin",
+        "bye": "reclaims_admin",
+    }
+
     def _reclaim(self, lease_id: int, cause: str) -> None:
         """Tear a lease back: unfinished cells retry (or fail), the
         worker slot frees, late results remain acceptable."""
@@ -351,8 +457,8 @@ class NetFabricCoordinator:
         if lease is None:
             return
         self.stats.reclaims += 1
-        setattr(self.stats, f"reclaims_{cause}",
-                getattr(self.stats, f"reclaims_{cause}") + 1)
+        bucket = self._RECLAIM_BUCKETS.get(cause, "reclaims_eof")
+        setattr(self.stats, bucket, getattr(self.stats, bucket) + 1)
         worker = self._workers.get(lease.worker)
         if worker is not None and worker.lease == lease_id:
             worker.lease = None
@@ -445,6 +551,10 @@ class NetFabricCoordinator:
             self._drop_worker(worker, cause="eof")
             return
         worker.last_seen = time.monotonic()
+        if not worker.authed:
+            data = self._advance_auth(worker, data)
+            if data is None:
+                return
         worker.frames.feed(data)
         try:
             for message in worker.frames:
@@ -454,6 +564,33 @@ class NetFabricCoordinator:
             print(f"fabric-net: dropping {worker.name}: {exc}",
                   file=sys.stderr)
             self._drop_worker(worker, cause="bad-frame")
+
+    def _advance_auth(self, worker: _NetWorker, data: bytes):
+        """Consume handshake bytes; returns any surplus past the
+        digest once authenticated, else None (more bytes needed, or
+        the worker was dropped).  No pickle is touched before this
+        passes."""
+        worker.auth_buf.extend(data)
+        if len(worker.auth_buf) < _AUTH_DIGEST:
+            return None
+        digest = bytes(worker.auth_buf[:_AUTH_DIGEST])
+        surplus = bytes(worker.auth_buf[_AUTH_DIGEST:])
+        worker.auth_buf.clear()
+        expected = hmac.new(self.authkey, worker.challenge,
+                            "sha256").digest()
+        if not hmac.compare_digest(digest, expected):
+            self.stats.auth_rejected += 1
+            print(f"fabric-net: rejecting {worker.name}: "
+                  "failed authentication", file=sys.stderr)
+            self._drop_worker(worker, cause="auth-failed")
+            return None
+        try:
+            worker.sock.sendall(_WELCOME)
+        except OSError:
+            self._drop_worker(worker, cause="send-failed")
+            return None
+        worker.authed = True
+        return surplus
 
     def _handle(self, worker: _NetWorker, message, on_result) -> None:
         kind = message[0]
@@ -481,12 +618,18 @@ class NetFabricCoordinator:
             self._drop_worker(worker, cause="bye")
             return
         if kind == "result":
-            _kind, lease_id, index, result = message
-            self._finish(worker, lease_id, index, result=result,
+            _kind, lease_id, index, fingerprint, result = message
+            task = self._task_for(worker, index, fingerprint)
+            if task is None:
+                return
+            self._finish(worker, lease_id, task, result=result,
                          on_result=on_result)
             return
         if kind == "error":
-            _kind, lease_id, index, blob = message
+            _kind, lease_id, index, fingerprint, blob = message
+            task = self._task_for(worker, index, fingerprint)
+            if task is None:
+                return  # stale: never unpickle an out-of-batch blob
             try:
                 exc = pickle.loads(blob)
             except Exception:
@@ -495,9 +638,23 @@ class NetFabricCoordinator:
 
             if isinstance(exc, CoherenceViolation):
                 raise exc  # deterministic: no retry can help
-            task = self._tasks[index]
             self._settle_lease(worker, lease_id, index)
             self._retry_or_fail(task, f"{type(exc).__name__}: {exc}")
+
+    def _task_for(self, worker: _NetWorker, index, fingerprint):
+        """The current batch's task for a frame, or None for a *stale*
+        frame.  The coordinator persists across batches, so a frame
+        from a reclaimed worker (frozen, black-holed, slow) can arrive
+        after :meth:`run` moved on; its index would silently resolve
+        to a different cell in the new batch.  The echoed fingerprint
+        is the identity check that makes that impossible."""
+        tasks = getattr(self, "_tasks", [])
+        if isinstance(index, int) and 0 <= index < len(tasks) \
+                and tasks[index].fingerprint == fingerprint:
+            return tasks[index]
+        self.stats.stale_frames += 1
+        self._trace("stale-frame", worker=worker.name, cell=fingerprint)
+        return None
 
     def _settle_lease(self, worker: _NetWorker, lease_id: int,
                       index: int) -> None:
@@ -514,10 +671,9 @@ class NetFabricCoordinator:
             if owner is not None and owner.lease == lease_id:
                 owner.lease = None
 
-    def _finish(self, worker: _NetWorker, lease_id: int, index: int,
+    def _finish(self, worker: _NetWorker, lease_id: int, task: _NetTask,
                 result, on_result) -> None:
-        task = self._tasks[index]
-        self._settle_lease(worker, lease_id, index)
+        self._settle_lease(worker, lease_id, task.index)
         if task.completed:
             # A reclaimed lease delivered late, or a chaos adversary
             # double-sent the frame.  Cells are deterministic, so the
@@ -592,6 +748,18 @@ class NetFabricCoordinator:
         """Execute ``tasks_in`` — ``(payload, fingerprint)`` pairs — on
         the fleet; returns results in submission order (``None`` for
         cells recorded in :attr:`failed`)."""
+        # A persistent coordinator can carry leases from an aborted
+        # batch (e.g. a CoherenceViolation propagated out of the loop
+        # with cells still in flight).  Their index sets point into the
+        # *old* task list, so they are discarded — not retried — before
+        # the new batch begins; any late frames for them bounce off the
+        # fingerprint check in _task_for.
+        for lease in self._leases.values():
+            self._trace("lease-discarded", id=lease.id,
+                        worker=lease.worker)
+        self._leases.clear()
+        for worker in self._workers.values():
+            worker.lease = None
         self._tasks = [
             _NetTask(index=i, payload=payload, fingerprint=fingerprint)
             for i, (payload, fingerprint) in enumerate(tasks_in)
@@ -656,7 +824,8 @@ class NetFabricCoordinator:
     def close(self) -> None:
         """Dismiss the fleet and release the listening socket."""
         for worker in list(self._workers.values()):
-            self._send(worker, ("stop",))
+            if worker.authed:
+                self._send(worker, ("stop",))
         self._publish_fleet(status="completed", force=True)
         for worker in list(self._workers.values()):
             try:
@@ -698,6 +867,9 @@ def _recv_frame(sock: socket.socket):
     if header is None:
         return None
     magic, length, crc = _HEADER.unpack(header)
+    if magic == _AUTH_MAGIC:
+        raise AuthRequired("coordinator requires authentication "
+                           "(set --authkey / REPRO_FABRIC_AUTHKEY)")
     if magic != _MAGIC or length > MAX_FRAME:
         raise FrameError(f"bad frame header ({magic!r}, {length})")
     payload = _recv_exact(sock, length)
@@ -716,14 +888,37 @@ def _recv_exact(sock: socket.socket, n: int):
     return bytes(buf)
 
 
+def _authenticate(sock: socket.socket, authkey: bytes) -> None:
+    """Client half of the HMAC handshake; raises FrameError on any
+    deviation (a misconfigured key never self-heals, so callers should
+    give up rather than reconnect)."""
+    try:
+        challenge = _recv_exact(sock, len(_AUTH_MAGIC) + _AUTH_NONCE)
+    except OSError as exc:
+        raise FrameError(f"no auth challenge from coordinator: {exc}")
+    if challenge is None or not challenge.startswith(_AUTH_MAGIC):
+        raise FrameError("coordinator did not offer an auth challenge "
+                         "(is its authkey set?)")
+    sock.sendall(hmac.new(authkey, challenge, "sha256").digest())
+    try:
+        welcome = _recv_exact(sock, len(_WELCOME))
+    except OSError as exc:
+        raise FrameError(f"auth handshake interrupted: {exc}")
+    if welcome != _WELCOME:
+        raise FrameError("coordinator rejected authentication "
+                         "(authkey mismatch?)")
+
+
 class FabricWorker:
     """One remote worker process: connect, lease, simulate, report."""
 
     def __init__(self, connect, *, name: str = None, trace_cache=None,
                  chaos=None, heartbeat_interval: float = 0.25,
-                 reconnect_delay: float = 1.0, max_reconnects: int = 8):
+                 reconnect_delay: float = 1.0, max_reconnects: int = 8,
+                 authkey=None):
         self.addr = (tuple(connect) if not isinstance(connect, str)
                      else parse_address(connect))
+        self.authkey = _as_authkey(authkey)
         self.name = name or f"{socket.gethostname()}:{os.getpid()}"
         self.trace_cache = trace_cache
         self.chaos = chaos
@@ -809,12 +1004,19 @@ class FabricWorker:
                             RuntimeError(f"{type(exc).__name__}: {exc}")
                         )
                     self._emerge(ttl)
-                    self._send(("error", lease_id, index, blob))
+                    self._send(("error", lease_id, index, fingerprint,
+                                blob))
                     continue
                 self._emerge(ttl)
-                self._send(("result", lease_id, index, result))
+                # Result frames echo the fingerprint: the coordinator
+                # uses it to reject frames that straddle a batch
+                # boundary (this worker may have been reclaimed and
+                # the sweep moved on while we were computing).
+                self._send(("result", lease_id, index, fingerprint,
+                            result))
                 if "dup" in attacks:
-                    self._send(("result", lease_id, index, result))
+                    self._send(("result", lease_id, index, fingerprint,
+                                result))
                 self.cells_done += 1
         finally:
             self._lease_id = None
@@ -830,12 +1032,18 @@ class FabricWorker:
     # -- connection loop -----------------------------------------------
 
     def _serve(self, sock: socket.socket) -> str:
-        """Serve one connection; returns 'stop', 'eof', or 'sever'."""
+        """Serve one connection; returns 'stop', 'eof', or 'sever'.
+        Raises FrameError if the coordinator refuses authentication."""
+        if self.authkey is not None:
+            _authenticate(sock, self.authkey)
+        sock.settimeout(None)
         self._sock = sock
         self._send(("hello", self.name))
         while True:
             try:
                 message = _recv_frame(sock)
+            except AuthRequired:
+                raise  # configuration, not weather: abort in run()
             except (FrameError, OSError):
                 return "eof"
             if message is None:
@@ -874,10 +1082,19 @@ class FabricWorker:
                                * min(2 ** (failures - 1), 8))
                     continue
                 failures = 0
-                sock.settimeout(None)
+                # The connect timeout stays armed through the auth
+                # handshake (a keyless coordinator never sends a
+                # challenge; waiting forever helps nobody).
                 sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
                 try:
                     outcome = self._serve(sock)
+                except FrameError as exc:
+                    # Authentication refused: a key mismatch is
+                    # configuration, not weather — do not retry.
+                    print(f"worker {self.name}: {exc}", file=sys.stderr)
+                    return 4
+                except OSError:
+                    outcome = "eof"
                 finally:
                     self._sock = None
                     try:
@@ -909,10 +1126,15 @@ def build_worker_parser():
                     "--listen HOST:PORT, execute leased cells, stream "
                     "results back as CRC'd frames.  Trust model: "
                     "pickle over TCP — only connect to coordinators "
-                    "you control.",
+                    "you control, and share an authkey for anything "
+                    "beyond loopback.",
     )
     parser.add_argument("--connect", required=True, metavar="HOST:PORT",
                         help="coordinator address")
+    parser.add_argument("--authkey", default=None, metavar="KEY",
+                        help="shared secret for the HMAC handshake "
+                             "(default: $REPRO_FABRIC_AUTHKEY); must "
+                             "match the coordinator's --fabric-authkey")
     parser.add_argument("--name", default=None,
                         help="worker name in the fleet roster "
                              "(default host:pid)")
@@ -962,6 +1184,7 @@ def worker_cli(argv=None) -> int:
         chaos=chaos, heartbeat_interval=args.heartbeat_interval,
         reconnect_delay=args.reconnect_delay,
         max_reconnects=args.max_reconnects,
+        authkey=args.authkey or os.environ.get("REPRO_FABRIC_AUTHKEY"),
     )
     print(f"worker {worker.name}: connecting to "
           f"{'%s:%d' % worker.addr}", file=sys.stderr)

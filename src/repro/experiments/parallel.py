@@ -197,6 +197,11 @@ class SweepExecutor:
     lease_ttl: float = 30.0
     lease_size: int = 1
     min_workers: int = 1
+    #: Shared secret for the fabric's HMAC handshake; binding a
+    #: non-loopback --listen without one requires the explicit
+    #: ``allow_unauthenticated`` (``--insecure-fabric``) opt-in.
+    authkey: Optional[bytes] = None
+    allow_unauthenticated: bool = False
     #: Run registry + directory for fleet liveness records
     #: (``observe --serve`` reads these back at ``/fleet``).
     fleet_registry: object = None
@@ -241,6 +246,8 @@ class SweepExecutor:
                 registry=self.fleet_registry,
                 fleet_dir=self.fleet_dir,
                 tracer=self.tracer,
+                authkey=self.authkey,
+                allow_unauthenticated=self.allow_unauthenticated,
             )
             import sys
 

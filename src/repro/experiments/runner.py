@@ -73,7 +73,9 @@ class ExperimentContext:
                  max_retries: int = 2, retry_backoff: float = 0.5,
                  listen=None, lease_ttl: float = 30.0,
                  lease_size: int = 1, min_workers: int = 1,
-                 fleet_registry=None, fleet_dir=None):
+                 fleet_registry=None, fleet_dir=None,
+                 fabric_authkey=None,
+                 insecure_fabric: bool = False):
         self.cfg = cfg if cfg is not None else SystemConfig.paper_scaled()
         self.seed = seed
         self.ops_scale = ops_scale
@@ -120,7 +122,8 @@ class ExperimentContext:
             retry_backoff=retry_backoff,
             listen=listen, lease_ttl=lease_ttl, lease_size=lease_size,
             min_workers=min_workers, fleet_registry=fleet_registry,
-            fleet_dir=fleet_dir,
+            fleet_dir=fleet_dir, authkey=fabric_authkey,
+            allow_unauthenticated=insecure_fabric,
         )
 
     def close(self) -> None:

@@ -661,6 +661,12 @@ function drawPerf(reg) {
     () => tip.style.display = "none");
 }
 
+// Registry-derived strings (worker names especially are self-reported
+// by remote hosts over the wire) must never reach innerHTML raw.
+const esc = s => String(s).replace(/[&<>"']/g, c => ({
+  "&": "&amp;", "<": "&lt;", ">": "&gt;",
+  '"': "&quot;", "'": "&#39;"}[c]));
+
 async function refresh() {
   const [runs, reg, store, fleet] = await Promise.all([
     fetch("/runs").then(r => r.json()),
@@ -681,7 +687,7 @@ async function refresh() {
   document.querySelector("#runs tbody").innerHTML =
     runs.runs.map(r => {
       const p = byDir[r.dir] || {};
-      return `<tr><td>${r.dir}</td><td>${r.status || (r.complete
+      return `<tr><td>${esc(r.dir)}</td><td>${r.status || (r.complete
         ? "completed" : "in flight")}</td>` +
         `<td class="num">${fmt(r.cells)}</td>` +
         `<td class="num">${fmt(r.failed_cells)}</td>` +
@@ -697,8 +703,9 @@ async function refresh() {
       const rows = (f.workers && f.workers.length ? f.workers
         : [{name: "(no workers yet)", state: f.status}]);
       return rows.map(w =>
-        `<tr><td>${f.dir}</td><td>${coord}</td><td>${w.name}</td>` +
-        `<td>${w.state || "—"}</td>` +
+        `<tr><td>${esc(f.dir)}</td><td>${esc(coord)}</td>` +
+        `<td>${esc(w.name)}</td>` +
+        `<td>${esc(w.state || "—")}</td>` +
         `<td class="num">${fmt(w.cells_done)}</td>` +
         `<td class="num">${w.silence_s == null ? "—" : w.silence_s}</td>` +
         `<td class="num">${fmt(leases.outstanding)}</td>` +

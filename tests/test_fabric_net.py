@@ -8,25 +8,34 @@ byte-identical to the serial reference.
 
 from __future__ import annotations
 
+import hmac
 import json
 import os
 import signal
+import socket
 import struct
 import subprocess
 import sys
 import threading
 import time
 import zlib
+from collections import deque
 from pathlib import Path
 
 import pytest
 
 from repro.config import SystemConfig
 from repro.experiments.fabric_net import (
+    _WELCOME,
     FrameBuffer,
     FrameError,
+    NetFabricCoordinator,
     NetFabricStats,
+    _Lease,
+    _NetTask,
+    _recv_exact,
     build_worker_parser,
+    check_listen_security,
     encode_frame,
     lease_ttl_for,
     parse_address,
@@ -103,6 +112,169 @@ class TestLeaseTtl:
         assert lease_ttl_for(1, "abcd", 1, 10.0, cells=3) == ttl * 3
 
 
+def _pump(coord, rounds=40, timeout=0.05, on_result=None):
+    """Drive the coordinator's selector by hand (what _loop does per
+    tick), so tests can interleave raw client sockets with it."""
+    for _ in range(rounds):
+        for key, _events in coord._selector.select(timeout=timeout):
+            what, worker = key.data
+            if what == "accept":
+                coord._accept()
+            else:
+                coord._read_worker(worker, on_result)
+
+
+def _greeted_client(coord, name="w1"):
+    """A raw client socket that has completed hello (no authkey)."""
+    client = socket.create_connection(coord.address, timeout=5)
+    client.settimeout(5)
+    _pump(coord, rounds=2)
+    client.sendall(encode_frame(("hello", name)))
+    deadline = time.monotonic() + 5
+    while name not in coord._workers:
+        assert time.monotonic() < deadline, "hello never landed"
+        _pump(coord, rounds=2)
+    return client
+
+
+class TestAuthHandshake:
+    def test_correct_key_admits_worker(self):
+        with NetFabricCoordinator(("127.0.0.1", 0),
+                                  authkey=b"sesame") as coord:
+            client = socket.create_connection(coord.address, timeout=5)
+            client.settimeout(5)
+            _pump(coord, rounds=2)
+            challenge = _recv_exact(client, 36)
+            assert challenge is not None
+            assert challenge.startswith(b"RFNA")
+            client.sendall(
+                hmac.new(b"sesame", challenge, "sha256").digest())
+            _pump(coord, rounds=2)
+            assert _recv_exact(client, len(_WELCOME)) == _WELCOME
+            client.sendall(encode_frame(("hello", "w1")))
+            deadline = time.monotonic() + 5
+            while "w1" not in coord._workers:
+                assert time.monotonic() < deadline
+                _pump(coord, rounds=2)
+            assert coord._workers["w1"].greeted
+            assert coord.stats.auth_rejected == 0
+            client.close()
+
+    def test_wrong_key_is_dropped_before_any_pickle(self):
+        with NetFabricCoordinator(("127.0.0.1", 0),
+                                  authkey=b"sesame") as coord:
+            client = socket.create_connection(coord.address, timeout=5)
+            client.settimeout(5)
+            _pump(coord, rounds=2)
+            challenge = _recv_exact(client, 36)
+            client.sendall(
+                hmac.new(b"wrong", challenge, "sha256").digest())
+            deadline = time.monotonic() + 5
+            while not coord.stats.auth_rejected:
+                assert time.monotonic() < deadline
+                _pump(coord, rounds=2)
+            assert coord.stats.auth_rejected == 1
+            # The connection is gone; nothing we sent was ever parsed
+            # as a frame.
+            assert not coord._workers
+            try:
+                assert client.recv(64) == b""
+            except OSError:
+                pass  # a reset is an equally firm goodbye
+            client.close()
+
+    def test_non_loopback_listen_requires_key_or_opt_in(self):
+        with pytest.raises(ValueError):
+            check_listen_security("0.0.0.0:9100", None, False)
+        with pytest.raises(ValueError):
+            NetFabricCoordinator(("0.0.0.0", 0))
+        # Either guard satisfies it.
+        check_listen_security("0.0.0.0:9100", "key", False)
+        check_listen_security("0.0.0.0:9100", None, True)
+        # Loopback binds stay frictionless.
+        check_listen_security("127.0.0.1:0", None, False)
+        check_listen_security(":0", None, False)
+
+
+class TestBatchIsolation:
+    def test_stale_frames_bounce_off_fingerprint_check(self):
+        done = []
+        with NetFabricCoordinator(("127.0.0.1", 0)) as coord:
+            client = _greeted_client(coord)
+            coord._tasks = [_NetTask(index=0, payload=None,
+                                     fingerprint="fp-new")]
+            coord._pending = deque()
+            on_result = lambda index, result: done.append(result)  # noqa: E731
+
+            # A frame left over from a previous batch: same index,
+            # different cell.  It must not touch the new batch.
+            client.sendall(encode_frame(("result", 7, 0, "fp-old",
+                                         {"cycles": 1})))
+            # An out-of-range index from a shrunken batch.
+            client.sendall(encode_frame(("result", 7, 5, "fp-old",
+                                         {"cycles": 2})))
+            # A stale error frame: discarded before its blob is even
+            # unpickled.
+            client.sendall(encode_frame(("error", 7, 0, "fp-old",
+                                         b"garbage-not-pickle")))
+            deadline = time.monotonic() + 5
+            while coord.stats.stale_frames < 3:
+                assert time.monotonic() < deadline, \
+                    f"stale frames not rejected: {coord.stats.as_dict()}"
+                _pump(coord, rounds=2, on_result=on_result)
+            assert not coord._tasks[0].completed
+            assert not done
+
+            # The genuine frame for the current batch still lands.
+            client.sendall(encode_frame(("result", 7, 0, "fp-new",
+                                         {"cycles": 3})))
+            deadline = time.monotonic() + 5
+            while not coord._tasks[0].completed:
+                assert time.monotonic() < deadline
+                _pump(coord, rounds=2, on_result=on_result)
+            assert coord._tasks[0].result == {"cycles": 3}
+            assert done == [{"cycles": 3}]
+            assert coord.stats.stale_frames == 3
+            client.close()
+
+    def test_run_discards_leases_from_an_aborted_batch(self):
+        with NetFabricCoordinator(("127.0.0.1", 0)) as coord:
+            client = _greeted_client(coord)
+            worker = coord._workers["w1"]
+            # Fabricate an aborted batch's leftovers: a lease whose
+            # index set points into a task list that no longer exists.
+            coord._tasks = [_NetTask(index=0, payload=None,
+                                     fingerprint="fp-aborted")]
+            coord._leases[1] = _Lease(
+                id=1, worker="w1", remaining={0},
+                deadline=time.monotonic() + 300, attempt=1,
+            )
+            worker.lease = 1
+
+            assert coord.run([]) == []
+
+            assert coord._leases == {}
+            assert worker.lease is None
+            # Discarding is not a retry: the stale lease must not
+            # consume attempts or count as a reclaim.
+            assert coord.stats.reclaims == 0
+            assert coord.stats.retries == 0
+            assert coord.stats.failed == 0
+            client.close()
+
+    def test_bye_and_eof_counted_separately(self):
+        with NetFabricCoordinator(("127.0.0.1", 0)) as coord:
+            client = _greeted_client(coord)
+            client.sendall(encode_frame(("bye",)))
+            deadline = time.monotonic() + 5
+            while not coord.stats.worker_byes:
+                assert time.monotonic() < deadline
+                _pump(coord, rounds=2)
+            assert coord.stats.worker_byes == 1
+            assert coord.stats.worker_eofs == 0
+            client.close()
+
+
 class TestHostChaos:
     def test_spec_rejects_bad_fractions(self):
         with pytest.raises(ValueError):
@@ -163,12 +335,14 @@ class TestWorkerCli:
     def test_parser_round_trip(self):
         args = build_worker_parser().parse_args(
             ["--connect", ":9100", "--chaos-once", "kill,dup",
-             "--blackhole-seconds", "3.5", "--name", "w1"]
+             "--blackhole-seconds", "3.5", "--name", "w1",
+             "--authkey", "sesame"]
         )
         assert parse_address(args.connect) == ("127.0.0.1", 9100)
         assert args.chaos_once == "kill,dup"
         assert args.blackhole_seconds == 3.5
         assert args.name == "w1"
+        assert args.authkey == "sesame"
 
 
 class TestRegistryFleet:
@@ -267,7 +441,7 @@ class TestRegistryPrune:
         assert [e["dir"] for e in registry.entries()] == [str(new_dir)]
 
 
-def _spawn_worker(address, attacks=None):
+def _spawn_worker(address, attacks=None, authkey=None):
     cmd = [sys.executable, "-m", "repro.experiments", "worker",
            "--connect", address]
     if attacks:
@@ -276,6 +450,9 @@ def _spawn_worker(address, attacks=None):
     env["PYTHONPATH"] = str(REPO / "src") + (
         os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
     )
+    env.pop("REPRO_FABRIC_AUTHKEY", None)
+    if authkey is not None:
+        env["REPRO_FABRIC_AUTHKEY"] = authkey
     return subprocess.Popen(cmd, env=env, stderr=subprocess.DEVNULL)
 
 
@@ -295,11 +472,12 @@ class TestDistributedRecovery:
             CFG, workloads=WORKLOADS, journal=journal, **QUICK,
             listen="127.0.0.1:0", lease_ttl=5.0, min_workers=1,
             fleet_registry=registry, fleet_dir=fleet_dir,
+            fabric_authkey="fleet-key",  # recovery over the authed wire
         )
         coordinator = ctx._executor.coordinator()
         address = "%s:%d" % coordinator.address
-        workers = [_spawn_worker(address, "kill"),
-                   _spawn_worker(address, "dup")]
+        workers = [_spawn_worker(address, "kill", authkey="fleet-key"),
+                   _spawn_worker(address, "dup", authkey="fleet-key")]
         try:
             recovered = ctx.speedup_table(PROTOCOLS)
             journal.close()

@@ -55,6 +55,12 @@ PROTOCOLS = ["sw", "nhcc", "hmg"]
 #: and then double-delivers.
 DEFAULT_ATTACKS = ["kill", "kill", "blackhole,dup"]
 
+#: The gate always runs with the HMAC handshake on, so recovery is
+#: asserted over the authenticated wire path (and an ambient
+#: REPRO_FABRIC_AUTHKEY in the caller's environment cannot split the
+#: coordinator's and workers' configuration).
+GATE_AUTHKEY = "chaos-dist-gate"
+
 
 class ChaosGateFailure(AssertionError):
     """One of the harness's recovery properties did not hold."""
@@ -115,6 +121,7 @@ def spawn_worker(address: str, attacks: str, blackhole_seconds: float):
     env["PYTHONPATH"] = str(REPO / "src") + (
         os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
     )
+    env["REPRO_FABRIC_AUTHKEY"] = GATE_AUTHKEY
     return subprocess.Popen(cmd, env=env, stderr=subprocess.DEVNULL)
 
 
@@ -164,6 +171,7 @@ def _gate(cfg, args, work: Path, workers: list) -> int:
         listen="127.0.0.1:0", lease_ttl=args.lease_ttl,
         max_retries=args.max_retries,
         min_workers=min(args.workers, 2),
+        fabric_authkey=GATE_AUTHKEY,
     )
     coordinator = ctx._executor.coordinator()
     address = "%s:%d" % coordinator.address
