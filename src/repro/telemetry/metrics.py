@@ -1,0 +1,505 @@
+"""Push-based metrics: typed records and the sweep-side client.
+
+Sweeps, workers and coordinators *push* telemetry to a collector (the
+``observe --serve`` service's ``/ingest`` endpoint) instead of leaving
+it on disk for the service to poll — the observability analogue of the
+paper's hierarchy argument: state is forwarded up the hierarchy, not
+rediscovered.  Two disciplines govern everything here:
+
+* **Typed records, not ad-hoc JSON.**  Every record is validated
+  against an explicit schema (:func:`validate_record`) with stated
+  invariants — a finite numeric value, flat string-keyed labels, a
+  known kind — on *both* sides of the wire.  Records that fail are
+  rejected and counted, never guessed at (the guarded-action modeling
+  discipline of arXiv 1803.10323, applied to telemetry).
+* **Strictly out-of-band.**  Metrics must never perturb a sweep:
+  :meth:`MetricsClient.emit` is non-blocking with a bounded buffer, a
+  dead or slow collector costs at most a short bounded retry in the
+  background flusher, and every record that cannot be delivered is
+  *dropped and counted* — ``emitted == sent + dropped + buffered`` at
+  all times.  Manifests, journals and the results store are written by
+  code paths this module never touches, so sweep output is
+  byte-identical with metrics on or off.
+
+Authentication reuses the HMAC discipline of the fabric wire
+(:mod:`repro.experiments.fabric_net`): the client presents a bearer
+token, the collector resolves it against its configured token table in
+constant time (:class:`TokenTable`), and the record's *namespace* is
+derived from the token server-side — a client cannot claim another
+user's namespace.
+"""
+
+from __future__ import annotations
+
+import hmac
+import json
+import math
+import os
+import socket
+import threading
+import time
+import urllib.error
+import urllib.request
+import zlib
+
+from repro.experiments.fabric import _mix
+
+#: Record/batch schema version; bump on any incompatible change.
+METRICS_SCHEMA = 1
+
+#: Record kinds the schema admits.
+RECORD_KINDS = ("counter", "gauge", "window")
+
+#: Hard cap on labels per record (an unbounded label set would let one
+#: misbehaving client explode the collector's series cardinality).
+MAX_LABELS = 12
+
+#: Hard cap on counters carried by one window record.
+MAX_WINDOW_COUNTERS = 64
+
+
+def _finite_number(value) -> bool:
+    return (isinstance(value, (int, float))
+            and not isinstance(value, bool)
+            and math.isfinite(value))
+
+
+def validate_record(record) -> str:
+    """Check one record against the schema; returns an error string or
+    ``None``.  The invariants are explicit and total — anything not
+    positively admitted is rejected:
+
+    * ``metric``: non-empty ``str`` of dotted identifiers,
+    * ``kind``: one of :data:`RECORD_KINDS` (default ``gauge``),
+    * point records (counter/gauge): finite numeric ``value``,
+    * window records: finite ``t0 <= t1``, a ``unit`` string, and a
+      flat ``counters`` dict of finite numbers,
+    * ``labels``: flat ``str -> str|int|float`` dict, at most
+      :data:`MAX_LABELS` entries,
+    * ``t``: optional finite timestamp.
+    """
+    if not isinstance(record, dict):
+        return "record is not an object"
+    metric = record.get("metric")
+    if not isinstance(metric, str) or not metric \
+            or not all(part for part in metric.split(".")):
+        return f"bad metric name {metric!r}"
+    kind = record.get("kind", "gauge")
+    if kind not in RECORD_KINDS:
+        return f"unknown kind {kind!r}"
+    labels = record.get("labels", {})
+    if not isinstance(labels, dict) or len(labels) > MAX_LABELS:
+        return "labels must be a dict of <= %d entries" % MAX_LABELS
+    for key, value in labels.items():
+        if not isinstance(key, str):
+            return f"non-string label key {key!r}"
+        if not isinstance(value, str) and not _finite_number(value):
+            return f"bad label value for {key!r}"
+    t = record.get("t")
+    if t is not None and not _finite_number(t):
+        return f"bad timestamp {t!r}"
+    if kind == "window":
+        t0, t1 = record.get("t0"), record.get("t1")
+        if not _finite_number(t0) or not _finite_number(t1) or t0 > t1:
+            return f"bad window bounds ({t0!r}, {t1!r})"
+        if not isinstance(record.get("unit"), str):
+            return "window record missing unit"
+        counters = record.get("counters")
+        if not isinstance(counters, dict) or not counters \
+                or len(counters) > MAX_WINDOW_COUNTERS:
+            return "window counters must be a non-empty dict of " \
+                   "<= %d entries" % MAX_WINDOW_COUNTERS
+        for key, value in counters.items():
+            if not isinstance(key, str) or not _finite_number(value):
+                return f"bad window counter {key!r}"
+        return None
+    if not _finite_number(record.get("value")):
+        return f"bad value {record.get('value')!r}"
+    return None
+
+
+def expand_record(record) -> list:
+    """Window records fan out into one point per counter
+    (``<metric>.<counter>`` at the window's closing edge, with the
+    window span recorded as ``<metric>.span``); point records pass
+    through.  Rollups therefore only ever see points."""
+    if record.get("kind", "gauge") != "window":
+        return [record]
+    labels = record.get("labels", {})
+    t = record.get("t")
+    points = [{
+        "metric": f"{record['metric']}.span",
+        "kind": "gauge",
+        "value": record["t1"] - record["t0"],
+        "labels": labels, "t": t,
+    }]
+    for name, value in sorted(record["counters"].items()):
+        points.append({
+            "metric": f"{record['metric']}.{name}",
+            "kind": "counter",
+            "value": value,
+            "labels": labels, "t": t,
+        })
+    return points
+
+
+# ----------------------------------------------------------------------
+# Token table (collector side)
+# ----------------------------------------------------------------------
+
+
+def derive_namespace(token: str) -> str:
+    """Deterministic namespace for a bare token: an HMAC-SHA256 of the
+    token under a fixed context string, truncated.  Knowing a token
+    grants exactly its own namespace — nothing about any other token's
+    namespace leaks from the derivation."""
+    digest = hmac.new(token.encode(), b"repro-metrics-namespace",
+                      "sha256").hexdigest()
+    return f"ns-{digest[:12]}"
+
+
+class TokenTable:
+    """Bearer-token -> namespace resolution for mutating endpoints.
+
+    Specs are ``NAMESPACE=SECRET`` (explicit, human-readable namespace)
+    or a bare ``SECRET`` (namespace derived via
+    :func:`derive_namespace`).  Resolution compares the presented token
+    against *every* configured secret with :func:`hmac.compare_digest`
+    — constant time per entry, no early exit on the matching one's
+    position.
+    """
+
+    def __init__(self, specs=()):
+        self._entries = []  # (secret, namespace)
+        for spec in specs or ():
+            if not spec:
+                continue
+            namespace, sep, secret = str(spec).partition("=")
+            if sep and namespace:
+                self._entries.append((secret, namespace))
+            else:
+                self._entries.append((str(spec),
+                                      derive_namespace(str(spec))))
+
+    @property
+    def required(self) -> bool:
+        """True when any token is configured: mutating endpoints then
+        reject requests that do not present a matching one."""
+        return bool(self._entries)
+
+    def resolve(self, presented) -> str:
+        """The namespace for a presented token, or ``None``.  Every
+        configured secret is compared (constant-time), even after a
+        match."""
+        if not isinstance(presented, str) or not presented:
+            return None
+        found = None
+        for secret, namespace in self._entries:
+            if hmac.compare_digest(presented.encode(), secret.encode()):
+                found = namespace
+        return found
+
+
+# ----------------------------------------------------------------------
+# Client
+# ----------------------------------------------------------------------
+
+
+class MetricsClient:
+    """Batches typed records and POSTs them to a collector.
+
+    Out-of-band by construction: :meth:`emit` appends to a bounded
+    in-memory buffer and returns immediately (a full buffer drops the
+    record and counts it); a daemon flusher thread drains the buffer in
+    batches with a seeded, bounded backoff between attempts; a batch
+    that exhausts its attempts — collector down, auth refused, garbage
+    response — is dropped and counted, never retried forever.
+    :meth:`close` performs one final bounded flush and accounts every
+    still-undelivered record as dropped, so
+    ``emitted == sent + dropped`` holds at exit.
+
+    Nothing in this class raises into the caller once constructed, and
+    no sweep artifact (manifest, journal, store) is ever written
+    through it.
+    """
+
+    def __init__(self, url: str, *, token: str = None, run: str = "adhoc",
+                 namespace: str = None, source: str = None, seed: int = 1,
+                 buffer_max: int = 4096, batch_max: int = 256,
+                 flush_interval: float = 0.25, max_attempts: int = 3,
+                 retry_backoff: float = 0.2, timeout: float = 2.0,
+                 autoflush: bool = True):
+        self.url = url.rstrip("/")
+        self.token = token or None
+        self.run = str(run)
+        #: Only honored by a collector with no token table; with auth
+        #: on, the namespace is derived server-side from the token.
+        self.namespace = namespace
+        self.source = source or f"{socket.gethostname()}:{os.getpid()}"
+        self.seed = seed
+        self.buffer_max = max(1, int(buffer_max))
+        self.batch_max = max(1, int(batch_max))
+        self.flush_interval = flush_interval
+        self.max_attempts = max(1, int(max_attempts))
+        self.retry_backoff = retry_backoff
+        self.timeout = timeout
+        self._autoflush = autoflush
+        self._buffer: list = []
+        self._lock = threading.Lock()
+        self._wake = threading.Event()
+        self._stop = threading.Event()
+        self._thread = None
+        self._batch_seq = 0
+        # Accounting: emitted == sent + dropped + len(_buffer), always.
+        self.emitted = 0
+        self.sent = 0
+        self.dropped = 0
+        self.batches = 0
+        self.post_errors = 0
+        self.auth_rejected = 0
+        self.rejected_by_collector = 0
+
+    # -- emitting ------------------------------------------------------
+
+    def emit(self, metric: str, value, labels: dict = None,
+             kind: str = "gauge", t: float = None) -> bool:
+        """Queue one point record; never blocks, never raises.
+        Returns False when the record was refused (invalid, buffer
+        full, or the client is closed) — refusals count as drops."""
+        record = {"metric": metric, "kind": kind, "value": value,
+                  "labels": dict(labels or {}),
+                  "t": time.time() if t is None else t}
+        return self._enqueue(record)
+
+    def emit_window(self, metric: str, t0: float, t1: float, unit: str,
+                    counters: dict, labels: dict = None,
+                    t: float = None) -> bool:
+        """Queue one window record (an interval sampler bin, a whole
+        cell's span) — fans out into per-counter points on ingest."""
+        record = {"metric": metric, "kind": "window",
+                  "t0": float(t0), "t1": float(t1), "unit": unit,
+                  "counters": dict(counters),
+                  "labels": dict(labels or {}),
+                  "t": time.time() if t is None else t}
+        return self._enqueue(record)
+
+    def _enqueue(self, record) -> bool:
+        self.emitted += 1
+        if validate_record(record) is not None or self._stop.is_set():
+            self.dropped += 1
+            return False
+        with self._lock:
+            if len(self._buffer) >= self.buffer_max:
+                self.dropped += 1
+                return False
+            self._buffer.append(record)
+            depth = len(self._buffer)
+        if self._autoflush:
+            self._ensure_thread()
+            if depth >= self.batch_max:
+                self._wake.set()
+        return True
+
+    # -- flushing ------------------------------------------------------
+
+    def _ensure_thread(self) -> None:
+        if self._thread is None or not self._thread.is_alive():
+            self._thread = threading.Thread(
+                target=self._flush_loop, daemon=True,
+                name="repro-metrics-flush",
+            )
+            self._thread.start()
+
+    def _flush_loop(self) -> None:
+        while not self._stop.is_set():
+            self._wake.wait(self.flush_interval)
+            self._wake.clear()
+            self.flush()
+
+    def _take_batch(self) -> list:
+        with self._lock:
+            batch = self._buffer[:self.batch_max]
+            del self._buffer[:len(batch)]
+        return batch
+
+    def flush(self, attempts: int = None) -> None:
+        """Drain the buffer, one bounded-retry batch at a time.  Safe
+        from any thread; a batch that cannot be delivered is dropped
+        and counted and the next batch still gets its own attempts."""
+        while True:
+            batch = self._take_batch()
+            if not batch:
+                return
+            if self._post_with_retries(batch, attempts):
+                self.sent += len(batch)
+            else:
+                self.dropped += len(batch)
+
+    def _post_with_retries(self, batch, attempts=None) -> bool:
+        from repro.experiments.fabric import retry_delay
+
+        self._batch_seq += 1
+        budget = attempts if attempts is not None else self.max_attempts
+        fingerprint = f"{self.url}#{self._batch_seq}"
+        for attempt in range(1, budget + 1):
+            status = self._post(batch)
+            if status == "sent":
+                return True
+            if status == "refused":
+                return False  # auth/validation: retrying cannot help
+            if attempt < budget:
+                time.sleep(min(
+                    retry_delay(self.seed, fingerprint, attempt,
+                                self.retry_backoff),
+                    2.0,
+                ))
+        return False
+
+    def _post(self, batch) -> str:
+        """One POST attempt: 'sent', 'refused' (don't retry), or
+        'error' (transient; retry may help)."""
+        payload = {
+            "v": METRICS_SCHEMA,
+            "run": self.run,
+            "source": self.source,
+            "records": batch,
+        }
+        if self.namespace is not None:
+            payload["namespace"] = self.namespace
+        body = json.dumps(payload, sort_keys=True).encode()
+        request = urllib.request.Request(
+            self.url + "/ingest", data=body,
+            headers={"Content-Type": "application/json"}, method="POST",
+        )
+        if self.token:
+            request.add_header("Authorization", f"Bearer {self.token}")
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout) as resp:
+                reply = json.loads(resp.read() or b"{}")
+                self.batches += 1
+                self.rejected_by_collector += int(
+                    reply.get("rejected", 0) or 0)
+                return "sent"
+        except urllib.error.HTTPError as exc:
+            self.post_errors += 1
+            if exc.code in (401, 403):
+                self.auth_rejected += 1
+                return "refused"
+            if 400 <= exc.code < 500:
+                return "refused"  # our payload; a retry sends the same
+            return "error"
+        except (urllib.error.URLError, OSError, ValueError,
+                json.JSONDecodeError):
+            self.post_errors += 1
+            return "error"
+
+    # -- lifecycle -----------------------------------------------------
+
+    def stats(self) -> dict:
+        with self._lock:
+            buffered = len(self._buffer)
+        return {
+            "emitted": self.emitted,
+            "sent": self.sent,
+            "dropped": self.dropped,
+            "buffered": buffered,
+            "batches": self.batches,
+            "post_errors": self.post_errors,
+            "auth_rejected": self.auth_rejected,
+            "rejected_by_collector": self.rejected_by_collector,
+        }
+
+    def close(self, timeout: float = 2.0) -> dict:
+        """Final bounded flush; undeliverable records become drops.
+        Returns the closing :meth:`stats` snapshot.  Idempotent."""
+        if not self._stop.is_set():
+            self._stop.set()
+            self._wake.set()
+            if self._thread is not None:
+                self._thread.join(timeout=timeout)
+            # One last single-attempt pass: a live collector gets the
+            # tail; a dead one costs one timeout, not a retry ladder.
+            self.flush(attempts=1)
+            with self._lock:
+                leftovers = len(self._buffer)
+                self._buffer.clear()
+            self.dropped += leftovers
+        return self.stats()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *_exc):
+        self.close()
+
+    def summary(self) -> str:
+        """One stderr-friendly line for CLI exits."""
+        s = self.stats()
+        note = ""
+        if s["auth_rejected"]:
+            note = " (collector refused our token)"
+        elif s["post_errors"] and not s["sent"]:
+            note = " (collector unreachable)"
+        return (f"metrics: {s['sent']} record(s) pushed to {self.url}, "
+                f"{s['dropped']} dropped{note}")
+
+
+# ----------------------------------------------------------------------
+# Instrumentation helpers (shared by runner, worker, observe)
+# ----------------------------------------------------------------------
+
+
+def cell_labels(workload, protocol, *, engine=None, placement=None,
+                source=None, **extra) -> dict:
+    labels = {"workload": workload, "protocol": protocol}
+    if engine:
+        labels["engine"] = engine
+    if placement:
+        labels["placement"] = placement
+    if source:
+        labels["source"] = source
+    labels.update({k: v for k, v in extra.items() if v is not None})
+    return {k: str(v) for k, v in labels.items() if v is not None}
+
+
+def emit_cell_metrics(client: MetricsClient, result, *, labels: dict,
+                      prefix: str = "cell") -> None:
+    """Push one completed cell: its whole span as a window record
+    (``<prefix>.*`` per-counter rollups, ``engine_used`` provenance in
+    the labels) plus host throughput when the cell actually simulated.
+    A ``None`` client or result is a no-op."""
+    if client is None or result is None:
+        return
+    if result.wall_seconds > 0:
+        client.emit(f"{prefix}.ops_per_second", result.ops_per_second,
+                    labels=labels)
+        client.emit(f"{prefix}.wall_seconds", result.wall_seconds,
+                    labels=labels, kind="counter")
+    client.emit_window(prefix, 0.0, float(result.cycles), "cycles", {
+        "ops": result.ops,
+        "cycles": result.cycles,
+        "dram_bytes": result.dram_bytes,
+        "inter_gpu_bytes": result.inter_gpu_bytes,
+        "l1_hits": result.l1_stats.hits,
+        "l1_misses": result.l1_stats.misses,
+        "l2_hits": result.l2_stats.hits,
+        "l2_misses": result.l2_stats.misses,
+    }, labels=labels)
+
+
+def emit_stats_counters(client: MetricsClient, counters: dict, *,
+                        prefix: str, labels: dict = None) -> None:
+    """Push a stats dict (fabric/store counters) as gauges — the
+    collector's rollups keep last/min/max, so republishing a running
+    snapshot is idempotent-friendly."""
+    if client is None or not counters:
+        return
+    for name, value in sorted(counters.items()):
+        if _finite_number(value):
+            client.emit(f"{prefix}.{name}", value, labels=labels)
+
+
+def batch_fingerprint(url: str, seq: int) -> int:
+    """Seed helper kept for tests: stable per (url, batch)."""
+    return _mix(zlib.crc32(url.encode()), seq)

@@ -109,7 +109,7 @@ class RunRegistry:
 
     def register_fleet(self, directory, *, coordinator: dict = None,
                        status: str = "running", workers=None,
-                       leases: dict = None) -> dict:
+                       leases: dict = None, stats: dict = None) -> dict:
         """Register a distributed sweep fleet's liveness snapshot.
 
         The fabric-net coordinator republishes this periodically (and on
@@ -120,7 +120,7 @@ class RunRegistry:
         """
         return self.register("fleet", directory, coordinator=coordinator,
                              status=status, workers=list(workers or []),
-                             leases=leases)
+                             leases=leases, stats=stats)
 
     # ------------------------------------------------------------------
     # Reading

@@ -331,6 +331,48 @@ class TestStats:
         assert a.as_dict()["reclaims_eof"] == 1
 
 
+class TestStatsSnapshot:
+    def test_exposes_counters_plus_fleet_size(self):
+        with NetFabricCoordinator(("127.0.0.1", 0)) as coord:
+            client = _greeted_client(coord)
+            snapshot = coord.stats_snapshot()
+            assert snapshot["workers_connected"] == 1
+            assert snapshot["leases_outstanding"] == 0
+            assert snapshot["worker_connects"] == 1
+            # Every NetFabricStats counter rides along, by name.
+            assert set(coord.stats.as_dict()) <= set(snapshot)
+            # A snapshot is a copy: mutating it cannot touch the stats.
+            snapshot["reclaims"] = 999
+            assert coord.stats.reclaims == 0
+            client.close()
+
+    def test_fleet_snapshot_carries_stats(self):
+        with NetFabricCoordinator(("127.0.0.1", 0)) as coord:
+            fleet = coord.fleet_snapshot()
+            assert fleet["stats"] == coord.stats_snapshot()
+
+    def test_snapshot_flows_to_registry_and_metrics(self, tmp_path):
+        from repro.telemetry.metrics import MetricsClient
+
+        registry = RunRegistry(tmp_path / "reg")
+        fleet_dir = tmp_path / "sweep"
+        fleet_dir.mkdir()
+        client = MetricsClient("http://127.0.0.1:9", autoflush=False,
+                               max_attempts=1, retry_backoff=0.001)
+        with NetFabricCoordinator(("127.0.0.1", 0), registry=registry,
+                                  fleet_dir=fleet_dir,
+                                  metrics=client) as coord:
+            coord.stats.reclaims = 2
+            coord._publish_fleet(status="running", force=True)
+        fleets = registry.fleets()
+        assert fleets[0]["info"]["stats"]["reclaims"] == 2
+        emitted = {record["metric"]: record["value"]
+                   for record in client._buffer}
+        assert emitted["fabric.reclaims"] == 2
+        assert emitted["fabric.workers_connected"] == 0
+        client.close()
+
+
 class TestWorkerCli:
     def test_parser_round_trip(self):
         args = build_worker_parser().parse_args(

@@ -1,0 +1,379 @@
+"""Metrics client: schema, auth tokens, and out-of-band guarantees.
+
+The load-bearing claims tested here are the ISSUE's acceptance bars:
+a dead, dying, or slow collector never stalls a sweep or perturbs its
+artifacts (manifests stay byte-identical with push on or off), and
+every undelivered record is counted — ``emitted == sent + dropped +
+buffered`` at all times.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.experiments.runner import ExperimentContext
+from repro.telemetry.metrics import (MetricsClient, TokenTable,
+                                     batch_fingerprint, cell_labels,
+                                     derive_namespace,
+                                     emit_cell_metrics,
+                                     emit_stats_counters,
+                                     validate_record)
+
+CFG = SystemConfig.paper_scaled(1 / 64)
+QUICK = dict(seed=1, ops_scale=0.05)
+
+#: Client kwargs that keep failure-path tests fast: one attempt, no
+#: background flusher (tests drive flush/close explicitly).
+FAST = dict(autoflush=False, max_attempts=1, retry_backoff=0.001,
+            timeout=2.0)
+
+
+def _dead_url() -> str:
+    """http:// URL with nothing listening (bind-then-close a socket)."""
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        port = sock.getsockname()[1]
+    return f"http://127.0.0.1:{port}"
+
+
+class _StubCollector:
+    """Minimal /ingest endpoint with scriptable failure behavior.
+
+    ``status_after(n)`` makes every request after the first ``n`` fail
+    with ``fail_status`` — 'the collector died mid-sweep' with exact,
+    deterministic timing (no dependence on the flusher's schedule).
+    """
+
+    def __init__(self, *, ok_limit: int = None, fail_status: int = 503):
+        self.posts: list = []  # decoded batch payloads, 200'd or not
+        self.ok_limit = ok_limit
+        self.fail_status = fail_status
+        self.requests = 0
+        self._lock = threading.Lock()
+        stub = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_POST(self):
+                body = self.rfile.read(
+                    int(self.headers.get("Content-Length", 0)))
+                with stub._lock:
+                    stub.requests += 1
+                    n = stub.requests
+                    stub.posts.append(json.loads(body))
+                    ok = stub.ok_limit is None or n <= stub.ok_limit
+                if ok:
+                    reply = json.dumps({"accepted": 1,
+                                        "rejected": 0}).encode()
+                    self.send_response(200)
+                    self.send_header("Content-Length", str(len(reply)))
+                    self.end_headers()
+                    self.wfile.write(reply)
+                else:
+                    self.send_error(stub.fail_status)
+
+            def log_message(self, *_args):
+                pass
+
+        self.server = ThreadingHTTPServer(("127.0.0.1", 0), Handler)
+        self.thread = threading.Thread(
+            target=self.server.serve_forever, daemon=True)
+        self.thread.start()
+        host, port = self.server.server_address[:2]
+        self.url = f"http://{host}:{port}"
+
+    def records_received(self) -> int:
+        with self._lock:
+            return sum(len(p.get("records", []))
+                       for i, p in enumerate(self.posts, 1)
+                       if self.ok_limit is None or i <= self.ok_limit)
+
+    def close(self) -> None:
+        self.server.shutdown()
+        self.thread.join(timeout=5)
+        self.server.server_close()
+
+
+@pytest.fixture
+def collector():
+    stub = _StubCollector()
+    yield stub
+    stub.close()
+
+
+class TestSchema:
+    @pytest.mark.parametrize("record", [
+        {"metric": "cell.ops", "value": 1.0},
+        {"metric": "m", "kind": "counter", "value": 2},
+        {"metric": "m", "value": 0.5, "labels": {"a": "b", "n": 3},
+         "t": 1.25},
+        {"metric": "w", "kind": "window", "t0": 0.0, "t1": 1.0,
+         "unit": "cycles", "counters": {"ops": 1}},
+    ])
+    def test_valid(self, record):
+        assert validate_record(record) is None
+
+    @pytest.mark.parametrize("record", [
+        "not a record",
+        {"value": 1.0},
+        {"metric": "", "value": 1.0},
+        {"metric": "a..b", "value": 1.0},
+        {"metric": "m", "kind": "histogram", "value": 1.0},
+        {"metric": "m", "value": float("inf")},
+        {"metric": "m", "value": True},
+        {"metric": "m", "value": 1.0, "labels": {"a": {}}},
+        {"metric": "m", "value": 1.0, "labels": {1: "x"}},
+        {"metric": "m", "value": 1.0,
+         "labels": {f"k{i}": "v" for i in range(13)}},
+        {"metric": "m", "value": 1.0, "t": float("nan")},
+        {"metric": "w", "kind": "window", "t0": 2.0, "t1": 1.0,
+         "unit": "cycles", "counters": {"ops": 1}},
+        {"metric": "w", "kind": "window", "t0": 0.0, "t1": 1.0,
+         "unit": "cycles", "counters": {}},
+        {"metric": "w", "kind": "window", "t0": 0.0, "t1": 1.0,
+         "counters": {"ops": 1}},
+    ])
+    def test_invalid(self, record):
+        assert validate_record(record) is not None
+
+
+class TestTokenTable:
+    def test_empty_table_requires_nothing(self):
+        table = TokenTable([])
+        assert table.required is False
+        assert table.resolve("anything") is None
+
+    def test_explicit_and_derived_namespaces(self):
+        table = TokenTable(["ci=secret-a", "secret-b"])
+        assert table.required is True
+        assert table.resolve("secret-a") == "ci"
+        assert table.resolve("secret-b") == derive_namespace("secret-b")
+        assert table.resolve("wrong") is None
+        assert table.resolve("") is None
+        assert table.resolve(None) is None
+
+    def test_derive_namespace_is_stable_and_scoped(self):
+        assert derive_namespace("tok") == derive_namespace("tok")
+        assert derive_namespace("tok") != derive_namespace("tok2")
+        assert derive_namespace("tok").startswith("ns-")
+
+
+class TestClientAccounting:
+    def _invariant(self, client):
+        s = client.stats()
+        assert s["emitted"] == s["sent"] + s["dropped"] + s["buffered"]
+
+    def test_delivers_and_counts(self, collector):
+        client = MetricsClient(collector.url, run="r", **FAST)
+        for i in range(5):
+            assert client.emit("m", float(i)) is True
+        self._invariant(client)
+        client.close()
+        assert client.stats() == {
+            "emitted": 5, "sent": 5, "dropped": 0, "buffered": 0,
+            "batches": 1, "post_errors": 0, "auth_rejected": 0,
+            "rejected_by_collector": 0,
+        }
+        assert collector.records_received() == 5
+
+    def test_invalid_record_dropped_at_emit(self):
+        client = MetricsClient(_dead_url(), **FAST)
+        assert client.emit("", 1.0) is False
+        assert client.emit("m", float("nan")) is False
+        s = client.stats()
+        assert (s["emitted"], s["dropped"], s["buffered"]) == (2, 2, 0)
+
+    def test_full_buffer_drops_newest(self):
+        # The "slow collector" mode: nothing draining the buffer.
+        client = MetricsClient(_dead_url(), buffer_max=4, **FAST)
+        results = [client.emit("m", float(i)) for i in range(10)]
+        assert results == [True] * 4 + [False] * 6
+        s = client.stats()
+        assert (s["dropped"], s["buffered"]) == (6, 4)
+        self._invariant(client)
+        client.close()  # dead collector: the tail becomes drops too
+        s = client.stats()
+        assert (s["emitted"], s["sent"], s["dropped"]) == (10, 0, 10)
+
+    def test_emit_after_close_drops(self, collector):
+        client = MetricsClient(collector.url, **FAST)
+        client.close()
+        assert client.emit("m", 1.0) is False
+        assert client.stats()["dropped"] == 1
+        client.close()  # idempotent; the late drop stays a drop
+        assert client.stats()["dropped"] == 1
+
+    def test_batching_splits_large_buffers(self, collector):
+        client = MetricsClient(collector.url, batch_max=3, **FAST)
+        for i in range(7):
+            client.emit("m", float(i))
+        client.flush()
+        assert client.stats()["batches"] == 3
+        assert [len(p["records"]) for p in collector.posts] == [3, 3, 1]
+
+    def test_summary_mentions_unreachable_collector(self):
+        client = MetricsClient(_dead_url(), **FAST)
+        client.emit("m", 1.0)
+        client.close()
+        assert "0 record(s) pushed" in client.summary()
+        assert "unreachable" in client.summary()
+
+
+class TestFailureModes:
+    def test_collector_down_at_start(self):
+        client = MetricsClient(_dead_url(), **FAST)
+        for i in range(8):
+            client.emit("m", float(i))
+        client.close()
+        s = client.stats()
+        assert (s["sent"], s["dropped"]) == (0, 8)
+        assert s["post_errors"] >= 1
+
+    def test_collector_dies_mid_stream(self, collector):
+        collector.ok_limit = 1  # first batch lands, then 503s forever
+        client = MetricsClient(collector.url, **FAST)
+        client.emit("before", 1.0)
+        client.flush()
+        client.emit("after", 2.0)
+        client.emit("after", 3.0)
+        client.close()
+        s = client.stats()
+        assert (s["sent"], s["dropped"]) == (1, 2)
+        assert s["post_errors"] >= 1
+        assert collector.records_received() == 1
+
+    def test_auth_refusal_never_retried(self, collector):
+        collector.ok_limit, collector.fail_status = 0, 401
+        client = MetricsClient(collector.url, token="bad",
+                               autoflush=False, max_attempts=5,
+                               retry_backoff=0.001)
+        client.emit("m", 1.0)
+        client.close()
+        s = client.stats()
+        assert (s["sent"], s["dropped"], s["auth_rejected"]) == (0, 1, 1)
+        assert collector.requests == 1  # a 401 is terminal, not retried
+
+    def test_bad_request_never_retried(self, collector):
+        collector.ok_limit, collector.fail_status = 0, 400
+        client = MetricsClient(collector.url, autoflush=False,
+                               max_attempts=5, retry_backoff=0.001)
+        client.emit("m", 1.0)
+        client.close()
+        assert collector.requests == 1
+        assert client.stats()["auth_rejected"] == 0
+
+    def test_transient_errors_retried_with_bounded_budget(
+            self, collector):
+        collector.ok_limit = 0  # every request 503s
+        client = MetricsClient(collector.url, autoflush=False,
+                               max_attempts=3, retry_backoff=0.001)
+        client.emit("m", 1.0)
+        client.flush()
+        assert collector.requests == 3
+        assert client.stats()["dropped"] == 1
+
+    def test_retry_backoff_is_seeded_and_stable(self):
+        assert batch_fingerprint("http://a", 1) \
+            == batch_fingerprint("http://a", 1)
+        assert batch_fingerprint("http://a", 1) \
+            != batch_fingerprint("http://a", 2)
+
+
+class TestHelpers:
+    def test_cell_labels_stringify_and_skip_none(self):
+        labels = cell_labels("mst", "hmg", engine="detailed",
+                             placement=None, source="worker", rank=3,
+                             extra=None)
+        assert labels == {"workload": "mst", "protocol": "hmg",
+                          "engine": "detailed", "source": "worker",
+                          "rank": "3"}
+
+    def test_emit_helpers_tolerate_none_client(self):
+        emit_cell_metrics(None, None, labels={})
+        emit_stats_counters(None, {"a": 1}, prefix="x")
+
+    def test_emit_stats_counters_skips_non_finite(self, collector):
+        client = MetricsClient(collector.url, **FAST)
+        emit_stats_counters(client, {"ok": 2, "bad": float("inf"),
+                                     "text": "no", "flag": True},
+                            prefix="fabric")
+        client.close()
+        [batch] = collector.posts
+        assert [r["metric"] for r in batch["records"]] == ["fabric.ok"]
+
+
+class TestSweepByteIdentity:
+    """The tentpole's hardest invariant: metrics are strictly
+    out-of-band.  A sweep pushed at a dead, dying, or saturated
+    collector writes manifests byte-identical to a no-metrics sweep,
+    and the client's drop accounting stays exact."""
+
+    def _sweep(self, tmp_path, label, client=None):
+        out = tmp_path / label
+        ctx = ExperimentContext(CFG, workloads=["CoMD"],
+                                telemetry_dir=out, metrics=client,
+                                **QUICK)
+        ctx.run_many([("CoMD", p) for p in ("noremote", "hmg")])
+        return out
+
+    def _assert_identical(self, baseline, pushed):
+        names = sorted(p.name for p in baseline.glob("*.metrics.json"))
+        assert names and names == sorted(
+            p.name for p in pushed.glob("*.metrics.json"))
+        for name in names:
+            assert (baseline / name).read_bytes() \
+                == (pushed / name).read_bytes(), name
+
+    def test_dead_collector(self, tmp_path):
+        baseline = self._sweep(tmp_path, "baseline")
+        client = MetricsClient(_dead_url(), **FAST)
+        pushed = self._sweep(tmp_path, "dead", client)
+        client.close()
+        s = client.stats()
+        assert s["emitted"] > 0
+        assert (s["sent"], s["buffered"]) == (0, 0)
+        assert s["dropped"] == s["emitted"]
+        self._assert_identical(baseline, pushed)
+
+    def test_collector_dies_mid_sweep(self, tmp_path, collector):
+        baseline = self._sweep(tmp_path, "baseline")
+        collector.ok_limit = 1
+        client = MetricsClient(collector.url, autoflush=True,
+                               flush_interval=0.01, max_attempts=1,
+                               retry_backoff=0.001, batch_max=2)
+        pushed = self._sweep(tmp_path, "dying", client)
+        client.close()
+        s = client.stats()
+        assert s["emitted"] > 0 and s["buffered"] == 0
+        assert s["emitted"] == s["sent"] + s["dropped"]
+        assert s["sent"] == collector.records_received() > 0
+        self._assert_identical(baseline, pushed)
+
+    def test_slow_collector_saturates_buffer(self, tmp_path):
+        baseline = self._sweep(tmp_path, "baseline")
+        client = MetricsClient(_dead_url(), buffer_max=2, **FAST)
+        pushed = self._sweep(tmp_path, "slow", client)
+        emitted_during_sweep = client.stats()["emitted"]
+        assert client.stats()["dropped"] == emitted_during_sweep - 2
+        client.close()
+        s = client.stats()
+        assert s["dropped"] == s["emitted"]  # the buffered 2 join
+        self._assert_identical(baseline, pushed)
+
+    def test_journaled_cli_sweep_identical_with_push(self, tmp_path):
+        from repro.experiments import cli
+
+        base = ["fig8", "--scale", str(1 / 64), "--ops-scale", "0.05",
+                "--workloads", "CoMD"]
+        dead = _dead_url()
+        assert cli.main(base + ["--journal",
+                                str(tmp_path / "plain")]) == 0
+        assert cli.main(base + ["--journal", str(tmp_path / "pushed"),
+                                "--push-metrics", dead]) == 0
+        assert (tmp_path / "plain" / "cells.jsonl").read_bytes() \
+            == (tmp_path / "pushed" / "cells.jsonl").read_bytes()

@@ -23,11 +23,9 @@ def _make_server(tmp_path, **overrides):
     argv = ["--port", "0", "--registry", str(tmp_path / "reg"),
             "--poll", "0.05"]
     for flag, value in overrides.items():
-        argv.append(f"--{flag.replace('_', '-')}")
-        if isinstance(value, (list, tuple)):
-            argv.extend(str(v) for v in value)
-        else:
-            argv.append(str(value))
+        values = value if isinstance(value, (list, tuple)) else [value]
+        for v in values:  # repeat the flag: append-style options
+            argv.extend([f"--{flag.replace('_', '-')}", str(v)])
     args = serve.build_parser().parse_args(argv)
     if "bench" not in overrides:
         args.bench = None  # keep the repo's committed bench out
@@ -92,12 +90,23 @@ class TestEndpoints:
     def test_health_and_dashboard(self, service):
         _, url = service
         status, body = _get_json(f"{url}/healthz")
-        assert (status, body) == (200, {"ok": True})
+        assert status == 200
+        assert body["ok"] is True
+        from repro import __version__
+
+        assert body["version"] == __version__
+        assert body["uptime_seconds"] >= 0
+        assert body["registry"].endswith("reg")
+        assert body["auth_required"] is False
+        assert body["ingest_queue_depth"] == 0
+        assert body["ingest"]["batches"] == 0
         with urllib.request.urlopen(url + "/", timeout=10) as resp:
             html = resp.read().decode()
         assert resp.status == 200
         assert "<title>HMG repro" in html
         assert "/events" in html and "/regressions" in html
+        assert "/metrics/query" in html, \
+            "dashboard must render the pushed-metrics panel"
 
     def test_unknown_route_404s(self, service):
         _, url = service
@@ -228,6 +237,180 @@ class TestSSE:
         slugs = [data["slug"] for kind, data in collected
                  if kind == "cell"]
         assert any("CoMD-noremote" in s for s in slugs)
+
+
+def _post_json(url, payload, token=None):
+    body = json.dumps(payload).encode()
+    request = urllib.request.Request(
+        url, data=body, headers={"Content-Type": "application/json"},
+        method="POST")
+    if token:
+        request.add_header("Authorization", f"Bearer {token}")
+    with urllib.request.urlopen(request, timeout=10) as resp:
+        return resp.status, json.loads(resp.read())
+
+
+def _batch(records, run="r1", namespace=None):
+    payload = {"v": 1, "run": run, "source": "test", "records": records}
+    if namespace is not None:
+        payload["namespace"] = namespace
+    return payload
+
+
+class TestIngest:
+    def test_ingest_rolls_up_and_queries(self, service):
+        _, url = service
+        status, reply = _post_json(f"{url}/ingest", _batch([
+            {"metric": "cell.ops_per_second", "value": 100.0,
+             "labels": {"workload": "CoMD"}, "t": 1.0},
+            {"metric": "cell.ops_per_second", "value": 300.0,
+             "labels": {"workload": "CoMD"}, "t": 2.0},
+        ]))
+        assert (status, reply["accepted"], reply["rejected"]) \
+            == (200, 2, 0)
+        status, query = _get_json(
+            f"{url}/metrics/query?metric=cell.ops_per_second")
+        assert status == 200 and query["count"] == 1
+        series = query["series"][0]
+        assert series["namespace"] == "default"
+        assert series["count"] == 2
+        assert (series["min"], series["max"], series["last"]) \
+            == (100.0, 300.0, 300.0)
+        assert series["windows"][0]["sum"] == 400.0
+
+    def test_window_records_expand_per_counter(self, service):
+        _, url = service
+        _post_json(f"{url}/ingest", _batch([
+            {"metric": "cell", "kind": "window", "t0": 0.0,
+             "t1": 500.0, "unit": "cycles",
+             "counters": {"ops": 50, "l2_misses": 7},
+             "labels": {"workload": "CoMD", "protocol": "hmg"},
+             "t": 1.0},
+        ]))
+        status, query = _get_json(f"{url}/metrics/query?metric=cell")
+        metrics = {s["metric"] for s in query["series"]}
+        assert {"cell.ops", "cell.l2_misses", "cell.span"} <= metrics
+
+    def test_invalid_records_counted_not_fatal(self, service):
+        _, url = service
+        status, reply = _post_json(f"{url}/ingest", _batch([
+            {"metric": "ok", "value": 1.0, "t": 1.0},
+            {"metric": "bad", "value": None},
+            {"value": 2.0},
+        ]))
+        assert status == 200
+        assert reply["accepted"] == 1 and reply["rejected"] == 2
+        assert reply["errors"]
+        _, health = _get_json(f"{url}/healthz")
+        assert health["ingest"]["rejected"] == 2
+
+    def test_structurally_bad_batch_400s(self, service):
+        _, url = service
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _post_json(f"{url}/ingest", {"records": []})
+        assert err.value.code == 400
+
+    def test_prometheus_exposition(self, service):
+        _, url = service
+        _post_json(f"{url}/ingest", _batch([
+            {"metric": "store.hit", "kind": "counter", "value": 1,
+             "t": 1.0},
+            {"metric": "store.hit", "kind": "counter", "value": 1,
+             "t": 2.0},
+        ]))
+        with urllib.request.urlopen(f"{url}/metrics",
+                                    timeout=10) as resp:
+            text = resp.read().decode()
+        assert resp.headers["Content-Type"].startswith("text/plain")
+        assert "# TYPE repro_store_hit_total counter" in text
+        assert 'repro_store_hit_total{namespace="default",run="r1"} '\
+               "2.0" in text
+        assert "repro_ingest_batches 1" in text
+
+    def test_events_stream_carries_metrics(self, service):
+        _, url = service
+        collected: list = []
+
+        def reader():
+            collected.extend(_read_sse(f"{url}/events", 2))
+
+        thread = threading.Thread(target=reader, daemon=True)
+        thread.start()
+        time.sleep(0.3)
+        _post_json(f"{url}/ingest", _batch([
+            {"metric": "cell.ops_per_second", "value": 5.0, "t": 1.0},
+        ]))
+        thread.join(timeout=15)
+        by_kind = dict(collected)
+        assert "metrics" in by_kind
+        assert by_kind["metrics"]["run"] == "r1"
+        assert by_kind["metrics"]["metrics"] \
+            == ["cell.ops_per_second"]
+
+    def test_metrics_log_survives_restart(self, service, tmp_path):
+        server, url = service
+        _post_json(f"{url}/ingest", _batch([
+            {"metric": "cell.ops_per_second", "value": 9.0, "t": 1.0},
+        ]))
+        reborn = _make_server(tmp_path)
+        try:
+            assert reborn.observatory.metrics.stats()["records"] == 1
+        finally:
+            reborn.server_close()
+
+
+class TestAuth:
+    @pytest.fixture
+    def secured(self, tmp_path):
+        server = _make_server(tmp_path,
+                              serve_token=["ci=supersecret", "barekey"])
+        rc: list = []
+        thread = threading.Thread(target=lambda: rc.append(
+            serve.run(server)), daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        yield server, f"http://{host}:{port}"
+        server.shutdown()
+        thread.join(timeout=10)
+
+    def test_unauthenticated_post_rejected_and_counted(self, secured):
+        _, url = secured
+        for token in (None, "wrong"):
+            with pytest.raises(urllib.error.HTTPError) as err:
+                _post_json(f"{url}/ingest", _batch([
+                    {"metric": "x", "value": 1.0, "t": 1.0},
+                ]), token=token)
+            assert err.value.code == 401
+        _, health = _get_json(f"{url}/healthz")
+        assert health["auth_required"] is True
+        assert health["ingest"]["unauthorized"] == 2
+
+    def test_token_namespace_overrides_claim(self, secured):
+        _, url = secured
+        status, _reply = _post_json(
+            f"{url}/ingest",
+            _batch([{"metric": "x", "value": 1.0, "t": 1.0}],
+                   namespace="spoofed"),
+            token="supersecret")
+        assert status == 200
+        _, query = _get_json(f"{url}/metrics/query?metric=x")
+        assert [s["namespace"] for s in query["series"]] == ["ci"]
+
+    def test_bare_token_derives_namespace(self, secured):
+        _, url = secured
+        from repro.telemetry.metrics import derive_namespace
+
+        _post_json(f"{url}/ingest",
+                   _batch([{"metric": "y", "value": 1.0, "t": 1.0}]),
+                   token="barekey")
+        _, query = _get_json(f"{url}/metrics/query?metric=y")
+        assert [s["namespace"] for s in query["series"]] \
+            == [derive_namespace("barekey")]
+
+    def test_reads_stay_open(self, secured):
+        _, url = secured
+        status, _body = _get_json(f"{url}/regressions")
+        assert status == 200
 
 
 class TestShutdown:

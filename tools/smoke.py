@@ -13,7 +13,10 @@ exercises in isolation also compose:
    lossy plan completing with recovery counters instead of a stall;
 4. a journaled mini-sweep plus a --resume pass that must replay it;
 5. a verification mini-gate: exhaustive model check of one geometry,
-   one litmus combination, and the mutation catch.
+   one litmus combination, and the mutation catch;
+6. the observability service's /healthz contract: version, uptime,
+   registry path, and ingest queue depth (what fleet probes and the
+   CI serve job key on).
 """
 
 from __future__ import annotations
@@ -99,6 +102,39 @@ def main() -> int:
                      "--mutate", "drop_peer_fanout"]) == 1, \
         "mutated HMG escaped the model checker"
     print("smoke: verification gate ok (mutation caught)")
+
+    # 6: /healthz reports real service state, not a bare 200.
+    import json
+    import threading
+    import urllib.request
+
+    from repro import __version__
+    from repro.telemetry import serve
+
+    with tempfile.TemporaryDirectory() as tmp:
+        sargs = serve.build_parser().parse_args(
+            ["--port", "0", "--registry", str(Path(tmp) / "reg")])
+        server = serve.create_server(sargs)
+        host, port = server.server_address[:2]
+        thread = threading.Thread(target=server.serve_forever,
+                                  daemon=True)
+        thread.start()
+        try:
+            with urllib.request.urlopen(
+                    f"http://{host}:{port}/healthz", timeout=5.0) as r:
+                health = json.loads(r.read())
+        finally:
+            server.shutdown()
+            thread.join(timeout=5.0)
+            server.server_close()
+        assert health["ok"] is True, health
+        assert health["version"] == __version__, health
+        assert health["uptime_seconds"] >= 0, health
+        assert health["registry"] == str(Path(tmp) / "reg"), health
+        assert health["ingest_queue_depth"] == 0, health
+        assert "ingest" in health and "batches" in health["ingest"], \
+            health
+    print("smoke: /healthz contract ok")
     print("smoke: PASS")
     return 0
 
